@@ -1,0 +1,69 @@
+package collabscore_test
+
+import (
+	"fmt"
+
+	"collabscore"
+)
+
+// The basic flow: configure a population, plant correlation structure, run
+// the protocol, inspect the report.
+func ExampleNewSimulation() {
+	sim := collabscore.NewSimulation(collabscore.Config{
+		Players: 512, Budget: 8, Seed: 7, FixedDiameter: 32,
+	})
+	sim.PlantClusters(64, 32) // 8 taste clusters of 64 players, diameter 32
+
+	report := sim.Run()
+	fmt.Println("error within diameter:", report.MaxError <= 32)
+	fmt.Println("cheaper than probing everything:", report.MaxProbes < 512)
+	// Output:
+	// error within diameter: true
+	// cheaper than probing everything: true
+}
+
+// Byzantine runs corrupt part of the population first; the tolerance
+// n/(3B) is the paper's bound.
+func ExampleSimulation_RunByzantine() {
+	sim := collabscore.NewSimulation(collabscore.Config{
+		Players: 512, Budget: 8, Seed: 7, FixedDiameter: 32,
+	})
+	sim.PlantClusters(64, 32)
+	sim.Corrupt(sim.Tolerance(), collabscore.Colluders)
+
+	report := sim.RunByzantine()
+	fmt.Println("tolerated dishonest players:", sim.Tolerance())
+	fmt.Println("error still within diameter:", report.MaxError <= 32)
+	// Output:
+	// tolerated dishonest players: 21
+	// error still within diameter: true
+}
+
+// The §8 non-binary extension: ratings on a 0..Scale scale with median
+// aggregation, robust to extremist bots.
+func ExampleNewRatingSimulation() {
+	rs := collabscore.NewRatingSimulation(collabscore.RatingConfig{
+		Players: 256, Scale: 5, Budget: 8, Seed: 33, FixedDiameter: 32,
+	}, 32, 32)
+	rs.Corrupt(rs.Tolerance(), collabscore.Exaggerators)
+
+	report := rs.RunByzantine(5)
+	fmt.Println("L1 error within taste spread:", report.MaxL1Error <= 32)
+	// Output:
+	// L1 error within taste spread: true
+}
+
+// Baselines share the same world, so reports are directly comparable.
+func ExampleSimulation_RunProbeAll() {
+	sim := collabscore.NewSimulation(collabscore.Config{
+		Players: 256, Budget: 8, Seed: 3, FixedDiameter: 16,
+	})
+	sim.PlantClusters(32, 16)
+
+	exhaustive := sim.RunProbeAll()
+	fmt.Println("probe-all error:", exhaustive.MaxError)
+	fmt.Println("probe-all probes:", exhaustive.MaxProbes)
+	// Output:
+	// probe-all error: 0
+	// probe-all probes: 256
+}

@@ -1,0 +1,58 @@
+// Byzantine attack gallery: run every dishonest strategy against the
+// protocol at the paper's tolerance n/(3B) and past it, printing the
+// resulting accuracy. Reproduces the qualitative content of §7: below
+// tolerance no strategy moves the error; beyond it the guarantees erode.
+//
+// Run with:
+//
+//	go run ./examples/byzantine
+package main
+
+import (
+	"fmt"
+
+	"collabscore"
+)
+
+func main() {
+	const (
+		players  = 512
+		budget   = 8
+		diameter = 32
+	)
+
+	strategies := []collabscore.Strategy{
+		collabscore.RandomLiar,
+		collabscore.FlipAll,
+		collabscore.Colluders,
+		collabscore.ClusterHijackers,
+		collabscore.StrangeObjectAttackers,
+		collabscore.ZeroSpammers,
+	}
+
+	baselineRep := fresh(0, collabscore.RandomLiar).Run()
+	fmt.Printf("honest run: max error %d (planted diameter %d)\n\n", baselineRep.MaxError, diameter)
+
+	tolerance := fresh(0, collabscore.RandomLiar).Tolerance()
+	fmt.Printf("%-18s %14s %14s\n", "strategy", "err @tolerance", "err @3×tolerance")
+	for _, strat := range strategies {
+		atTol := fresh(tolerance, strat).RunByzantine().MaxError
+		past := fresh(3*tolerance, strat).RunByzantine().MaxError
+		fmt.Printf("%-18s %14d %14d\n", strat, atTol, past)
+	}
+	fmt.Printf("\ntolerance n/(3B) = %d players; below it every attack is absorbed.\n", tolerance)
+}
+
+func fresh(dishonest int, strat collabscore.Strategy) *collabscore.Simulation {
+	sim := collabscore.NewSimulation(collabscore.Config{
+		Players:       512,
+		Budget:        8,
+		Seed:          7,
+		FixedDiameter: 32,
+	})
+	sim.PlantClusters(64, 32)
+	if dishonest > 0 {
+		sim.Corrupt(dishonest, strat)
+	}
+	return sim
+}

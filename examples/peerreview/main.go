@@ -1,0 +1,65 @@
+// Peer review: the paper's motivating scenario (§1). A program committee of
+// reviewers must form an opinion on every submission, but nobody has time
+// to read them all. Reviewers with similar tastes share the reading load;
+// some reviewers are lazy (scoring at random) and some collude to push
+// their colleagues' papers.
+//
+// Run with:
+//
+//	go run ./examples/peerreview
+package main
+
+import (
+	"fmt"
+
+	"collabscore"
+)
+
+func main() {
+	const (
+		reviewers = 512 // program committee (large conference!)
+		papers    = 512
+		budget    = 8 // each taste-camp has reviewers/budget = 64 members
+		tasteGap  = 24
+	)
+
+	fmt.Printf("%d reviewers, %d submissions.\n", reviewers, papers)
+	fmt.Printf("Reviewers form taste camps of %d whose members disagree on ≤ %d papers.\n\n",
+		reviewers/budget, tasteGap)
+
+	// The chairs have a rough estimate of the taste gap, so the protocol
+	// searches diameters near it instead of the full doubling range (the
+	// small-D guesses would have every reviewer read most papers at this
+	// committee size; see DESIGN.md §4 on laptop-scale constants).
+	sim := collabscore.NewSimulation(collabscore.Config{
+		Players:       reviewers,
+		Objects:       papers,
+		Budget:        budget,
+		Seed:          13,
+		FixedDiameter: tasteGap,
+	})
+	sim.PlantClusters(reviewers/budget, tasteGap)
+	// Three election repetitions keep the reading load low while still
+	// making an all-dishonest-chairs run vanishingly unlikely.
+	sim.Params().ByzIterations = 3
+
+	// The lazy reviewers score papers at random without reading them; the
+	// colluding bloc coordinates on a fixed score sheet favoring their
+	// colleagues' papers.
+	lazy := sim.Tolerance() / 2
+	bloc := sim.Tolerance() - lazy
+	sim.Corrupt(lazy, collabscore.RandomLiar)
+	sim.Corrupt(bloc, collabscore.Colluders)
+	fmt.Printf("%d lazy reviewers and a colluding bloc of %d (tolerance: %d).\n\n",
+		lazy, bloc, sim.Tolerance())
+
+	rep := sim.RunByzantine()
+	fmt.Println("committee-wide scoring finished:")
+	fmt.Println(rep)
+	fmt.Printf("\nEvery honest reviewer now has a predicted opinion on all %d papers.\n", papers)
+	fmt.Printf("Worst reviewer read %d papers (reading everything: %d).\n", rep.MaxProbes, papers)
+	fmt.Printf("Worst prediction disagrees with the reviewer's true taste on %d papers (taste gap %d).\n",
+		rep.MaxError, tasteGap)
+	fmt.Printf("Honest chairs were elected in %d/%d protocol repetitions.\n",
+		rep.HonestLeaders, rep.Repetitions)
+}

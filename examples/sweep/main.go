@@ -1,0 +1,44 @@
+// Sweep: generate the CSV series behind the paper's two headline plots —
+// error vs. dishonest fraction (Theorem 14) and probes vs. n (Lemma 11) —
+// ready for a plotting tool. Demonstrates driving many simulations through
+// the public API.
+//
+// Run with:
+//
+//	go run ./examples/sweep > sweep.csv
+package main
+
+import (
+	"fmt"
+
+	"collabscore"
+)
+
+func main() {
+	fmt.Println("# series 1: max honest error vs dishonest players (n=512, B=8, D=32, tolerance=21)")
+	fmt.Println("series,dishonest,max_error,mean_error,honest_leaders")
+	for _, f := range []int{0, 5, 10, 21, 42, 63} {
+		sim := collabscore.NewSimulation(collabscore.Config{
+			Players: 512, Budget: 8, Seed: 11, FixedDiameter: 32,
+		})
+		sim.PlantClusters(64, 32)
+		if f > 0 {
+			sim.Corrupt(f, collabscore.Colluders)
+		}
+		rep := sim.RunByzantine()
+		fmt.Printf("byzantine,%d,%d,%.2f,%d/%d\n", f, rep.MaxError, rep.MeanError,
+			rep.HonestLeaders, rep.Repetitions)
+	}
+
+	fmt.Println("# series 2: max probes per player vs n (B=8, D=n/32, single guess)")
+	fmt.Println("series,n,protocol_probes,probe_all,ratio")
+	for _, n := range []int{512, 1024, 2048} {
+		sim := collabscore.NewSimulation(collabscore.Config{
+			Players: n, Budget: 8, Seed: 13, FixedDiameter: n / 32,
+		})
+		sim.PlantClusters(n/8, n/32)
+		rep := sim.Run()
+		fmt.Printf("probes,%d,%d,%d,%.3f\n", n, rep.MaxProbes, n,
+			float64(rep.MaxProbes)/float64(n))
+	}
+}

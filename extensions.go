@@ -1,0 +1,185 @@
+package collabscore
+
+// This file exposes the §8 extensions — non-binary rating scales and
+// heterogeneous probe budgets — through the public API, wrapping the
+// internal/multival and internal/budgets implementations.
+
+import (
+	"fmt"
+
+	"collabscore/internal/budgets"
+	"collabscore/internal/metrics"
+	"collabscore/internal/multival"
+	"collabscore/internal/xrand"
+)
+
+// RunWithCapacities executes the heterogeneous-budget variant of the
+// protocol (§8): capacities[p] is the number of probes player p volunteers.
+// Clusters form once their total capacity covers the shared probing work,
+// and probing assignments are drawn proportionally to capacity, so each
+// player's expected load tracks what it volunteered. The capacity slice
+// must have one entry per player.
+func (s *Simulation) RunWithCapacities(capacities []int) *Report {
+	if len(capacities) != s.cfg.Players {
+		panic(fmt.Sprintf("collabscore: %d capacities for %d players", len(capacities), s.cfg.Players))
+	}
+	s.w.ResetProbes()
+	pr := budgets.Scaled(s.cfg.Players, capacities)
+	pr.MinD, pr.MaxD = s.params.MinD, s.params.MaxD
+	res := budgets.Run(s.w, s.rng.Split(14), pr)
+	es := metrics.Error(s.w, res.Output)
+	ps := metrics.Probes(s.w)
+	return &Report{
+		MaxError:    es.Max,
+		MeanError:   es.Mean,
+		MaxProbes:   ps.Max,
+		MeanProbes:  ps.Mean,
+		OptDiameter: s.instance.PlantedDiameter,
+		Outputs:     res.Output,
+	}
+}
+
+// TwoTierCapacities builds a capacity vector where a bigFrac fraction of
+// players volunteer bigCap probes and the rest smallCap, assigned
+// deterministically from the simulation's seed.
+func (s *Simulation) TwoTierCapacities(smallCap, bigCap int, bigFrac float64) []int {
+	return budgets.TwoTier(s.rng.Split(15), s.cfg.Players, smallCap, bigCap, bigFrac)
+}
+
+// RatingConfig describes a non-binary (0..Scale) simulation (§8).
+type RatingConfig struct {
+	// Players and Objects mirror Config; Objects 0 defaults to Players.
+	Players int
+	Objects int
+	// Scale is the maximum rating (ratings live in 0..Scale).
+	Scale int
+	// Budget is the parameter B (clusters of ~Players/Budget users).
+	Budget int
+	// Seed drives all randomness.
+	Seed uint64
+	// FixedDiameter restricts the L1-diameter search to one guess (>0).
+	FixedDiameter int
+}
+
+// RatingSimulation is the non-binary counterpart of Simulation: users rate
+// objects on an integer scale, similarity is L1, and cluster aggregation
+// uses medians (robust to extremist manipulation).
+type RatingSimulation struct {
+	cfg RatingConfig
+	rng *xrand.Stream
+	w   *multival.World
+	pr  multival.Params
+}
+
+// RaterStrategy names a dishonest rating behavior.
+type RaterStrategy int
+
+// Available dishonest rating strategies.
+const (
+	// RandomRater reports consistent random ratings.
+	RandomRater RaterStrategy = iota
+	// Exaggerators push every rating to the nearest extreme of the scale.
+	Exaggerators
+	// HarshShifters report truth shifted down by half the scale (clamped).
+	HarshShifters
+)
+
+// NewRatingSimulation creates a rating-scale simulation with planted taste
+// clusters of the given size and L1 diameter.
+func NewRatingSimulation(cfg RatingConfig, clusterSize, diameter int) *RatingSimulation {
+	if cfg.Players < 1 {
+		panic("collabscore: Players must be ≥ 1")
+	}
+	if cfg.Objects == 0 {
+		cfg.Objects = cfg.Players
+	}
+	if cfg.Budget == 0 {
+		cfg.Budget = 8
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = 5
+	}
+	rng := xrand.New(cfg.Seed)
+	truth, _ := multival.Generate(rng.Split(1), cfg.Players, cfg.Objects, clusterSize, diameter, cfg.Scale)
+	pr := multival.Scaled(cfg.Players, cfg.Budget)
+	if cfg.FixedDiameter > 0 {
+		pr.MinD, pr.MaxD = cfg.FixedDiameter, cfg.FixedDiameter
+	}
+	return &RatingSimulation{
+		cfg: cfg,
+		rng: rng,
+		w:   multival.NewWorld(truth, cfg.Scale),
+		pr:  pr,
+	}
+}
+
+// Corrupt makes k randomly chosen raters dishonest with the given strategy.
+func (rs *RatingSimulation) Corrupt(k int, strat RaterStrategy) *RatingSimulation {
+	perm := rs.rng.Split(2).Perm(rs.cfg.Players)
+	for i := 0; i < k && i < len(perm); i++ {
+		p := perm[i]
+		switch strat {
+		case RandomRater:
+			rs.w.SetBehavior(p, multival.RandomRater{Seed: rs.cfg.Seed ^ 0xAA})
+		case Exaggerators:
+			rs.w.SetBehavior(p, multival.Exaggerator{})
+		case HarshShifters:
+			rs.w.SetBehavior(p, multival.Shifter{Delta: -(rs.cfg.Scale + 1) / 2})
+		default:
+			panic(fmt.Sprintf("collabscore: unknown rater strategy %d", int(strat)))
+		}
+	}
+	return rs
+}
+
+// Tolerance returns the dishonesty tolerance n/(3B).
+func (rs *RatingSimulation) Tolerance() int {
+	return rs.cfg.Players / (3 * rs.cfg.Budget)
+}
+
+// RatingReport summarizes a rating-scale run.
+type RatingReport struct {
+	// MaxL1Error / MeanL1Error measure |w(p) − v(p)|₁ over honest raters.
+	MaxL1Error  int
+	MeanL1Error float64
+	// MaxProbes is the worst per-rater probe count.
+	MaxProbes int
+	// HonestLeaders / Repetitions report election outcomes (Byzantine runs).
+	HonestLeaders int
+	Repetitions   int
+	// Outputs holds the predicted rating vectors (one row per player,
+	// values in 0..Scale).
+	Outputs [][]int
+}
+
+// Run executes the generalized protocol with trusted shared coins.
+func (rs *RatingSimulation) Run() *RatingReport {
+	res := multival.Run(rs.w, rs.rng.Split(10), rs.pr)
+	return rs.report(res.Output, 0, 0)
+}
+
+// RunByzantine executes the leader-election wrapper with the given number
+// of repetitions (≤0 defaults to 5).
+func (rs *RatingSimulation) RunByzantine(repetitions int) *RatingReport {
+	if repetitions <= 0 {
+		repetitions = 5
+	}
+	res := multival.RunByzantine(rs.w, rs.rng.Split(11), nil, repetitions, rs.pr)
+	return rs.report(res.Output, res.HonestLeaders, res.Repetitions)
+}
+
+func (rs *RatingSimulation) report(out []multival.Ratings, leaders, reps int) *RatingReport {
+	es := multival.ErrorStats(rs.w, out)
+	rows := make([][]int, len(out))
+	for p, r := range out {
+		rows[p] = []int(r)
+	}
+	return &RatingReport{
+		MaxL1Error:    es.Max,
+		MeanL1Error:   es.Mean,
+		MaxProbes:     rs.w.MaxHonestProbes(),
+		HonestLeaders: leaders,
+		Repetitions:   reps,
+		Outputs:       rows,
+	}
+}

@@ -1,0 +1,88 @@
+package collabscore
+
+import "testing"
+
+func TestRunWithCapacities(t *testing.T) {
+	sim := NewSimulation(Config{Players: 512, Budget: 8, Seed: 31, FixedDiameter: 32})
+	sim.PlantClusters(64, 32)
+	caps := sim.TwoTierCapacities(16, 256, 0.5)
+	if len(caps) != 512 {
+		t.Fatalf("capacities length %d", len(caps))
+	}
+	rep := sim.RunWithCapacities(caps)
+	if rep.MaxError > 64 {
+		t.Fatalf("heterogeneous-budget max error %d", rep.MaxError)
+	}
+	if rep.MaxProbes == 0 {
+		t.Fatal("no probes recorded")
+	}
+}
+
+func TestRunWithCapacitiesPanicsOnMismatch(t *testing.T) {
+	sim := NewSimulation(Config{Players: 64, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sim.RunWithCapacities([]int{1, 2, 3})
+}
+
+func TestRatingSimulationFlow(t *testing.T) {
+	rs := NewRatingSimulation(RatingConfig{
+		Players: 256, Scale: 5, Budget: 8, Seed: 33, FixedDiameter: 32,
+	}, 32, 32)
+	rep := rs.Run()
+	if rep.MaxL1Error > 96 {
+		t.Fatalf("rating max L1 error %d", rep.MaxL1Error)
+	}
+	if len(rep.Outputs) != 256 || len(rep.Outputs[0]) != 256 {
+		t.Fatal("rating outputs shape wrong")
+	}
+	for _, r := range rep.Outputs[0] {
+		if r < 0 || r > 5 {
+			t.Fatalf("rating %d out of scale", r)
+		}
+	}
+}
+
+func TestRatingSimulationByzantine(t *testing.T) {
+	for _, strat := range []RaterStrategy{RandomRater, Exaggerators, HarshShifters} {
+		rs := NewRatingSimulation(RatingConfig{
+			Players: 256, Scale: 5, Budget: 8, Seed: 35, FixedDiameter: 32,
+		}, 32, 32)
+		rs.Corrupt(rs.Tolerance(), strat)
+		rep := rs.RunByzantine(5)
+		if rep.MaxL1Error > 96 {
+			t.Fatalf("strategy %d: max L1 error %d", strat, rep.MaxL1Error)
+		}
+		if rep.HonestLeaders == 0 {
+			t.Fatalf("strategy %d: no honest leaders", strat)
+		}
+	}
+}
+
+func TestRatingConfigDefaults(t *testing.T) {
+	rs := NewRatingSimulation(RatingConfig{Players: 64, Seed: 1}, 8, 4)
+	if rs.cfg.Objects != 64 || rs.cfg.Budget != 8 || rs.cfg.Scale != 5 {
+		t.Fatalf("defaults wrong: %+v", rs.cfg)
+	}
+	if rs.Tolerance() != 64/24 {
+		t.Fatalf("tolerance %d", rs.Tolerance())
+	}
+}
+
+func TestReportPrefers(t *testing.T) {
+	sim := NewSimulation(Config{Players: 256, Budget: 8, Seed: 37, FixedDiameter: 16})
+	sim.PlantClusters(32, 0) // identical clusters: predictions ≈ truth
+	rep := sim.Run()
+	match := 0
+	for o := 0; o < 256; o++ {
+		if rep.Prefers(0, o) == sim.World().PeekTruth(0, o) {
+			match++
+		}
+	}
+	if match < 250 {
+		t.Fatalf("Prefers matched truth on only %d/256 objects", match)
+	}
+}

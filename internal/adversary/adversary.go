@@ -1,0 +1,226 @@
+// Package adversary implements dishonest-player strategies.
+//
+// The paper's adversary (§2, §7) is full-information and colluding: a
+// dishonest player may ignore the protocol and lie about its preferences,
+// and dishonest players may coordinate. The one thing they cannot do is
+// modify honest players' writes on the bulletin board (enforced by package
+// board) or bias randomness that came from an honest leader.
+//
+// Every strategy here implements world.Behavior, so it is consulted at
+// exactly the points where a player publishes a probe result. Strategies
+// may consult the world's full truth matrix and the published protocol
+// state (world.Pub) — strictly at least as strong as the paper's model.
+//
+// Strategies must be deterministic per (player, object) within a run:
+// protocols may ask for the same report through different code paths, and a
+// flip-flopping reporter would be weaker than a consistent liar (honest
+// readers could detect contradictions for free).
+package adversary
+
+import (
+	"sync"
+
+	"collabscore/internal/bitvec"
+	"collabscore/internal/world"
+)
+
+// hash64 mixes player, object and seed into a deterministic pseudo-random
+// word, so strategies can lie "randomly" yet consistently.
+func hash64(seed uint64, p, o int) uint64 {
+	x := seed ^ (uint64(p)+0x9e3779b97f4a7c15)<<1 ^ (uint64(o)+0xbf58476d1ce4e5b9)<<2
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// RandomLiar reports an unbiased coin flip for every (player, object) pair,
+// consistently within a run. This models the paper's "too busy" reviewer
+// who scores papers at random instead of reading them.
+type RandomLiar struct {
+	Seed uint64
+}
+
+// Report returns a deterministic pseudo-random bit for (p, o).
+func (r RandomLiar) Report(_ *world.World, p, o int) bool {
+	return hash64(r.Seed, p, o)&1 == 1
+}
+
+// FlipAll reports the complement of the player's own true preference —
+// maximal individual dishonesty (every published bit is wrong).
+type FlipAll struct{}
+
+// Report returns the negation of the truth, without charging a probe (the
+// adversary already knows its vector).
+func (FlipAll) Report(w *world.World, p, o int) bool {
+	return !w.PeekTruth(p, o)
+}
+
+// ZeroSpam always reports 0 — the laziest possible participant.
+type ZeroSpam struct{}
+
+// Report returns false for every object.
+func (ZeroSpam) Report(_ *world.World, _, _ int) bool { return false }
+
+// Colluder coordinates all colluding players on one shared target vector,
+// modeling a bloc trying to push a specific outcome (e.g. bias the scores
+// toward colleagues' papers). All colluders report identical preferences,
+// which maximizes their chance of forming or joining a cluster together.
+type Colluder struct {
+	Target bitvec.Vector
+}
+
+// NewColluder builds a colluding bloc around a deterministic pseudo-random
+// target vector over m objects.
+func NewColluder(seed uint64, m int) Colluder {
+	v := bitvec.New(m)
+	for o := 0; o < m; o++ {
+		if hash64(seed, 0, o)&1 == 1 {
+			v.Set(o, true)
+		}
+	}
+	return Colluder{Target: v}
+}
+
+// Report returns the shared target preference for object o.
+func (c Colluder) Report(_ *world.World, _, o int) bool {
+	return c.Target.Get(o)
+}
+
+// ClusterHijacker is the attack the protocol's sampling phase must survive
+// (§6.2, §7.2): mimic a victim player's true preferences on the published
+// sample set S — so the hijacker looks like a close neighbor and is placed
+// in the victim's cluster — then lie (report the complement of the victim's
+// truth) on every off-sample object, poisoning the cluster's shared
+// probing work.
+type ClusterHijacker struct {
+	Victim int
+}
+
+// Report mimics the victim on the current sample set and anti-mimics it
+// elsewhere. If no sample has been published yet, it mimics everywhere
+// (building trust).
+func (h ClusterHijacker) Report(w *world.World, _, o int) bool {
+	truth := w.PeekTruth(h.Victim, o)
+	if !w.Pub.HasSample() || w.Pub.InSample(o) {
+		return truth
+	}
+	return !truth
+}
+
+// StrangeObjectAttacker targets the "strange" objects of Lemma 13 — objects
+// on which the honest members of its cluster are split. On such objects the
+// dishonest votes can swing the majority; on lopsided objects they cannot.
+// The strategy votes with the honest minority whenever cluster membership
+// is known, maximizing the number of flipped predictions.
+type StrangeObjectAttacker struct {
+	Seed uint64
+}
+
+// Report inspects the attacker's published cluster (if any) and votes with
+// the minority of honest members' true preferences for object o; with no
+// cluster information it falls back to a consistent random lie.
+func (a StrangeObjectAttacker) Report(w *world.World, p, o int) bool {
+	for _, cl := range w.Pub.Clusters {
+		inCluster := false
+		for _, q := range cl {
+			if q == p {
+				inCluster = true
+				break
+			}
+		}
+		if !inCluster {
+			continue
+		}
+		ones, zeros := 0, 0
+		for _, q := range cl {
+			if !w.IsHonest(q) {
+				continue
+			}
+			if w.PeekTruth(q, o) {
+				ones++
+			} else {
+				zeros++
+			}
+		}
+		return ones < zeros // side with the minority
+	}
+	return hash64(a.Seed, p, o)&1 == 1
+}
+
+// MimicThenFlip mimics its own truth during the sampling phase and flips
+// afterwards, a budget-free variant of ClusterHijacker that corrupts
+// whatever cluster the player naturally lands in.
+type MimicThenFlip struct{}
+
+// Report tells the truth while the protocol is sampling and lies during
+// work sharing.
+func (MimicThenFlip) Report(w *world.World, p, o int) bool {
+	if w.Pub.Phase == "workshare" {
+		return !w.PeekTruth(p, o)
+	}
+	return w.PeekTruth(p, o)
+}
+
+// Flipflopper violates the report-consistency discipline deliberately: it
+// alternates its answer every time it is asked about the same object. The
+// bulletin board's first-write-wins lanes pin each (player, object) cell to
+// the first published value, so flip-flopping gains nothing there; this
+// strategy exists to exercise that defense.
+type Flipflopper struct {
+	mu    sync.Mutex
+	calls map[[2]int]int
+}
+
+// NewFlipflopper returns a flip-flopping behavior (stateful; one instance
+// per player or shared — both are valid adversaries).
+func NewFlipflopper() *Flipflopper {
+	return &Flipflopper{calls: make(map[[2]int]int)}
+}
+
+// Report alternates between 1 and 0 on successive calls for the same cell.
+func (f *Flipflopper) Report(_ *world.World, p, o int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls[[2]int{p, o}]++
+	return f.calls[[2]int{p, o}]%2 == 1
+}
+
+// Combined chains the strongest phase-aware attacks: hijack a victim's
+// cluster during sampling (look close on S), then target strange objects
+// during work sharing (vote with the honest minority). It is the union of
+// ClusterHijacker and StrangeObjectAttacker and the hardest scripted
+// adversary in this package.
+type Combined struct {
+	Victim int
+	Seed   uint64
+}
+
+// Report dispatches on the published protocol phase.
+func (c Combined) Report(w *world.World, p, o int) bool {
+	if w.Pub.Phase == "workshare" {
+		return StrangeObjectAttacker{Seed: c.Seed}.Report(w, p, o)
+	}
+	return ClusterHijacker{Victim: c.Victim}.Report(w, p, o)
+}
+
+// Corrupt installs the given strategy on the first k players chosen by the
+// supplied permutation (or 0..k-1 if perm is nil) and returns the corrupted
+// player ids.
+func Corrupt(w *world.World, k int, perm []int, mk func(p int) world.Behavior) []int {
+	if k > w.N() {
+		k = w.N()
+	}
+	ids := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		p := i
+		if perm != nil {
+			p = perm[i]
+		}
+		w.SetBehavior(p, mk(p))
+		ids = append(ids, p)
+	}
+	return ids
+}

@@ -1,0 +1,354 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVec(r *rand.Rand, n int) Vector {
+	v := New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 1 {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+func TestNewIsZeroed(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 1000} {
+		v := New(n)
+		if v.Len() != n {
+			t.Fatalf("Len() = %d, want %d", v.Len(), n)
+		}
+		if v.Count() != 0 {
+			t.Fatalf("New(%d) has %d set bits", n, v.Count())
+		}
+	}
+}
+
+func TestSetGetFlip(t *testing.T) {
+	v := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 128, 129} {
+		if v.Get(i) {
+			t.Fatalf("bit %d set in fresh vector", i)
+		}
+		v.Set(i, true)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		v.Flip(i)
+		if v.Get(i) {
+			t.Fatalf("bit %d still set after Flip", i)
+		}
+		v.Flip(i)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set after double Flip", i)
+		}
+		v.Set(i, false)
+		if v.Get(i) {
+			t.Fatalf("bit %d set after Set(false)", i)
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	cases := []func(){
+		func() { New(10).Get(10) },
+		func() { New(10).Get(-1) },
+		func() { New(10).Set(10, true) },
+		func() { New(10).Flip(-1) },
+		func() { New(-1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	a, b := New(10), New(11)
+	cases := []func(){
+		func() { a.Hamming(b) },
+		func() { a.Xor(b) },
+		func() { a.And(b) },
+		func() { a.Or(b) },
+		func() { a.DiffIndices(b) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHammingBasic(t *testing.T) {
+	a := FromBits([]int{1, 0, 1, 0, 1})
+	b := FromBits([]int{1, 1, 0, 0, 1})
+	if d := a.Hamming(b); d != 2 {
+		t.Fatalf("Hamming = %d, want 2", d)
+	}
+	if d := a.Hamming(a); d != 0 {
+		t.Fatalf("self Hamming = %d, want 0", d)
+	}
+}
+
+func TestHammingIsMetric(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(300)
+		a, b, c := randVec(r, n), randVec(r, n), randVec(r, n)
+		ab, bc, ac := a.Hamming(b), b.Hamming(c), a.Hamming(c)
+		if ab != b.Hamming(a) {
+			t.Fatal("Hamming not symmetric")
+		}
+		if ac > ab+bc {
+			t.Fatalf("triangle inequality violated: %d > %d + %d", ac, ab, bc)
+		}
+		if ab == 0 && !a.Equal(b) {
+			t.Fatal("zero distance but not equal")
+		}
+	}
+}
+
+func TestHammingEqualsXorCount(t *testing.T) {
+	f := func(bitsA, bitsB []bool) bool {
+		n := len(bitsA)
+		if len(bitsB) < n {
+			n = len(bitsB)
+		}
+		a := FromBools(bitsA[:n])
+		b := FromBools(bitsB[:n])
+		return a.Hamming(b) == a.Xor(b).Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffIndicesMatchesHamming(t *testing.T) {
+	f := func(bitsA, bitsB []bool) bool {
+		n := len(bitsA)
+		if len(bitsB) < n {
+			n = len(bitsB)
+		}
+		a := FromBools(bitsA[:n])
+		b := FromBools(bitsB[:n])
+		diff := a.DiffIndices(b)
+		if len(diff) != a.Hamming(b) {
+			return false
+		}
+		for _, i := range diff {
+			if a.Get(i) == b.Get(i) {
+				return false
+			}
+		}
+		// sorted ascending
+		for i := 1; i < len(diff); i++ {
+			if diff[i] <= diff[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNotMasksTail(t *testing.T) {
+	for _, n := range []int{1, 5, 63, 64, 65, 130} {
+		v := New(n)
+		nv := v.Not()
+		if nv.Count() != n {
+			t.Fatalf("Not of zero vector length %d has %d ones", n, nv.Count())
+		}
+		if nv.Hamming(v) != n {
+			t.Fatalf("Not distance = %d, want %d", nv.Hamming(v), n)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromBits([]int{1, 0, 1})
+	b := a.Clone()
+	b.Flip(0)
+	if !a.Get(0) {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 10 + r.Intn(200)
+		v := randVec(r, n)
+		k := 1 + r.Intn(n)
+		idx := r.Perm(n)[:k]
+		g := v.Gather(idx)
+		if g.Len() != k {
+			t.Fatalf("Gather length %d, want %d", g.Len(), k)
+		}
+		for j, i := range idx {
+			if g.Get(j) != v.Get(i) {
+				t.Fatal("Gather bit mismatch")
+			}
+		}
+		w := New(n)
+		w.Scatter(idx, g)
+		for j, i := range idx {
+			if w.Get(i) != g.Get(j) {
+				t.Fatal("Scatter bit mismatch")
+			}
+		}
+	}
+}
+
+func TestHammingOn(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		n := 10 + r.Intn(100)
+		a, b := randVec(r, n), randVec(r, n)
+		idx := r.Perm(n)[:1+r.Intn(n)]
+		want := a.Gather(idx).Hamming(b.Gather(idx))
+		if got := a.HammingOn(b, idx); got != want {
+			t.Fatalf("HammingOn = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestMajority(t *testing.T) {
+	a := FromBits([]int{1, 1, 0, 0})
+	b := FromBits([]int{1, 0, 1, 0})
+	c := FromBits([]int{1, 0, 0, 1})
+	m := Majority([]Vector{a, b, c})
+	want := FromBits([]int{1, 0, 0, 0})
+	if !m.Equal(want) {
+		t.Fatalf("Majority = %v, want %v", m, want)
+	}
+}
+
+func TestMajorityTieIsZero(t *testing.T) {
+	a := FromBits([]int{1, 0})
+	b := FromBits([]int{0, 1})
+	m := Majority([]Vector{a, b})
+	if m.Count() != 0 {
+		t.Fatalf("tie should resolve to 0, got %v", m)
+	}
+}
+
+func TestMajorityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty input")
+		}
+	}()
+	Majority(nil)
+}
+
+func TestConcat(t *testing.T) {
+	a := FromBits([]int{1, 0})
+	b := FromBits([]int{0, 1, 1})
+	c := Concat(a, b)
+	want := FromBits([]int{1, 0, 0, 1, 1})
+	if !c.Equal(want) {
+		t.Fatalf("Concat = %v, want %v", c, want)
+	}
+	if Concat().Len() != 0 {
+		t.Fatal("empty Concat should have length 0")
+	}
+}
+
+func TestKeyUniqueness(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	seen := map[string]Vector{}
+	for trial := 0; trial < 500; trial++ {
+		v := randVec(r, 100)
+		k := v.Key()
+		if prev, ok := seen[k]; ok && !prev.Equal(v) {
+			t.Fatal("Key collision between different vectors")
+		}
+		seen[k] = v
+	}
+	// Same bits, different lengths must differ.
+	if New(64).Key() == New(65).Key() {
+		t.Fatal("Key ignores length")
+	}
+}
+
+func TestKeyEqualForEqualVectors(t *testing.T) {
+	f := func(bits []bool) bool {
+		a := FromBools(bits)
+		b := FromBools(bits)
+		return a.Key() == b.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnesIndices(t *testing.T) {
+	v := New(200)
+	want := []int{0, 63, 64, 127, 128, 199}
+	for _, i := range want {
+		v.Set(i, true)
+	}
+	got := v.OnesIndices()
+	if len(got) != len(want) {
+		t.Fatalf("OnesIndices = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("OnesIndices = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestXorAndOrIdentities(t *testing.T) {
+	f := func(bitsA, bitsB []bool) bool {
+		n := len(bitsA)
+		if len(bitsB) < n {
+			n = len(bitsB)
+		}
+		a := FromBools(bitsA[:n])
+		b := FromBools(bitsB[:n])
+		// |a∨b| + |a∧b| == |a| + |b|
+		if a.Or(b).Count()+a.And(b).Count() != a.Count()+b.Count() {
+			return false
+		}
+		// a⊕b == (a∨b) minus (a∧b)
+		if a.Xor(b).Count() != a.Or(b).Count()-a.And(b).Count() {
+			return false
+		}
+		// a⊕a == 0
+		return a.Xor(a).Count() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringTruncation(t *testing.T) {
+	v := New(300)
+	s := v.String()
+	if len(s) == 0 {
+		t.Fatal("empty String for non-empty vector")
+	}
+	short := New(4)
+	short.Set(2, true)
+	if short.String() != "0010" {
+		t.Fatalf("String = %q, want 0010", short.String())
+	}
+}

@@ -1,0 +1,127 @@
+// Package board implements the public bulletin board substrate from the
+// paper's model (§2): a shared memory where, in each round, every player can
+// publish the result of a probe and read what others have published.
+//
+// The board enforces the model's one safety property: a dishonest player
+// cannot modify data written by honest players. Each player writes only to
+// its own lane, and lanes are keyed by player id, so cross-lane writes are
+// structurally impossible.
+//
+// The board also tracks communication cost (total writes and reads), which
+// §8 of the paper raises as an open accounting question.
+package board
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"collabscore/internal/bitvec"
+)
+
+// Board is a concurrent bulletin board over n players and m objects.
+// Entries are (player, object) → bit. Writing is idempotent per cell: the
+// first write wins, matching the model where an honest player publishes the
+// result of a probe once (re-publishing the same truth is harmless, and a
+// dishonest player gains nothing by flip-flopping because honest readers
+// snapshot).
+type Board struct {
+	n, m   int
+	lanes  []lane
+	writes atomic.Int64
+	reads  atomic.Int64
+}
+
+// lane is one player's region of the board.
+type lane struct {
+	mu      sync.RWMutex
+	written bitvec.Vector
+	values  bitvec.Vector
+}
+
+// New creates an empty board for n players and m objects.
+func New(n, m int) *Board {
+	b := &Board{n: n, m: m, lanes: make([]lane, n)}
+	for i := range b.lanes {
+		b.lanes[i].written = bitvec.New(m)
+		b.lanes[i].values = bitvec.New(m)
+	}
+	return b
+}
+
+// Players returns the number of player lanes.
+func (b *Board) Players() int { return b.n }
+
+// Objects returns the number of object columns.
+func (b *Board) Objects() int { return b.m }
+
+// Write publishes player p's value for object o. The first write to a cell
+// sticks; later writes to the same cell are ignored. Write is safe for
+// concurrent use.
+func (b *Board) Write(p, o int, v bool) {
+	ln := &b.lanes[p]
+	ln.mu.Lock()
+	if !ln.written.Get(o) {
+		ln.written.Set(o, true)
+		ln.values.Set(o, v)
+	}
+	ln.mu.Unlock()
+	b.writes.Add(1)
+}
+
+// Read returns player p's published value for object o and whether p has
+// published one.
+func (b *Board) Read(p, o int) (value, ok bool) {
+	ln := &b.lanes[p]
+	ln.mu.RLock()
+	ok = ln.written.Get(o)
+	value = ln.values.Get(o)
+	ln.mu.RUnlock()
+	b.reads.Add(1)
+	return value, ok
+}
+
+// Votes tallies the published values for object o among the given players.
+// Players that have not published for o are skipped.
+func (b *Board) Votes(o int, players []int) (ones, zeros int) {
+	for _, p := range players {
+		v, ok := b.Read(p, o)
+		if !ok {
+			continue
+		}
+		if v {
+			ones++
+		} else {
+			zeros++
+		}
+	}
+	return ones, zeros
+}
+
+// Snapshot returns a copy of player p's published (mask, values) pair.
+// Reads of the snapshot are not counted as board reads.
+func (b *Board) Snapshot(p int) (written, values bitvec.Vector) {
+	ln := &b.lanes[p]
+	ln.mu.RLock()
+	defer ln.mu.RUnlock()
+	b.reads.Add(1)
+	return ln.written.Clone(), ln.values.Clone()
+}
+
+// WriteCount returns the total number of Write calls (communication cost).
+func (b *Board) WriteCount() int64 { return b.writes.Load() }
+
+// ReadCount returns the total number of Read/Votes/Snapshot accesses.
+func (b *Board) ReadCount() int64 { return b.reads.Load() }
+
+// Reset clears all lanes and counters, reusing the allocated storage.
+func (b *Board) Reset() {
+	for i := range b.lanes {
+		ln := &b.lanes[i]
+		ln.mu.Lock()
+		ln.written = bitvec.New(b.m)
+		ln.values = bitvec.New(b.m)
+		ln.mu.Unlock()
+	}
+	b.writes.Store(0)
+	b.reads.Store(0)
+}

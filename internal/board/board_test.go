@@ -1,0 +1,133 @@
+package board
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestWriteRead(t *testing.T) {
+	b := New(3, 5)
+	if _, ok := b.Read(0, 0); ok {
+		t.Fatal("fresh board has data")
+	}
+	b.Write(0, 0, true)
+	v, ok := b.Read(0, 0)
+	if !ok || !v {
+		t.Fatalf("Read = (%v,%v), want (true,true)", v, ok)
+	}
+	b.Write(1, 4, false)
+	v, ok = b.Read(1, 4)
+	if !ok || v {
+		t.Fatalf("Read = (%v,%v), want (false,true)", v, ok)
+	}
+}
+
+func TestFirstWriteWins(t *testing.T) {
+	b := New(1, 1)
+	b.Write(0, 0, true)
+	b.Write(0, 0, false) // attempt to flip-flop
+	v, ok := b.Read(0, 0)
+	if !ok || !v {
+		t.Fatal("second write overrode the first")
+	}
+}
+
+func TestLaneIsolation(t *testing.T) {
+	// Player 1's writes must never affect player 0's lane.
+	b := New(2, 4)
+	b.Write(0, 2, true)
+	b.Write(1, 2, false)
+	v, ok := b.Read(0, 2)
+	if !ok || !v {
+		t.Fatal("player 1 corrupted player 0's lane")
+	}
+}
+
+func TestVotes(t *testing.T) {
+	b := New(5, 1)
+	b.Write(0, 0, true)
+	b.Write(1, 0, true)
+	b.Write(2, 0, false)
+	// players 3,4 abstain
+	ones, zeros := b.Votes(0, []int{0, 1, 2, 3, 4})
+	if ones != 2 || zeros != 1 {
+		t.Fatalf("Votes = (%d,%d), want (2,1)", ones, zeros)
+	}
+	ones, zeros = b.Votes(0, []int{3, 4})
+	if ones != 0 || zeros != 0 {
+		t.Fatalf("abstainers counted: (%d,%d)", ones, zeros)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	b := New(2, 8)
+	b.Write(0, 1, true)
+	b.Write(0, 3, false)
+	written, values := b.Snapshot(0)
+	if !written.Get(1) || !written.Get(3) || written.Get(0) {
+		t.Fatal("snapshot mask wrong")
+	}
+	if !values.Get(1) || values.Get(3) {
+		t.Fatal("snapshot values wrong")
+	}
+	// Snapshot must be a copy.
+	written.Set(0, true)
+	w2, _ := b.Snapshot(0)
+	if w2.Get(0) {
+		t.Fatal("snapshot shares storage with board")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	b := New(2, 2)
+	b.Write(0, 0, true)
+	b.Write(0, 1, true)
+	b.Read(0, 0)
+	if b.WriteCount() != 2 {
+		t.Fatalf("WriteCount = %d, want 2", b.WriteCount())
+	}
+	if b.ReadCount() != 1 {
+		t.Fatalf("ReadCount = %d, want 1", b.ReadCount())
+	}
+	b.Reset()
+	if b.WriteCount() != 0 || b.ReadCount() != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+	if _, ok := b.Read(0, 0); ok {
+		t.Fatal("Reset did not clear data")
+	}
+}
+
+func TestConcurrentWrites(t *testing.T) {
+	const n, m = 8, 256
+	b := New(n, m)
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for o := 0; o < m; o++ {
+				b.Write(p, o, (p+o)%2 == 0)
+			}
+		}(p)
+	}
+	wg.Wait()
+	for p := 0; p < n; p++ {
+		for o := 0; o < m; o++ {
+			v, ok := b.Read(p, o)
+			if !ok || v != ((p+o)%2 == 0) {
+				t.Fatalf("cell (%d,%d) = (%v,%v)", p, o, v, ok)
+			}
+		}
+	}
+	if b.WriteCount() != n*m {
+		t.Fatalf("WriteCount = %d, want %d", b.WriteCount(), n*m)
+	}
+}
+
+func TestDims(t *testing.T) {
+	b := New(3, 7)
+	if b.Players() != 3 || b.Objects() != 7 {
+		t.Fatalf("dims = (%d,%d), want (3,7)", b.Players(), b.Objects())
+	}
+}

@@ -1,0 +1,351 @@
+// Package budgets implements the §8 extension of the paper: players with
+// heterogeneous probing budgets. Some players are willing to probe a large
+// number B_big of objects, others only a small number B_small; the paper
+// sketches that "each cluster must be chosen to contain a sufficient total
+// number of queries among all the members".
+//
+// This package realizes that sketch on top of the binary substrate:
+//
+//   - each player carries a capacity (its willingness to probe);
+//   - the neighbor graph and peeling are unchanged, but a peeled set only
+//     becomes a cluster once its TOTAL capacity reaches the work it must
+//     absorb (redundancy · m probes), instead of once it reaches n/B
+//     members;
+//   - the work-sharing phase assigns probers with probability proportional
+//     to capacity, so each player's expected probe count is proportional to
+//     what it volunteered.
+//
+// The accuracy analysis is untouched (cluster diameter still comes from the
+// edge threshold; majorities still ≥2/3 honest under the same corruption
+// cap), while the probe loads become capacity-weighted.
+package budgets
+
+import (
+	"math"
+
+	"collabscore/internal/bitvec"
+	"collabscore/internal/cluster"
+	"collabscore/internal/par"
+	"collabscore/internal/smallradius"
+	"collabscore/internal/world"
+	"collabscore/internal/xrand"
+)
+
+// Params configures the heterogeneous-budget protocol.
+type Params struct {
+	// Capacity[p] is the number of probes player p volunteers (its
+	// personal budget). Must be positive for every player.
+	Capacity []int
+	// SampleFactor / EdgeFactor / RedundancyFactor mirror core.Params.
+	SampleFactor     float64
+	EdgeFactor       float64
+	RedundancyFactor float64
+	// SR configures the SmallRadius run on the sample set; its budget
+	// parameter is derived from the mean capacity.
+	SR smallradius.Params
+	// MinD/MaxD restrict the diameter guesses.
+	MinD, MaxD int
+}
+
+// Scaled returns simulation-scale parameters with the given capacities.
+func Scaled(n int, capacity []int) Params {
+	return Params{
+		Capacity:         capacity,
+		SampleFactor:     1,
+		EdgeFactor:       4,
+		RedundancyFactor: 1.5,
+		SR:               smallradius.Scaled(n),
+	}
+}
+
+// Uniform returns a capacity vector with every player at c.
+func Uniform(n, c int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = c
+	}
+	return out
+}
+
+// TwoTier returns a capacity vector where a fraction bigFrac of players
+// volunteer bigCap probes and the rest smallCap, assigned by the stream.
+func TwoTier(rng *xrand.Stream, n, smallCap, bigCap int, bigFrac float64) []int {
+	out := make([]int, n)
+	for i := range out {
+		if rng.Bernoulli(bigFrac) {
+			out[i] = bigCap
+		} else {
+			out[i] = smallCap
+		}
+	}
+	return out
+}
+
+// Result is the protocol output plus capacity bookkeeping.
+type Result struct {
+	Output []bitvec.Vector
+	// ClusterCapacity[j] is the total capacity of cluster j in the last
+	// diameter guess that formed clusters.
+	ClusterCapacity []int
+	NumClusters     int
+}
+
+// meanCapacity returns the average capacity, at least 1.
+func meanCapacity(capacity []int) int {
+	if len(capacity) == 0 {
+		return 1
+	}
+	t := 0
+	for _, c := range capacity {
+		t += c
+	}
+	m := t / len(capacity)
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// Run executes the capacity-aware protocol: diameter doubling, sampling,
+// SmallRadius on the sample, capacity-validated clustering, and
+// capacity-weighted work sharing, with a final RSelect-style spot check.
+func Run(w *world.World, shared *xrand.Stream, pr Params) *Result {
+	n, m := w.N(), w.M()
+	if len(pr.Capacity) != n {
+		panic("budgets: capacity vector must have one entry per player")
+	}
+	lnn := math.Log(float64(n))
+	if lnn < 1 {
+		lnn = 1
+	}
+	red := int(math.Ceil(pr.RedundancyFactor * lnn))
+	if red < 3 {
+		red = 3
+	}
+	res := &Result{}
+	lo, hi := pr.MinD, pr.MaxD
+	if lo <= 0 {
+		lo = 1
+	}
+	if hi <= 0 {
+		hi = n
+	}
+	var candidates [][]bitvec.Vector
+	gi := 0
+	for d := 1; d <= n; d *= 2 {
+		if d < lo || d > hi {
+			continue
+		}
+		iterRng := shared.Split(uint64(gi), uint64(d))
+		gi++
+		out := runIteration(w, d, red, lnn, iterRng, pr, res)
+		candidates = append(candidates, out)
+	}
+	if len(candidates) == 0 {
+		res.Output = zeroOutputs(n, m)
+		return res
+	}
+	res.Output = par.Map(n, func(p int) bitvec.Vector {
+		if !w.IsHonest(p) {
+			return bitvec.New(m)
+		}
+		if len(candidates) == 1 {
+			return candidates[0][p]
+		}
+		// Spot-check selection among guesses (RSelect analogue).
+		rng := shared.Split(0xFE11, uint64(p))
+		check := rng.Sample(m, minInt(m, 8*int(lnn)))
+		best, bestScore := 0, -1
+		for ci := range candidates {
+			score := 0
+			for _, o := range check {
+				if w.Probe(p, o) == candidates[ci][p].Get(o) {
+					score++
+				}
+			}
+			if score > bestScore {
+				best, bestScore = ci, score
+			}
+		}
+		return candidates[best][p]
+	})
+	return res
+}
+
+func zeroOutputs(n, m int) []bitvec.Vector {
+	out := make([]bitvec.Vector, n)
+	for p := range out {
+		out[p] = bitvec.New(m)
+	}
+	return out
+}
+
+func runIteration(w *world.World, d, red int, lnn float64, shared *xrand.Stream, pr Params, res *Result) []bitvec.Vector {
+	n, m := w.N(), w.M()
+
+	// Sample and estimate sample preferences (same machinery as core).
+	rate := pr.SampleFactor * lnn / float64(d)
+	if rate > 1 {
+		rate = 1
+	}
+	sample := shared.Split(0x5A).BernoulliSubset(m, rate)
+	if len(sample) == 0 {
+		sample = []int{0}
+	}
+	w.Pub.SetSample(sample)
+	srBudget := maxInt(1, n/maxInt(1, m*red/maxInt(1, meanCapacity(pr.Capacity))))
+	zMap := smallradius.Run(w, sample, int(math.Ceil(2*lnn)), srBudget, shared.Split(0x5B), pr.SR)
+	z := make([]bitvec.Vector, n)
+	for p := 0; p < n; p++ {
+		z[p] = zMap[p]
+	}
+
+	// Neighbor graph as in core.
+	g := cluster.BuildGraph(z, int(math.Ceil(pr.EdgeFactor*lnn)))
+
+	// Capacity-validated peeling: a seed player and its alive neighbors
+	// form a cluster only when their total capacity can absorb the work.
+	needed := m * red // total probes the cluster must provide
+	cl := buildByCapacity(g, pr.Capacity, needed)
+	res.NumClusters = len(cl.Clusters)
+	res.ClusterCapacity = res.ClusterCapacity[:0]
+	for _, members := range cl.Clusters {
+		t := 0
+		for _, p := range members {
+			t += pr.Capacity[p]
+		}
+		res.ClusterCapacity = append(res.ClusterCapacity, t)
+	}
+	w.Pub.Clusters = cl.Clusters
+
+	// Capacity-weighted work sharing.
+	w.Pub.Phase = "workshare"
+	out := zeroOutputs(n, m)
+	for j, members := range cl.Clusters {
+		clusterRng := shared.Split(0x5C, uint64(j))
+		// Build the sampling weights once per cluster.
+		weights := make([]int, len(members))
+		total := 0
+		for i, p := range members {
+			total += pr.Capacity[p]
+			weights[i] = total
+		}
+		bits := par.Map(m, func(o int) bool {
+			rng := clusterRng.Split(uint64(o))
+			ones, zeros := 0, 0
+			for i := 0; i < red; i++ {
+				q := members[weightedPick(rng, weights, total)]
+				if w.Report(q, o) {
+					ones++
+				} else {
+					zeros++
+				}
+			}
+			return ones > zeros
+		})
+		maj := bitvec.New(m)
+		for o, b := range bits {
+			if b {
+				maj.Set(o, true)
+			}
+		}
+		for _, p := range members {
+			out[p] = maj.Clone()
+		}
+	}
+	w.Pub.SetSample(nil)
+	w.Pub.Clusters = nil
+	return out
+}
+
+// weightedPick returns an index into the cumulative weight table.
+func weightedPick(rng *xrand.Stream, cumWeights []int, total int) int {
+	x := rng.Intn(total)
+	lo, hi := 0, len(cumWeights)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cumWeights[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// buildByCapacity peels clusters like §6.5 but admits a seed's neighborhood
+// as a cluster only when its total capacity reaches needed.
+func buildByCapacity(g *cluster.Graph, capacity []int, needed int) *cluster.Clustering {
+	n := g.N()
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	of := make([]int, n)
+	for i := range of {
+		of[i] = -1
+	}
+	var clusters [][]int
+	for {
+		found := -1
+		for p := 0; p < n; p++ {
+			if !alive[p] {
+				continue
+			}
+			capSum := capacity[p]
+			for _, q := range g.Neighbors(p) {
+				if alive[q] {
+					capSum += capacity[q]
+				}
+			}
+			if capSum >= needed {
+				found = p
+				break
+			}
+		}
+		if found < 0 {
+			break
+		}
+		members := []int{found}
+		for _, q := range g.Neighbors(found) {
+			if alive[q] {
+				members = append(members, q)
+			}
+		}
+		j := len(clusters)
+		for _, q := range members {
+			alive[q] = false
+			of[q] = j
+		}
+		clusters = append(clusters, members)
+	}
+	// Attach leftovers to a neighbor's cluster (they add capacity for free).
+	for p := 0; p < n; p++ {
+		if !alive[p] {
+			continue
+		}
+		for _, q := range g.Neighbors(p) {
+			if of[q] >= 0 {
+				of[p] = of[q]
+				clusters[of[q]] = append(clusters[of[q]], p)
+				alive[p] = false
+				break
+			}
+		}
+	}
+	return &cluster.Clustering{Clusters: clusters, Of: of}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,128 @@
+package budgets
+
+import (
+	"testing"
+
+	"collabscore/internal/metrics"
+	"collabscore/internal/prefgen"
+	"collabscore/internal/world"
+	"collabscore/internal/xrand"
+)
+
+func TestUniformCapacityMatchesCore(t *testing.T) {
+	// Uniform capacities reduce to the homogeneous protocol: error O(D).
+	const n, d = 512, 32
+	rng := xrand.New(1)
+	in := prefgen.DiameterClusters(rng.Split(1), n, n, 64, d)
+	w := world.New(in.Truth)
+	pr := Scaled(n, Uniform(n, 128))
+	pr.MinD, pr.MaxD = d, d
+	res := Run(w, rng.Split(2), pr)
+	es := metrics.Error(w, res.Output)
+	if es.Max > 2*d {
+		t.Fatalf("max error %d > %d", es.Max, 2*d)
+	}
+	if res.NumClusters == 0 {
+		t.Fatal("no clusters formed")
+	}
+}
+
+func TestTwoTierAccuracy(t *testing.T) {
+	const n, d = 512, 32
+	rng := xrand.New(3)
+	in := prefgen.DiameterClusters(rng.Split(1), n, n, 64, d)
+	w := world.New(in.Truth)
+	caps := TwoTier(rng.Split(5), n, 32, 512, 0.25)
+	pr := Scaled(n, caps)
+	pr.MinD, pr.MaxD = d, d
+	res := Run(w, rng.Split(2), pr)
+	es := metrics.Error(w, res.Output)
+	if es.Max > 2*d {
+		t.Fatalf("two-tier max error %d > %d", es.Max, 2*d)
+	}
+}
+
+func TestLoadProportionalToCapacity(t *testing.T) {
+	// Big-capacity players must carry substantially more of the probing
+	// work than small-capacity players in the same cluster.
+	const n, d = 512, 32
+	rng := xrand.New(7)
+	in := prefgen.DiameterClusters(rng.Split(1), n, n, 64, d)
+	w := world.New(in.Truth)
+	caps := TwoTier(rng.Split(5), n, 16, 256, 0.5)
+	pr := Scaled(n, caps)
+	pr.MinD, pr.MaxD = d, d
+	Run(w, rng.Split(2), pr)
+	var bigTotal, bigN, smallTotal, smallN int64
+	for p := 0; p < n; p++ {
+		if caps[p] == 256 {
+			bigTotal += w.Probes(p)
+			bigN++
+		} else {
+			smallTotal += w.Probes(p)
+			smallN++
+		}
+	}
+	bigMean := float64(bigTotal) / float64(bigN)
+	smallMean := float64(smallTotal) / float64(smallN)
+	if bigMean < 2*smallMean {
+		t.Fatalf("big-capacity mean %.1f not ≫ small-capacity mean %.1f", bigMean, smallMean)
+	}
+}
+
+func TestClusterCapacityMeetsNeed(t *testing.T) {
+	const n, d = 512, 32
+	rng := xrand.New(9)
+	in := prefgen.DiameterClusters(rng.Split(1), n, n, 64, d)
+	w := world.New(in.Truth)
+	pr := Scaled(n, Uniform(n, 64))
+	pr.MinD, pr.MaxD = d, d
+	res := Run(w, rng.Split(2), pr)
+	for j, c := range res.ClusterCapacity {
+		if c <= 0 {
+			t.Fatalf("cluster %d capacity %d", j, c)
+		}
+	}
+}
+
+func TestPanicsOnBadCapacity(t *testing.T) {
+	rng := xrand.New(11)
+	in := prefgen.Uniform(rng.Split(1), 16, 16)
+	w := world.New(in.Truth)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for short capacity vector")
+		}
+	}()
+	Run(w, rng.Split(2), Scaled(16, Uniform(8, 4)))
+}
+
+func TestWeightedPick(t *testing.T) {
+	rng := xrand.New(13)
+	// weights 1, 3 → cumulative [1, 4]; index 1 should win ~75%.
+	counts := [2]int{}
+	for i := 0; i < 10000; i++ {
+		counts[weightedPick(rng, []int{1, 4}, 4)]++
+	}
+	frac := float64(counts[1]) / 10000
+	if frac < 0.70 || frac > 0.80 {
+		t.Fatalf("weighted pick fraction %.3f, want ≈0.75", frac)
+	}
+}
+
+func TestTwoTierGenerator(t *testing.T) {
+	caps := TwoTier(xrand.New(15), 1000, 8, 64, 0.3)
+	big := 0
+	for _, c := range caps {
+		switch c {
+		case 8:
+		case 64:
+			big++
+		default:
+			t.Fatalf("unexpected capacity %d", c)
+		}
+	}
+	if big < 220 || big > 380 {
+		t.Fatalf("big fraction %d/1000, want ≈300", big)
+	}
+}

@@ -1,0 +1,169 @@
+// Package cluster implements step 3 of CalculatePreferences (§6.5): build a
+// neighbor graph over players from their estimated preferences on the
+// sample set, then peel off clusters of size at least n/B.
+//
+// Two players share an edge iff their sample-set vectors differ in at most
+// the edge threshold (paper: 220·ln n). Lemma 8 shows edges connect only
+// players whose true distance is ≤ 84·D, and every player has degree
+// ≥ n/B − 1 when the diameter guess D is correct; Lemma 9 shows the peeled
+// clusters have size ≥ n/B and diameter O(D).
+package cluster
+
+import (
+	"collabscore/internal/bitvec"
+	"collabscore/internal/par"
+)
+
+// Clustering is the output of Build: a partition of (most) players into
+// clusters, plus per-player membership. Players with no graph neighbors at
+// all remain unassigned (Of[p] == -1); under a correct diameter guess this
+// does not happen (Lemma 8), and under wrong guesses the caller's final
+// RSelect discards the affected candidate vectors.
+type Clustering struct {
+	// Clusters lists player ids per cluster.
+	Clusters [][]int
+	// Of maps player id → cluster index, or -1 if unassigned.
+	Of []int
+}
+
+// Graph is the neighbor graph: adjacency encoded as one bit vector of
+// players per player, enabling word-parallel degree counting.
+type Graph struct {
+	n   int
+	adj []bitvec.Vector
+}
+
+// BuildGraph constructs the neighbor graph from sample-set vectors: players
+// p and q are adjacent iff |z(p) − z(q)| ≤ threshold. z must contain a
+// vector of a common length for every player id in [0,n).
+func BuildGraph(z []bitvec.Vector, threshold int) *Graph {
+	n := len(z)
+	g := &Graph{n: n, adj: make([]bitvec.Vector, n)}
+	par.For(n, func(p int) {
+		row := bitvec.New(n)
+		for q := 0; q < n; q++ {
+			if q == p {
+				continue
+			}
+			if z[p].Hamming(z[q]) <= threshold {
+				row.Set(q, true)
+			}
+		}
+		g.adj[p] = row
+	})
+	return g
+}
+
+// N returns the number of players in the graph.
+func (g *Graph) N() int { return g.n }
+
+// Degree returns the degree of player p.
+func (g *Graph) Degree(p int) int { return g.adj[p].Count() }
+
+// Adjacent reports whether p and q share an edge.
+func (g *Graph) Adjacent(p, q int) bool { return g.adj[p].Get(q) }
+
+// Neighbors returns the neighbor ids of player p.
+func (g *Graph) Neighbors(p int) []int { return g.adj[p].OnesIndices() }
+
+// Build peels clusters from the graph per §6.5: repeatedly pick a player
+// with at least minSize−1 surviving neighbors, make a cluster of it and its
+// surviving neighbors, and remove them; then attach each leftover player to
+// a cluster containing one of its original neighbors.
+func Build(g *Graph, minSize int) *Clustering {
+	if minSize < 1 {
+		minSize = 1
+	}
+	n := g.n
+	alive := bitvec.New(n)
+	for p := 0; p < n; p++ {
+		alive.Set(p, true)
+	}
+	of := make([]int, n)
+	for p := range of {
+		of[p] = -1
+	}
+	var clusters [][]int
+
+	// Peeling phase. Scanning players in id order is deterministic; the
+	// paper allows any choice.
+	for {
+		found := -1
+		for p := 0; p < n; p++ {
+			if !alive.Get(p) {
+				continue
+			}
+			if g.adj[p].And(alive).Count() >= minSize-1 {
+				found = p
+				break
+			}
+		}
+		if found < 0 {
+			break
+		}
+		members := append([]int{found}, g.adj[found].And(alive).OnesIndices()...)
+		j := len(clusters)
+		for _, q := range members {
+			alive.Set(q, false)
+			of[q] = j
+		}
+		clusters = append(clusters, members)
+	}
+
+	// Attachment phase: leftover players join a cluster containing one of
+	// their original neighbors (V'_j in the paper).
+	for p := 0; p < n; p++ {
+		if !alive.Get(p) {
+			continue
+		}
+		for _, q := range g.Neighbors(p) {
+			if of[q] >= 0 {
+				of[p] = of[q]
+				clusters[of[q]] = append(clusters[of[q]], p)
+				alive.Set(p, false)
+				break
+			}
+		}
+	}
+	return &Clustering{Clusters: clusters, Of: of}
+}
+
+// Diameter computes the exact maximum pairwise Hamming distance of the
+// given players' vectors. Measurement/testing helper.
+func Diameter(vecs []bitvec.Vector, members []int) int {
+	mx := 0
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			if d := vecs[members[i]].Hamming(vecs[members[j]]); d > mx {
+				mx = d
+			}
+		}
+	}
+	return mx
+}
+
+// MinClusterSize returns the size of the smallest cluster, or 0 if there
+// are none.
+func (c *Clustering) MinClusterSize() int {
+	if len(c.Clusters) == 0 {
+		return 0
+	}
+	mn := len(c.Clusters[0])
+	for _, cl := range c.Clusters[1:] {
+		if len(cl) < mn {
+			mn = len(cl)
+		}
+	}
+	return mn
+}
+
+// Unassigned returns the ids of players not placed in any cluster.
+func (c *Clustering) Unassigned() []int {
+	var out []int
+	for p, j := range c.Of {
+		if j < 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}

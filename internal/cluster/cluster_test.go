@@ -1,0 +1,226 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"collabscore/internal/bitvec"
+	"collabscore/internal/prefgen"
+	"collabscore/internal/xrand"
+)
+
+// TestBuildGraphEdges: edges exactly at the threshold boundary.
+func TestBuildGraphEdges(t *testing.T) {
+	z := []bitvec.Vector{
+		bitvec.FromBits([]int{0, 0, 0, 0}),
+		bitvec.FromBits([]int{1, 0, 0, 0}), // distance 1 from z0
+		bitvec.FromBits([]int{1, 1, 1, 0}), // distance 3 from z0
+		bitvec.FromBits([]int{1, 1, 1, 1}), // distance 4 from z0
+	}
+	g := BuildGraph(z, 2)
+	if !g.Adjacent(0, 1) {
+		t.Fatal("distance-1 pair not adjacent at threshold 2")
+	}
+	if g.Adjacent(0, 2) {
+		t.Fatal("distance-3 pair adjacent at threshold 2")
+	}
+	if g.Adjacent(0, 0) {
+		t.Fatal("self loop")
+	}
+	if !g.Adjacent(2, 3) { // distance 1
+		t.Fatal("close pair not adjacent")
+	}
+	if g.N() != 4 {
+		t.Fatalf("N = %d", g.N())
+	}
+}
+
+func TestGraphSymmetry(t *testing.T) {
+	rng := xrand.New(1)
+	in := prefgen.Uniform(rng, 40, 64)
+	g := BuildGraph(in.Truth, 30)
+	for p := 0; p < 40; p++ {
+		for q := 0; q < 40; q++ {
+			if g.Adjacent(p, q) != g.Adjacent(q, p) {
+				t.Fatalf("asymmetric edge (%d,%d)", p, q)
+			}
+		}
+	}
+}
+
+func TestDegreeAndNeighbors(t *testing.T) {
+	z := []bitvec.Vector{
+		bitvec.FromBits([]int{0, 0}),
+		bitvec.FromBits([]int{0, 0}),
+		bitvec.FromBits([]int{1, 1}),
+	}
+	g := BuildGraph(z, 0)
+	if g.Degree(0) != 1 {
+		t.Fatalf("Degree(0) = %d, want 1", g.Degree(0))
+	}
+	nb := g.Neighbors(0)
+	if len(nb) != 1 || nb[0] != 1 {
+		t.Fatalf("Neighbors(0) = %v", nb)
+	}
+	if g.Degree(2) != 0 {
+		t.Fatalf("Degree(2) = %d", g.Degree(2))
+	}
+}
+
+// TestBuildPlantedClusters: planted well-separated clusters are recovered
+// as clusters of exactly the planted membership.
+func TestBuildPlantedClusters(t *testing.T) {
+	const n, m, size, d = 120, 400, 30, 4
+	rng := xrand.New(2)
+	in := prefgen.DiameterClusters(rng, n, m, size, d)
+	g := BuildGraph(in.Truth, 2*d) // within-cluster ≤ d, cross ≈ m/2
+	cl := Build(g, size)
+	if len(cl.Clusters) != n/size {
+		t.Fatalf("found %d clusters, want %d", len(cl.Clusters), n/size)
+	}
+	if len(cl.Unassigned()) != 0 {
+		t.Fatalf("%d unassigned players", len(cl.Unassigned()))
+	}
+	// Each output cluster must be exactly one planted cluster.
+	for j, members := range cl.Clusters {
+		planted := in.ClusterOf[members[0]]
+		for _, p := range members {
+			if in.ClusterOf[p] != planted {
+				t.Fatalf("cluster %d mixes planted clusters", j)
+			}
+		}
+		if len(members) != size {
+			t.Fatalf("cluster %d size %d, want %d", j, len(members), size)
+		}
+	}
+}
+
+// TestClusterInvariants is Lemma 9: every player in at most one cluster;
+// clusters at least minSize; partition covers everyone with enough degree.
+func TestClusterInvariants(t *testing.T) {
+	const n, m = 100, 200
+	rng := xrand.New(3)
+	in := prefgen.DiameterClusters(rng, n, m, 25, 6)
+	g := BuildGraph(in.Truth, 12)
+	cl := Build(g, 25)
+	seen := map[int]int{}
+	for j, members := range cl.Clusters {
+		if len(members) < 25 {
+			t.Fatalf("cluster %d size %d < 25", j, len(members))
+		}
+		for _, p := range members {
+			if prev, dup := seen[p]; dup {
+				t.Fatalf("player %d in clusters %d and %d", p, prev, j)
+			}
+			seen[p] = j
+			if cl.Of[p] != j {
+				t.Fatalf("Of[%d] = %d, want %d", p, cl.Of[p], j)
+			}
+		}
+	}
+	for _, p := range cl.Unassigned() {
+		if _, dup := seen[p]; dup {
+			t.Fatal("unassigned player also in a cluster")
+		}
+	}
+}
+
+// TestLeftoverAttachment: a player below the degree threshold whose
+// neighbors were peeled must be attached to a neighbor's cluster.
+func TestLeftoverAttachment(t *testing.T) {
+	// 5 identical players + 1 at distance 1 from them (threshold 1).
+	z := []bitvec.Vector{
+		bitvec.FromBits([]int{0, 0, 0}),
+		bitvec.FromBits([]int{0, 0, 0}),
+		bitvec.FromBits([]int{0, 0, 0}),
+		bitvec.FromBits([]int{0, 0, 0}),
+		bitvec.FromBits([]int{0, 0, 0}),
+		bitvec.FromBits([]int{1, 0, 0}),
+	}
+	g := BuildGraph(z, 1)
+	// minSize 5: peeling grabs the 5+1 at once actually (all within
+	// threshold). Use minSize 6: first peel takes everyone adjacent to a
+	// degree-5 player.
+	cl := Build(g, 6)
+	if len(cl.Unassigned()) != 0 {
+		t.Fatalf("unassigned: %v", cl.Unassigned())
+	}
+}
+
+func TestNoClustersWhenSparse(t *testing.T) {
+	// All-far players: no edges, minSize 2 → no clusters, all unassigned.
+	rng := xrand.New(4)
+	in := prefgen.Uniform(rng, 20, 512)
+	g := BuildGraph(in.Truth, 10)
+	cl := Build(g, 2)
+	if len(cl.Clusters) != 0 {
+		t.Fatalf("sparse graph produced %d clusters", len(cl.Clusters))
+	}
+	if len(cl.Unassigned()) != 20 {
+		t.Fatalf("unassigned = %d, want 20", len(cl.Unassigned()))
+	}
+}
+
+func TestMinClusterSizeHelper(t *testing.T) {
+	c := &Clustering{Clusters: [][]int{{1, 2, 3}, {4, 5}}}
+	if c.MinClusterSize() != 2 {
+		t.Fatalf("MinClusterSize = %d", c.MinClusterSize())
+	}
+	empty := &Clustering{}
+	if empty.MinClusterSize() != 0 {
+		t.Fatal("empty clustering min size should be 0")
+	}
+}
+
+func TestDiameterHelper(t *testing.T) {
+	vecs := []bitvec.Vector{
+		bitvec.FromBits([]int{0, 0, 0}),
+		bitvec.FromBits([]int{1, 1, 0}),
+		bitvec.FromBits([]int{1, 1, 1}),
+	}
+	if d := Diameter(vecs, []int{0, 1, 2}); d != 3 {
+		t.Fatalf("Diameter = %d, want 3", d)
+	}
+	if d := Diameter(vecs, []int{0}); d != 0 {
+		t.Fatalf("singleton Diameter = %d", d)
+	}
+}
+
+// TestEdgeImpliesBoundedDistance is the property behind Lemma 8(ii): any
+// edge in the graph connects players whose vectors are within threshold.
+func TestEdgeImpliesBoundedDistance(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 10 + rng.Intn(30)
+		in := prefgen.Uniform(rng, n, 64)
+		threshold := rng.Intn(40)
+		g := BuildGraph(in.Truth, threshold)
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				d := in.Truth[p].Hamming(in.Truth[q])
+				if g.Adjacent(p, q) != (d <= threshold) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPeeledClusterDiameterBounded: members of any produced cluster are
+// within 4 graph hops, hence within 4·threshold in vector distance.
+func TestPeeledClusterDiameterBounded(t *testing.T) {
+	const threshold = 8
+	rng := xrand.New(5)
+	in := prefgen.DiameterClusters(rng, 90, 300, 30, threshold)
+	g := BuildGraph(in.Truth, threshold)
+	cl := Build(g, 10)
+	for j, members := range cl.Clusters {
+		if d := Diameter(in.Truth, members); d > 4*threshold {
+			t.Fatalf("cluster %d diameter %d > %d", j, d, 4*threshold)
+		}
+	}
+}

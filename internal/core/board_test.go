@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"collabscore/internal/prefgen"
+	"collabscore/internal/world"
+	"collabscore/internal/xrand"
+)
+
+// TestBoardTrafficRecorded: the work-sharing phase routes reports through
+// the bulletin board, so a run with clusters must record writes and reads.
+func TestBoardTrafficRecorded(t *testing.T) {
+	const n, b, d = 512, 8, 32
+	rng := xrand.New(31)
+	in := prefgen.DiameterClusters(rng.Split(1), n, n, n/b, d)
+	w := world.New(in.Truth)
+	pr := Scaled(n, b)
+	pr.MinD, pr.MaxD = d, d
+	res := Run(w, rng.Split(2), pr)
+	if res.BoardWrites == 0 {
+		t.Fatal("no board writes recorded")
+	}
+	if res.BoardReads == 0 {
+		t.Fatal("no board reads recorded")
+	}
+	// Writes are bounded by redundancy · m · #clusters (≤ B+2 clusters).
+	red := int64(pr.Redundancy(n))
+	if res.BoardWrites > red*int64(n)*int64(b+2) {
+		t.Fatalf("board writes %d exceed redundancy bound", res.BoardWrites)
+	}
+	// Per-iteration stats must sum to the totals.
+	var sumW, sumR int64
+	for _, it := range res.Iterations {
+		sumW += it.BoardWrites
+		sumR += it.BoardReads
+	}
+	if sumW != res.BoardWrites || sumR != res.BoardReads {
+		t.Fatalf("iteration sums (%d,%d) != totals (%d,%d)", sumW, sumR, res.BoardWrites, res.BoardReads)
+	}
+}
+
+// TestFullSRIterationHasNoBoardTraffic: the small-D easy case bypasses the
+// work-sharing phase entirely.
+func TestFullSRIterationHasNoBoardTraffic(t *testing.T) {
+	const n, b = 256, 8
+	rng := xrand.New(33)
+	in := prefgen.IdenticalClusters(rng.Split(1), n, n, n/b)
+	w := world.New(in.Truth)
+	pr := Scaled(n, b)
+	pr.MinD, pr.MaxD = 1, 1 // forced into the full-SR path
+	res := Run(w, rng.Split(2), pr)
+	if !res.Iterations[0].UsedFullSR {
+		t.Fatal("expected the full-SR path")
+	}
+	if res.BoardWrites != 0 {
+		t.Fatalf("full-SR path recorded %d board writes", res.BoardWrites)
+	}
+}
+
+// TestDedup covers the prober-deduplication helper.
+func TestDedup(t *testing.T) {
+	got := dedup([]int{3, 1, 3, 2, 1, 3})
+	want := []int{3, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("dedup = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dedup = %v, want %v", got, want)
+		}
+	}
+	if out := dedup(nil); len(out) != 0 {
+		t.Fatal("dedup(nil) not empty")
+	}
+}

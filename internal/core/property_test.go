@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"collabscore/internal/adversary"
+	"collabscore/internal/metrics"
+	"collabscore/internal/prefgen"
+	"collabscore/internal/world"
+	"collabscore/internal/xrand"
+)
+
+// TestPropertyHonestErrorBounded: across random small planted instances
+// (random seed, random budget, random diameter), the single-guess honest
+// protocol error never exceeds 2× the planted diameter.
+func TestPropertyHonestErrorBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test")
+	}
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 256
+		bChoices := []int{4, 8}
+		b := bChoices[rng.Intn(len(bChoices))]
+		// Diameters must stay within the separable regime (≈ m/10 at the
+		// scaled constants); see Params.SeparableDiameter.
+		dChoices := []int{8, 16}
+		d := dChoices[rng.Intn(len(dChoices))]
+		if d > Scaled(n, b).SeparableDiameter(n)*3/4 {
+			return true // outside the guaranteed regime; skip
+		}
+		in := prefgen.DiameterClusters(rng.Split(1), n, n, n/b, d)
+		w := world.New(in.Truth)
+		pr := Scaled(n, b)
+		pr.MinD, pr.MaxD = d, d
+		res := Run(w, rng.Split(2), pr)
+		return metrics.Error(w, res.Output).Max <= 2*d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyByzantineNeverWorseThanGarbage: regardless of corruption
+// level (even past tolerance) and strategy, honest outputs are produced for
+// every player and error never exceeds m (sanity envelope), and below
+// tolerance it stays within 2D.
+func TestPropertyByzantineEnvelope(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test")
+	}
+	f := func(seed uint64, corruptFrac uint8) bool {
+		rng := xrand.New(seed)
+		const n, b, d = 256, 8, 16
+		in := prefgen.DiameterClusters(rng.Split(1), n, n, n/b, d)
+		w := world.New(in.Truth)
+		pr := Scaled(n, b)
+		pr.MinD, pr.MaxD = d, d
+		tol := pr.MaxDishonest(n)
+		f := int(corruptFrac) % (2 * tol)
+		adversary.Corrupt(w, f, rng.Split(3).Perm(n), func(p int) world.Behavior {
+			return adversary.RandomLiar{Seed: seed}
+		})
+		res := RunByzantine(w, rng.Split(2), nil, pr)
+		es := metrics.Error(w, res.Output)
+		if len(res.Output) != n || es.Max > n {
+			return false
+		}
+		if f <= tol && res.HonestLeaders > 0 && es.Max > 2*d {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyProbesNeverExceedObjects: probe memoization caps any player's
+// probe count at m, whatever the protocol does.
+func TestPropertyProbesCapped(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		const n, b = 128, 4
+		in := prefgen.DiameterClusters(rng.Split(1), n, n, n/b, 8)
+		w := world.New(in.Truth)
+		pr := Scaled(n, b)
+		Run(w, rng.Split(2), pr)
+		for p := 0; p < n; p++ {
+			if w.Probes(p) > int64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"time"
+
+	"collabscore/internal/bitvec"
+	"collabscore/internal/board"
+	"collabscore/internal/cluster"
+	"collabscore/internal/election"
+	"collabscore/internal/par"
+	"collabscore/internal/selection"
+	"collabscore/internal/smallradius"
+	"collabscore/internal/world"
+	"collabscore/internal/xrand"
+)
+
+// IterationStats records what one diameter guess of the protocol did, for
+// experiment instrumentation.
+type IterationStats struct {
+	D           int // diameter guess
+	SampleSize  int // |S|
+	NumClusters int
+	MinCluster  int
+	Unassigned  int  // players not placed in any cluster
+	UsedFullSR  bool // true when the small-D easy case ran
+	// BoardWrites/BoardReads are the bulletin-board traffic of this
+	// iteration's work-sharing phase.
+	BoardWrites int64
+	BoardReads  int64
+	// Phase wall-clock durations, for profiling protocol runs.
+	SampleTime    time.Duration
+	SRTime        time.Duration
+	ClusterTime   time.Duration
+	WorkshareTime time.Duration
+}
+
+// Result is the output of one protocol run.
+type Result struct {
+	// Output[p] is the predicted preference vector for player p (length m).
+	// Entries for dishonest players are meaningless.
+	Output []bitvec.Vector
+	// Iterations holds per-diameter-guess statistics (honest run) or the
+	// statistics of the last Byzantine repetition.
+	Iterations []IterationStats
+	// HonestLeaders counts Byzantine repetitions that elected an honest
+	// leader (Byzantine runs only).
+	HonestLeaders int
+	// Repetitions is the number of Byzantine repetitions executed.
+	Repetitions int
+	// BoardWrites and BoardReads account the bulletin-board communication
+	// of the work-sharing phases (§8 raises communication cost as an open
+	// question; we measure it).
+	BoardWrites int64
+	BoardReads  int64
+}
+
+// Run executes CalculatePreferences assuming unbiased shared randomness
+// (the honest-randomness setting of §6; dishonest players may still lie
+// about preferences). Use RunByzantine for the full §7 protocol with
+// leader election.
+func Run(w *world.World, shared *xrand.Stream, pr Params) *Result {
+	res := &Result{}
+	candidates := runDoublingLoop(w, shared, pr, res)
+	res.Output = finalSelect(w, shared, candidates, pr)
+	return res
+}
+
+// runDoublingLoop executes the diameter-doubling loop of Figure 2 and
+// returns, for each player, the list of candidate vectors (one per guess).
+func runDoublingLoop(w *world.World, shared *xrand.Stream, pr Params, res *Result) [][]bitvec.Vector {
+	n, m := w.N(), w.M()
+	guesses := pr.DiameterGuesses(n)
+	candidates := make([][]bitvec.Vector, n)
+	allObjs := identity(m)
+
+	for gi, d := range guesses {
+		iterRng := shared.Split(uint64(gi), uint64(d))
+		cand, stats := runIteration(w, allObjs, d, iterRng, pr)
+		res.Iterations = append(res.Iterations, stats)
+		res.BoardWrites += stats.BoardWrites
+		res.BoardReads += stats.BoardReads
+		for p := 0; p < n; p++ {
+			candidates[p] = append(candidates[p], cand[p])
+		}
+	}
+	return candidates
+}
+
+// runIteration executes one diameter guess: sample, SmallRadius, cluster,
+// work-share (Figure 2 steps 1.b–1.e). It returns one candidate vector per
+// player over all m objects.
+func runIteration(w *world.World, allObjs []int, d int, shared *xrand.Stream, pr Params) ([]bitvec.Vector, IterationStats) {
+	n, m := w.N(), w.M()
+	stats := IterationStats{D: d}
+	w.Pub.TargetDiameter = d
+
+	// Easy case (§6.1): small diameter guesses run SmallRadius directly on
+	// the full object set.
+	if float64(d) < pr.SmallDThreshold*lnN(n) {
+		stats.UsedFullSR = true
+		w.Pub.Phase = "smallradius-full"
+		z := smallradius.Run(w, allObjs, d, pr.B, shared.Split(0xF0), pr.SR)
+		out := make([]bitvec.Vector, n)
+		for p := 0; p < n; p++ {
+			out[p] = z[p]
+		}
+		return out, stats
+	}
+
+	// Step 1.b: shared random sample set S.
+	w.Pub.Phase = "sample"
+	start := time.Now()
+	sample := shared.Split(0x5A).BernoulliSubset(m, pr.SampleProb(n, d))
+	if len(sample) == 0 {
+		sample = []int{0}
+	}
+	w.Pub.SetSample(sample)
+	stats.SampleSize = len(sample)
+	stats.SampleTime = time.Since(start)
+
+	// Step 1.c: SmallRadius on the sample.
+	w.Pub.Phase = "smallradius"
+	start = time.Now()
+	zMap := smallradius.Run(w, sample, pr.SampleDiameter(n), pr.B, shared.Split(0x5B), pr.SR)
+	z := make([]bitvec.Vector, n)
+	for p := 0; p < n; p++ {
+		z[p] = zMap[p]
+	}
+	stats.SRTime = time.Since(start)
+
+	// Step 1.d: neighbor graph and clusters.
+	start = time.Now()
+	g := cluster.BuildGraph(z, pr.EdgeThreshold(n))
+	cl := cluster.Build(g, pr.MinClusterSize(n))
+	w.Pub.Clusters = cl.Clusters
+	stats.NumClusters = len(cl.Clusters)
+	stats.MinCluster = cl.MinClusterSize()
+	stats.Unassigned = len(cl.Unassigned())
+	stats.ClusterTime = time.Since(start)
+
+	// Step 1.e: share the probing work within each cluster. Reports travel
+	// through the bulletin board: probers publish to their own lanes and
+	// every cluster member tallies the published votes.
+	w.Pub.Phase = "workshare"
+	start = time.Now()
+	bd := board.New(n, m)
+	out := workShare(w, bd, cl, shared.Split(0x5C), pr)
+	stats.WorkshareTime = time.Since(start)
+	stats.BoardWrites = bd.WriteCount()
+	stats.BoardReads = bd.ReadCount()
+	w.Pub.SetSample(nil)
+	w.Pub.Clusters = nil
+	return out, stats
+}
+
+// workShare assigns, for every cluster and every object, Redundancy
+// randomly chosen cluster members to probe the object; the probers publish
+// their reports on the bulletin board, and each member of the cluster
+// adopts the majority of the published votes (Figure 2 step 1.e). Players
+// in no cluster receive zero vectors, which the final RSelect discards.
+func workShare(w *world.World, bd *board.Board, cl *cluster.Clustering, shared *xrand.Stream, pr Params) []bitvec.Vector {
+	n, m := w.N(), w.M()
+	red := pr.Redundancy(n)
+	out := make([]bitvec.Vector, n)
+	for p := range out {
+		out[p] = bitvec.New(m) // default for unassigned players
+	}
+	for j, members := range cl.Clusters {
+		clusterRng := shared.Split(uint64(j))
+		// Parallel over objects: each object independently picks its
+		// probers with shared coins split per object. Majority bits are
+		// collected per object and folded sequentially (bitvec.Set on
+		// neighboring bits is not atomic).
+		bits := par.Map(m, func(o int) bool {
+			rng := clusterRng.Split(uint64(o))
+			probers := make([]int, 0, red)
+			for i := 0; i < red; i++ {
+				probers = append(probers, members[rng.Intn(len(members))])
+			}
+			// Publish phase: each assigned prober writes its report to its
+			// own board lane (a dishonest prober cannot touch other lanes).
+			for _, q := range probers {
+				bd.Write(q, o, w.Report(q, o))
+			}
+			// Tally phase: read the published votes back off the board.
+			// Duplicate assignments collapse to one published vote per
+			// (player, object) cell, matching the board's semantics.
+			ones, zeros := bd.Votes(o, dedup(probers))
+			return ones > zeros
+		})
+		maj := bitvec.New(m)
+		for o, b := range bits {
+			if b {
+				maj.Set(o, true)
+			}
+		}
+		for _, p := range members {
+			out[p] = maj.Clone()
+		}
+	}
+	return out
+}
+
+// finalSelect runs RSelect per honest player over its candidate vectors
+// (Figure 2 step 2).
+func finalSelect(w *world.World, shared *xrand.Stream, candidates [][]bitvec.Vector, pr Params) []bitvec.Vector {
+	n, m := w.N(), w.M()
+	allObjs := identity(m)
+	out := make([]bitvec.Vector, n)
+	par.For(n, func(p int) {
+		if !w.IsHonest(p) {
+			out[p] = bitvec.New(m)
+			return
+		}
+		cands := candidates[p]
+		if len(cands) == 0 {
+			out[p] = bitvec.New(m)
+			return
+		}
+		rng := shared.Split(0xFE11, uint64(p))
+		idx := selection.RSelect(w, p, allObjs, cands, rng, pr.Sel)
+		out[p] = cands[idx]
+	})
+	return out
+}
+
+// RunTrivial implements the B = Ω(n/log n) easy case: every player probes
+// every object (§6.1).
+func RunTrivial(w *world.World) *Result {
+	n, m := w.N(), w.M()
+	out := make([]bitvec.Vector, n)
+	par.For(n, func(p int) {
+		v := bitvec.New(m)
+		if w.IsHonest(p) {
+			for o := 0; o < m; o++ {
+				if w.Probe(p, o) {
+					v.Set(o, true)
+				}
+			}
+		}
+		out[p] = v
+	})
+	return &Result{Output: out}
+}
+
+// RunByzantine executes the full §7 protocol: ByzIterations repetitions,
+// each electing a leader with Feige's protocol and running the complete
+// doubling loop with the leader's coins, followed by a final RSelect over
+// the per-repetition outputs. When a dishonest leader is elected, the
+// shared coins of that repetition are adversarial; we model the worst case
+// by letting the adversary replace the repetition's candidate vectors with
+// the complement of each player's truth — strictly worse than anything a
+// biased seed could produce (see DESIGN.md).
+//
+// binStrategy drives dishonest players' election behavior (nil: greedy
+// lightest-bin rushing).
+func RunByzantine(w *world.World, trueRng *xrand.Stream, binStrategy election.BinStrategy, pr Params) *Result {
+	n := w.N()
+	res := &Result{}
+	k := pr.ByzIterations
+	if k < 1 {
+		k = 1
+	}
+	res.Repetitions = k
+	candidates := make([][]bitvec.Vector, n)
+
+	for it := 0; it < k; it++ {
+		el := election.Run(w, trueRng.Split(0xE1EC, uint64(it)), binStrategy, pr.Election)
+		if w.IsHonest(el.Leader) {
+			res.HonestLeaders++
+			// Honest leader: shared coins are unbiased.
+			shared := trueRng.Split(0x5EED, uint64(it))
+			sub := &Result{}
+			cands := runDoublingLoop(w, shared, pr, sub)
+			outputs := finalSelect(w, shared, cands, pr)
+			for p := 0; p < n; p++ {
+				candidates[p] = append(candidates[p], outputs[p])
+			}
+			res.Iterations = sub.Iterations
+			res.BoardWrites += sub.BoardWrites
+			res.BoardReads += sub.BoardReads
+		} else {
+			// Dishonest leader: adversarial coins. Worst-case model — the
+			// repetition's output is maximally wrong for every player.
+			for p := 0; p < n; p++ {
+				candidates[p] = append(candidates[p], w.TruthVector(p).Not())
+			}
+		}
+	}
+	// If every leader was dishonest (probability vanishing in k at the
+	// tolerated corruption level) all candidates are adversarial and the
+	// final selection cannot help; res.HonestLeaders exposes this to
+	// experiments.
+	res.Output = finalSelect(w, trueRng.Split(0xF17A1), candidates, pr)
+	return res
+}
+
+// identity returns [0, 1, …, m-1].
+func identity(m int) []int {
+	out := make([]int, m)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// dedup returns the distinct values of xs, preserving first-seen order.
+func dedup(xs []int) []int {
+	seen := make(map[int]struct{}, len(xs))
+	out := xs[:0:0]
+	for _, x := range xs {
+		if _, dup := seen[x]; dup {
+			continue
+		}
+		seen[x] = struct{}{}
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+// Package election implements the Byzantine-tolerant leader election used
+// in §7.1 to generate shared randomness: Feige's lightest-bin protocol [10]
+// over the bulletin board.
+//
+// In each round, every surviving player announces a bin; the occupants of
+// the lightest bin survive to the next round, everyone else is eliminated.
+// Honest players choose bins uniformly at random. Dishonest players are
+// "rushing": they see every honest announcement before choosing (the
+// strongest full-information adversary). The key property (Feige [10]) is
+// that dishonest players cannot disproportionately crowd into the lightest
+// bin — if they do, it stops being lightest — so the surviving set keeps
+// roughly the original honest fraction and an honest leader is elected with
+// constant probability (Ω(δ^1.65) for honest fraction (1+δ)/2).
+package election
+
+import (
+	"math"
+
+	"collabscore/internal/xrand"
+)
+
+// Roster is the view of the player population the election needs: how many
+// players there are and which follow the protocol. Both the binary world
+// (world.World) and the rating-scale world (multival.World) satisfy it.
+type Roster interface {
+	N() int
+	IsHonest(p int) bool
+}
+
+// BinStrategy decides, for a rushing dishonest player, which bin to join
+// given the current honest tallies. Implementations see everything.
+type BinStrategy interface {
+	// ChooseBin returns the bin for dishonest player p. tallies holds the
+	// current occupancy of each bin (honest players plus dishonest players
+	// that have already chosen this round).
+	ChooseBin(p, round int, tallies []int) int
+}
+
+// GreedyLightest is the canonical rushing attack: each dishonest player
+// joins the currently lightest bin, maximizing its own survival chance.
+type GreedyLightest struct{}
+
+// ChooseBin returns the index of the lightest bin (ties to the lowest id).
+func (GreedyLightest) ChooseBin(_, _ int, tallies []int) int {
+	best, bestLoad := 0, math.MaxInt
+	for b, t := range tallies {
+		if t < bestLoad {
+			best, bestLoad = b, t
+		}
+	}
+	return best
+}
+
+// Spread makes dishonest players spread uniformly (the honest strategy),
+// a null attack useful as a control.
+type Spread struct{ Seed uint64 }
+
+// ChooseBin returns a deterministic pseudo-random bin.
+func (s Spread) ChooseBin(p, round int, tallies []int) int {
+	x := s.Seed ^ uint64(p)<<20 ^ uint64(round)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int(x % uint64(len(tallies)))
+}
+
+// Params configures the tournament shape.
+type Params struct {
+	// LoadFactor sets the target expected bin load: each round uses
+	// max(2, ⌈|R|/LoadFactor⌉) bins. Loads of Θ(log n) give the
+	// concentration Feige's analysis needs.
+	LoadFactor int
+}
+
+// Defaults returns a load factor of 8.
+func Defaults() Params { return Params{LoadFactor: 8} }
+
+// Result reports the elected leader and per-round survivor counts.
+type Result struct {
+	Leader   int
+	Rounds   int
+	Survived [][]int // survivors after each round
+}
+
+// Run elects a leader among all players of w. rng supplies the honest
+// players' private coins (split per player and round). strategy drives the
+// dishonest players; nil defaults to GreedyLightest.
+func Run(w Roster, rng *xrand.Stream, strategy BinStrategy, pr Params) Result {
+	if strategy == nil {
+		strategy = GreedyLightest{}
+	}
+	if pr.LoadFactor < 2 {
+		pr.LoadFactor = 2
+	}
+	alive := make([]int, w.N())
+	for i := range alive {
+		alive[i] = i
+	}
+	res := Result{}
+	for round := 0; len(alive) > 1; round++ {
+		numBins := (len(alive) + pr.LoadFactor - 1) / pr.LoadFactor
+		if numBins < 2 {
+			numBins = 2
+		}
+		tallies := make([]int, numBins)
+		choice := make(map[int]int, len(alive))
+
+		// Honest players announce first (uniform private coins)...
+		for _, p := range alive {
+			if !w.IsHonest(p) {
+				continue
+			}
+			b := rng.Split(uint64(round), uint64(p)).Intn(numBins)
+			choice[p] = b
+			tallies[b]++
+		}
+		// ...then the rushing dishonest players, one by one.
+		for _, p := range alive {
+			if w.IsHonest(p) {
+				continue
+			}
+			b := strategy.ChooseBin(p, round, tallies)
+			if b < 0 || b >= numBins {
+				b = 0
+			}
+			choice[p] = b
+			tallies[b]++
+		}
+
+		// The lightest non-empty bin survives (ties to the lowest index).
+		lightest, load := -1, math.MaxInt
+		for b, t := range tallies {
+			if t > 0 && t < load {
+				lightest, load = b, t
+			}
+		}
+		var next []int
+		for _, p := range alive {
+			if choice[p] == lightest {
+				next = append(next, p)
+			}
+		}
+		if len(next) == len(alive) {
+			// Degenerate round (everyone in one bin): split by parity of a
+			// fresh coin to guarantee progress.
+			var forced []int
+			for _, p := range alive {
+				if rng.Split(uint64(round), 0xDEAD, uint64(p)).Bool() {
+					forced = append(forced, p)
+				}
+			}
+			if len(forced) > 0 && len(forced) < len(alive) {
+				next = forced
+			} else {
+				next = alive[:1]
+			}
+		}
+		alive = next
+		res.Rounds++
+		cp := make([]int, len(alive))
+		copy(cp, alive)
+		res.Survived = append(res.Survived, cp)
+	}
+	res.Leader = alive[0]
+	return res
+}
+
+// HonestLeaderRate runs the election k times with independent coins and
+// returns the fraction of runs electing an honest leader. Measurement
+// helper for experiment E11.
+func HonestLeaderRate(w Roster, baseRng *xrand.Stream, strategy BinStrategy, pr Params, k int) float64 {
+	honest := 0
+	for i := 0; i < k; i++ {
+		r := Run(w, baseRng.Split(uint64(i)), strategy, pr)
+		if w.IsHonest(r.Leader) {
+			honest++
+		}
+	}
+	return float64(honest) / float64(k)
+}

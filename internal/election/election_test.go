@@ -1,0 +1,138 @@
+package election
+
+import (
+	"testing"
+
+	"collabscore/internal/adversary"
+	"collabscore/internal/prefgen"
+	"collabscore/internal/world"
+	"collabscore/internal/xrand"
+)
+
+func electionWorld(seed uint64, n int) *world.World {
+	in := prefgen.Uniform(xrand.New(seed), n, 4)
+	return world.New(in.Truth)
+}
+
+func TestAllHonestElectsSomeone(t *testing.T) {
+	w := electionWorld(1, 64)
+	res := Run(w, xrand.New(2), nil, Defaults())
+	if res.Leader < 0 || res.Leader >= 64 {
+		t.Fatalf("invalid leader %d", res.Leader)
+	}
+	if res.Rounds == 0 {
+		t.Fatal("no rounds recorded")
+	}
+}
+
+func TestSinglePlayer(t *testing.T) {
+	w := electionWorld(3, 1)
+	res := Run(w, xrand.New(4), nil, Defaults())
+	if res.Leader != 0 {
+		t.Fatalf("leader = %d, want 0", res.Leader)
+	}
+}
+
+func TestDeterministicGivenStream(t *testing.T) {
+	w := electionWorld(5, 128)
+	a := Run(w, xrand.New(6), nil, Defaults())
+	b := Run(w, xrand.New(6), nil, Defaults())
+	if a.Leader != b.Leader || a.Rounds != b.Rounds {
+		t.Fatal("election nondeterministic for same stream")
+	}
+}
+
+func TestLeadersVaryAcrossStreams(t *testing.T) {
+	w := electionWorld(7, 128)
+	seen := map[int]bool{}
+	for i := uint64(0); i < 20; i++ {
+		seen[Run(w, xrand.New(100+i), nil, Defaults()).Leader] = true
+	}
+	if len(seen) < 5 {
+		t.Fatalf("only %d distinct leaders in 20 elections — not random enough", len(seen))
+	}
+}
+
+// TestHonestLeaderRateNoAdversary: with everyone honest the leader is
+// trivially always honest.
+func TestHonestLeaderRateNoAdversary(t *testing.T) {
+	w := electionWorld(8, 64)
+	if rate := HonestLeaderRate(w, xrand.New(9), nil, Defaults(), 20); rate != 1 {
+		t.Fatalf("honest rate %v, want 1", rate)
+	}
+}
+
+// TestHonestLeaderRateUnderAttack is the §7.1 requirement: with a third of
+// the players dishonest and rushing greedily, an honest leader must still
+// be elected with constant probability.
+func TestHonestLeaderRateUnderAttack(t *testing.T) {
+	const n = 192
+	w := electionWorld(10, n)
+	adversary.Corrupt(w, n/3, xrand.New(11).Perm(n), func(p int) world.Behavior {
+		return adversary.RandomLiar{Seed: 3}
+	})
+	rate := HonestLeaderRate(w, xrand.New(12), GreedyLightest{}, Defaults(), 100)
+	if rate < 0.25 {
+		t.Fatalf("honest-leader rate %.2f under greedy attack, want ≥ 0.25", rate)
+	}
+}
+
+// TestSmallDishonestFractionBarelyHurts: at the protocol's actual tolerance
+// (n/(3B) with B ≥ 1, i.e. ≤ 1/3 and usually far less) the honest rate
+// should be high.
+func TestSmallDishonestFractionBarelyHurts(t *testing.T) {
+	const n = 192
+	w := electionWorld(13, n)
+	adversary.Corrupt(w, n/24, xrand.New(14).Perm(n), func(p int) world.Behavior {
+		return adversary.RandomLiar{Seed: 5}
+	})
+	rate := HonestLeaderRate(w, xrand.New(15), GreedyLightest{}, Defaults(), 100)
+	if rate < 0.7 {
+		t.Fatalf("honest-leader rate %.2f with 1/24 dishonest, want ≥ 0.7", rate)
+	}
+}
+
+func TestSpreadStrategyIsHarmless(t *testing.T) {
+	const n = 128
+	w := electionWorld(16, n)
+	adversary.Corrupt(w, n/3, xrand.New(17).Perm(n), func(p int) world.Behavior {
+		return adversary.RandomLiar{Seed: 7}
+	})
+	rate := HonestLeaderRate(w, xrand.New(18), Spread{Seed: 1}, Defaults(), 100)
+	// Spreading like honest players: honest rate ≈ honest fraction (2/3).
+	if rate < 0.5 {
+		t.Fatalf("honest rate %.2f under null attack, want ≥ 0.5", rate)
+	}
+}
+
+func TestGreedyLightestChoosesLightest(t *testing.T) {
+	g := GreedyLightest{}
+	if b := g.ChooseBin(0, 0, []int{5, 2, 7, 2}); b != 1 {
+		t.Fatalf("ChooseBin = %d, want 1 (first lightest)", b)
+	}
+}
+
+func TestSpreadInRange(t *testing.T) {
+	s := Spread{Seed: 9}
+	for p := 0; p < 50; p++ {
+		b := s.ChooseBin(p, 3, make([]int, 7))
+		if b < 0 || b >= 7 {
+			t.Fatalf("Spread bin %d out of range", b)
+		}
+	}
+}
+
+func TestSurvivorsShrink(t *testing.T) {
+	w := electionWorld(19, 256)
+	res := Run(w, xrand.New(20), nil, Defaults())
+	prev := 256
+	for _, s := range res.Survived {
+		if len(s) > prev {
+			t.Fatalf("survivor set grew: %d → %d", prev, len(s))
+		}
+		prev = len(s)
+	}
+	if len(res.Survived[len(res.Survived)-1]) != 1 {
+		t.Fatal("final round did not reduce to one leader")
+	}
+}

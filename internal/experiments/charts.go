@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"strconv"
+
+	"collabscore/internal/svgplot"
+	"collabscore/internal/tablefmt"
+)
+
+// ChartFor converts the plot-shaped experiment tables into line charts —
+// the figure-equivalents of the reproduction (the paper itself publishes
+// no result figures). Supported: E7 (probes vs n), E8 (error vs planted D),
+// E9 (error vs dishonest count per strategy), E11 (honest-leader rate vs
+// dishonest fraction). Returns false for experiments without a natural
+// line-chart shape.
+func ChartFor(id string, tb *tablefmt.Table) (*svgplot.Chart, bool) {
+	switch id {
+	case "E7":
+		c := &svgplot.Chart{
+			Title:  "E7 probe complexity: protocol vs probe-all",
+			XLabel: "players n", YLabel: "max probes per player",
+		}
+		c.Add("protocol", col(tb, 0), col(tb, 1))
+		c.Add("baseline [2,3]", col(tb, 0), col(tb, 2))
+		c.Add("probe-all", col(tb, 0), col(tb, 3))
+		return c, true
+	case "E8":
+		c := &svgplot.Chart{
+			Title:  "E8 honest accuracy vs planted diameter",
+			XLabel: "planted D", YLabel: "Hamming error",
+		}
+		c.Add("exact optimum", col(tb, 0), col(tb, 1))
+		c.Add("max error", col(tb, 0), col(tb, 2))
+		c.Add("mean error", col(tb, 0), col(tb, 3))
+		return c, true
+	case "E9":
+		c := &svgplot.Chart{
+			Title:  "E9 Byzantine tolerance: max error vs dishonest players",
+			XLabel: "dishonest players f", YLabel: "max honest error",
+		}
+		// One series per strategy (rows are grouped by strategy name).
+		series := map[string][][2]float64{}
+		var order []string
+		for _, row := range tb.Rows {
+			name := row[0]
+			f, err1 := strconv.ParseFloat(row[1], 64)
+			e, err2 := strconv.ParseFloat(row[3], 64)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			if _, seen := series[name]; !seen {
+				order = append(order, name)
+			}
+			series[name] = append(series[name], [2]float64{f, e})
+		}
+		for _, name := range order {
+			var xs, ys []float64
+			for _, pt := range series[name] {
+				xs = append(xs, pt[0])
+				ys = append(ys, pt[1])
+			}
+			c.Add(name, xs, ys)
+		}
+		return c, true
+	case "E11":
+		c := &svgplot.Chart{
+			Title:  "E11 leader election: honest-leader rate vs corruption",
+			XLabel: "dishonest fraction", YLabel: "honest-leader rate",
+		}
+		c.Add("greedy rushing attack", col(tb, 0), col(tb, 1))
+		c.Add("uniform (null) attack", col(tb, 0), col(tb, 2))
+		return c, true
+	}
+	return nil, false
+}
+
+// col extracts a numeric column from a table, skipping unparseable cells.
+func col(tb *tablefmt.Table, i int) []float64 {
+	var out []float64
+	for _, row := range tb.Rows {
+		if i >= len(row) {
+			continue
+		}
+		v, err := strconv.ParseFloat(row[i], 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}

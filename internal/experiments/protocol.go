@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"math"
+
+	"collabscore/internal/adversary"
+	"collabscore/internal/baseline"
+	"collabscore/internal/budgets"
+	"collabscore/internal/core"
+	"collabscore/internal/election"
+	"collabscore/internal/metrics"
+	"collabscore/internal/multival"
+	"collabscore/internal/prefgen"
+	"collabscore/internal/sim"
+	"collabscore/internal/tablefmt"
+	"collabscore/internal/world"
+	"collabscore/internal/xrand"
+)
+
+// runE7 sweeps n at fixed B and fixed planted diameter ratio, comparing the
+// protocol's probe complexity (at the correct single guess) to the prior-art
+// baseline and to probe-everything. The paper's claim: O(B·polylog n) vs
+// O(B²·polylog n) vs n.
+func runE7(cfg Config) *tablefmt.Table {
+	t := header("E7 Lemmas 10–11 probe complexity", cfg,
+		"n", "core max probes", "baseline max probes", "probe-all", "core/probe-all", "core max err", "D")
+	ns := []int{512, 1024, 2048, 4096}
+	if cfg.Quick {
+		ns = []int{512, 1024}
+	}
+	for _, n := range ns {
+		d := n / 32 // keep the diameter a fixed fraction of n
+		agg := sim.RunSequential(cfg.Trials, cfg.Seed+uint64(n), func(trial int, rng *xrand.Stream) map[string]float64 {
+			in := prefgen.DiameterClusters(rng.Split(1), n, n, n/cfg.B, d)
+
+			w := world.New(in.Truth)
+			pr := core.Scaled(n, cfg.B)
+			pr.MinD, pr.MaxD = d, d
+			res := core.Run(w, rng.Split(2), pr)
+			coreProbes := float64(metrics.Probes(w).Max)
+			coreErr := float64(metrics.Error(w, res.Output).Max)
+
+			wb := world.New(in.Truth)
+			bpr := baseline.AASPScaled(n, cfg.B)
+			bpr.MinD, bpr.MaxD = d, d
+			baseline.AASP(wb, rng.Split(3), bpr)
+			basProbes := float64(metrics.Probes(wb).Max)
+
+			return map[string]float64{
+				"core": coreProbes, "bas": basProbes, "err": coreErr,
+			}
+		})
+		t.AddRow(n, agg["core"].Mean, agg["bas"].Mean, n, agg["core"].Mean/float64(n),
+			agg["err"].Mean, d)
+	}
+	return t
+}
+
+// runE8 sweeps the planted diameter D at fixed n, B and reports the honest
+// error of the full protocol against the planted optimum: the
+// constant-factor approximation of Lemma 12 / Definition 1.
+func runE8(cfg Config) *tablefmt.Table {
+	t := header("E8 Lemma 12 honest accuracy", cfg,
+		"planted D", "exact opt", "max err", "mean err", "approx ratio", "max probes")
+	n := cfg.N
+	ds := []int{16, 32, 64, 128}
+	if cfg.Quick {
+		ds = []int{32}
+	}
+	for _, d := range ds {
+		agg := sim.RunSequential(cfg.Trials, cfg.Seed+uint64(d), func(trial int, rng *xrand.Stream) map[string]float64 {
+			in := prefgen.DiameterClusters(rng.Split(1), n, n, n/cfg.B, d)
+			opt := float64(metrics.MaxInt(baseline.OptErrors(in)))
+			w := world.New(in.Truth)
+			pr := core.Scaled(n, cfg.B)
+			pr.MinD, pr.MaxD = d, d
+			res := core.Run(w, rng.Split(2), pr)
+			es := metrics.Error(w, res.Output)
+			return map[string]float64{
+				"opt": opt, "max": float64(es.Max), "mean": es.Mean,
+				"ratio":  metrics.ApproxRatio(float64(es.Max), opt),
+				"probes": float64(metrics.Probes(w).Max),
+			}
+		})
+		t.AddRow(d, agg["opt"].Mean, agg["max"].Mean, agg["mean"].Mean,
+			agg["ratio"].Mean, agg["probes"].Mean)
+	}
+	return t
+}
+
+// e9Strategies enumerates the attack strategies for E9.
+func e9Strategies(n int) map[string]func(p int) world.Behavior {
+	return map[string]func(p int) world.Behavior{
+		"random-liar": func(p int) world.Behavior { return adversary.RandomLiar{Seed: 0xE9} },
+		"colluders":   func(p int) world.Behavior { return adversary.NewColluder(0xE9, n) },
+		"hijackers":   func(p int) world.Behavior { return adversary.ClusterHijacker{Victim: (p + 1) % n} },
+		"strange-obj": func(p int) world.Behavior { return adversary.StrangeObjectAttacker{Seed: 0xE9} },
+	}
+}
+
+// runE9 sweeps the dishonest count f from 0 past the paper's tolerance
+// n/(3B) for each attack strategy: the headline Byzantine-robustness table
+// (Theorem 14). Below tolerance the error must match the honest run.
+func runE9(cfg Config) *tablefmt.Table {
+	t := header("E9 Theorem 14 Byzantine tolerance", cfg,
+		"strategy", "f", "f/tolerance", "max err", "mean err", "honest leaders")
+	n := cfg.N
+	d := 32
+	tol := core.Scaled(n, cfg.B).MaxDishonest(n)
+	fracs := []float64{0, 0.5, 1, 2}
+	if cfg.Quick {
+		fracs = []float64{1}
+	}
+	names := []string{"random-liar", "colluders", "hijackers", "strange-obj"}
+	for _, name := range names {
+		for _, frac := range fracs {
+			f := int(frac * float64(tol))
+			mk := e9Strategies(n)[name]
+			agg := sim.RunSequential(cfg.Trials, cfg.Seed+uint64(f)+uint64(len(name)), func(trial int, rng *xrand.Stream) map[string]float64 {
+				in := prefgen.DiameterClusters(rng.Split(1), n, n, n/cfg.B, d)
+				w := world.New(in.Truth)
+				adversary.Corrupt(w, f, rng.Split(7).Perm(n), mk)
+				pr := core.Scaled(n, cfg.B)
+				pr.MinD, pr.MaxD = d, d
+				res := core.RunByzantine(w, rng.Split(2), nil, pr)
+				es := metrics.Error(w, res.Output)
+				return map[string]float64{
+					"max": float64(es.Max), "mean": es.Mean,
+					"leaders": float64(res.HonestLeaders),
+				}
+			})
+			t.AddRow(name, f, frac, agg["max"].Mean, agg["mean"].Mean, agg["leaders"].Mean)
+		}
+	}
+	return t
+}
+
+// runE10 sweeps B comparing the protocol against the Alon et al. baseline:
+// probes (B vs B² shape) and achieved approximation of the planted optimum
+// (constant vs B-factor shape).
+func runE10(cfg Config) *tablefmt.Table {
+	t := header("E10 comparison vs prior art [2,3]", cfg,
+		"B", "core probes", "AASP probes", "probe ratio", "core err", "AASP err", "planted D")
+	n := cfg.N
+	bs := []int{4, 8, 16}
+	if cfg.Quick {
+		bs = []int{8}
+	}
+	const d = 32
+	for _, b := range bs {
+		agg := sim.RunSequential(cfg.Trials, cfg.Seed+uint64(b), func(trial int, rng *xrand.Stream) map[string]float64 {
+			in := prefgen.DiameterClusters(rng.Split(1), n, n, n/b, d)
+
+			w := world.New(in.Truth)
+			pr := core.Scaled(n, b)
+			pr.MinD, pr.MaxD = d, d
+			res := core.Run(w, rng.Split(2), pr)
+			coreErr := float64(metrics.Error(w, res.Output).Max)
+			coreProbes := float64(metrics.Probes(w).Max)
+
+			wb := world.New(in.Truth)
+			bpr := baseline.AASPScaled(n, b)
+			bpr.MinD, bpr.MaxD = d, d
+			bout := baseline.AASP(wb, rng.Split(3), bpr)
+			basErr := float64(metrics.Error(wb, bout).Max)
+			basProbes := float64(metrics.Probes(wb).Max)
+
+			return map[string]float64{
+				"cp": coreProbes, "bp": basProbes, "ce": coreErr, "be": basErr,
+			}
+		})
+		t.AddRow(b, agg["cp"].Mean, agg["bp"].Mean, agg["bp"].Mean/math.Max(agg["cp"].Mean, 1),
+			agg["ce"].Mean, agg["be"].Mean, d)
+	}
+	return t
+}
+
+// runE11 sweeps the dishonest fraction in Feige's lightest-bin election
+// under the rushing greedy attack and the uniform null attack. The §7.1
+// requirement is a constant honest-leader probability at the corruption
+// levels the protocol tolerates.
+func runE11(cfg Config) *tablefmt.Table {
+	t := header("E11 Feige leader election", cfg,
+		"dishonest frac", "greedy attack rate", "null attack rate", "elections")
+	n := cfg.N
+	if n > 1024 {
+		n = 1024
+	}
+	fracs := []float64{0, 1.0 / 24, 1.0 / 12, 1.0 / 6, 1.0 / 3}
+	if cfg.Quick {
+		fracs = []float64{1.0 / 12}
+	}
+	elections := 200
+	if cfg.Quick {
+		elections = 50
+	}
+	for _, frac := range fracs {
+		f := int(frac * float64(n))
+		rng := xrand.New(cfg.Seed + uint64(f))
+		in := prefgen.Uniform(rng.Split(1), n, 4)
+		w := world.New(in.Truth)
+		adversary.Corrupt(w, f, rng.Split(2).Perm(n), func(p int) world.Behavior {
+			return adversary.RandomLiar{Seed: 0xE11}
+		})
+		greedy := election.HonestLeaderRate(w, rng.Split(3), election.GreedyLightest{}, election.Defaults(), elections)
+		null := election.HonestLeaderRate(w, rng.Split(4), election.Spread{Seed: 5}, election.Defaults(), elections)
+		t.AddRow(frac, greedy, null, elections)
+	}
+	return t
+}
+
+// runE12 exercises the §8 extensions: the non-binary (L1/median) protocol
+// and the heterogeneous-budget protocol, checking both keep the O(D) error
+// shape and that budgets shift load onto high-capacity players.
+func runE12(cfg Config) *tablefmt.Table {
+	t := header("E12 §8 extensions", cfg,
+		"variant", "planted D", "max err", "bound", "max probes", "load ratio big/small")
+	n := cfg.N / 2
+	d := 32
+
+	// Non-binary ratings.
+	const scale = 5
+	aggM := sim.RunSequential(cfg.Trials, cfg.Seed+1, func(trial int, rng *xrand.Stream) map[string]float64 {
+		truth, _ := multival.Generate(rng.Split(1), n, n, n/cfg.B, d, scale)
+		w := multival.NewWorld(truth, scale)
+		pr := multival.Scaled(n, cfg.B)
+		pr.MinD, pr.MaxD = d, d
+		res := multival.Run(w, rng.Split(2), pr)
+		es := multival.ErrorStats(w, res.Output)
+		return map[string]float64{"max": float64(es.Max), "probes": float64(w.MaxHonestProbes())}
+	})
+	t.AddRow("multival (L1, median)", d, aggM["max"].Mean, 3*d, aggM["probes"].Mean, "-")
+
+	// Heterogeneous budgets.
+	aggB := sim.RunSequential(cfg.Trials, cfg.Seed+2, func(trial int, rng *xrand.Stream) map[string]float64 {
+		in := prefgen.DiameterClusters(rng.Split(1), n, n, n/cfg.B, d)
+		w := world.New(in.Truth)
+		caps := budgets.TwoTier(rng.Split(3), n, 16, 256, 0.5)
+		pr := budgets.Scaled(n, caps)
+		pr.MinD, pr.MaxD = d, d
+		res := budgets.Run(w, rng.Split(2), pr)
+		es := metrics.Error(w, res.Output)
+		var bigT, bigN, smallT, smallN float64
+		for p := 0; p < n; p++ {
+			if caps[p] == 256 {
+				bigT += float64(w.Probes(p))
+				bigN++
+			} else {
+				smallT += float64(w.Probes(p))
+				smallN++
+			}
+		}
+		ratio := (bigT / bigN) / math.Max(smallT/smallN, 1)
+		return map[string]float64{
+			"max": float64(es.Max), "probes": float64(metrics.Probes(w).Max), "ratio": ratio,
+		}
+	})
+	t.AddRow("budgets (two-tier)", d, aggB["max"].Mean, 2*d, aggB["probes"].Mean, aggB["ratio"].Mean)
+	return t
+}

@@ -1,0 +1,85 @@
+package multival
+
+import (
+	"collabscore/internal/election"
+	"collabscore/internal/par"
+	"collabscore/internal/xrand"
+)
+
+// ByzResult extends Result with election bookkeeping.
+type ByzResult struct {
+	Result
+	// HonestLeaders counts repetitions whose elected leader was honest.
+	HonestLeaders int
+	// Repetitions is the number of leader-election repetitions executed.
+	Repetitions int
+}
+
+// RunByzantine executes the §7-style wrapper over the non-binary protocol:
+// repeat the generalized CalculatePreferences under Θ(log n) elected
+// leaders (Feige's lightest-bin election works unchanged — it only needs
+// to know who is honest) and select the best repetition per player by an
+// L1 spot check. When a dishonest leader is elected, the repetition's
+// shared coins are adversarial; as in the binary protocol we model the
+// worst case by replacing the repetition's outputs with maximally wrong
+// rating vectors (scale − truth).
+func RunByzantine(w *World, trueRng *xrand.Stream, binStrategy election.BinStrategy, repetitions int, pr Params) *ByzResult {
+	n, m := w.N(), w.M()
+	if repetitions < 1 {
+		repetitions = 1
+	}
+	res := &ByzResult{Repetitions: repetitions}
+
+	candidates := make([][]Ratings, repetitions)
+	for it := 0; it < repetitions; it++ {
+		el := election.Run(w, trueRng.Split(0xE1EC, uint64(it)), binStrategy, election.Defaults())
+		if w.IsHonest(el.Leader) {
+			res.HonestLeaders++
+			sub := Run(w, trueRng.Split(0x5EED, uint64(it)), pr)
+			candidates[it] = sub.Output
+			res.NumClusters = sub.NumClusters
+		} else {
+			// Adversarial coins: worst-case repetition outputs.
+			worst := make([]Ratings, n)
+			for p := 0; p < n; p++ {
+				row := make(Ratings, m)
+				for o := 0; o < m; o++ {
+					row[o] = w.Scale() - w.PeekTruth(p, o)
+				}
+				worst[p] = row
+			}
+			candidates[it] = worst
+		}
+	}
+
+	// Per-player selection among repetitions by probed L1 disagreement.
+	lnn := lnN(n)
+	res.Output = par.Map(n, func(p int) Ratings {
+		if !w.IsHonest(p) {
+			return make(Ratings, m)
+		}
+		if repetitions == 1 {
+			return candidates[0][p]
+		}
+		rng := trueRng.Split(0xF17A1, uint64(p))
+		check := rng.Sample(m, minInt(m, 8*int(lnn)))
+		best, bestScore := 0, 1<<60
+		for it := 0; it < repetitions; it++ {
+			score := 0
+			for _, o := range check {
+				truth := w.Probe(p, o)
+				r := candidates[it][p][o]
+				if r > truth {
+					score += r - truth
+				} else {
+					score += truth - r
+				}
+			}
+			if score < bestScore {
+				best, bestScore = it, score
+			}
+		}
+		return candidates[best][p]
+	})
+	return res
+}

@@ -1,0 +1,537 @@
+// Package multival implements the §8 extension of the paper: collaborative
+// scoring with non-binary preferences. Players rate objects on a numeric
+// scale 0..R instead of like/dislike, and similarity is measured with the
+// L1 metric instead of Hamming distance.
+//
+// The paper conjectures that "the basic idea of using sampling to cluster
+// players does not rely on these particular assumptions" (binary values,
+// Hamming distance). This package realizes that claim with the natural
+// generalization of CalculatePreferences:
+//
+//  1. draw a shared random sample set S of Θ(ln n · scale/D) of the objects;
+//  2. every player probes S directly and publishes its ratings;
+//  3. players whose published sample ratings are L1-close become neighbors,
+//     and clusters of ≥ n/B − n/(3B) players are peeled greedily;
+//  4. the probing of all m objects is shared within each cluster with
+//     Θ(log n)-fold redundancy, aggregated by MEDIAN — the median of
+//     Θ(log n) reports from a ≥2/3-honest cluster is within the honest
+//     rating spread even under adversarial manipulation (the rank
+//     statistics version of the majority argument in Lemma 13).
+//
+// Probing the sample directly (instead of the binary SmallRadius recursion)
+// costs |S| probes per player; the binary machinery's probe savings rely on
+// exact-agreement vote counting, which does not transfer to dense rating
+// scales. The cluster work-sharing savings — the dominant term — transfer
+// unchanged.
+package multival
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"collabscore/internal/cluster"
+	"collabscore/internal/metrics"
+	"collabscore/internal/par"
+	"collabscore/internal/xrand"
+)
+
+// Ratings is a vector of integer ratings in [0, Scale].
+type Ratings []int
+
+// L1 returns the L1 distance Σ|a_i − b_i|. It panics on length mismatch.
+func (a Ratings) L1(b Ratings) int {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("multival: length mismatch %d vs %d", len(a), len(b)))
+	}
+	d := 0
+	for i := range a {
+		if a[i] > b[i] {
+			d += a[i] - b[i]
+		} else {
+			d += b[i] - a[i]
+		}
+	}
+	return d
+}
+
+// Clone returns a deep copy.
+func (a Ratings) Clone() Ratings {
+	out := make(Ratings, len(a))
+	copy(out, a)
+	return out
+}
+
+// Gather extracts the ratings at the given positions.
+func (a Ratings) Gather(idx []int) Ratings {
+	out := make(Ratings, len(idx))
+	for j, i := range idx {
+		out[j] = a[i]
+	}
+	return out
+}
+
+// Median returns the lower median of xs (xs is modified by sorting).
+func Median(xs []int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Ints(xs)
+	return xs[(len(xs)-1)/2]
+}
+
+// Behavior decides what rating a player reports for an object.
+type Behavior interface {
+	// Report returns the rating player p publishes for object o.
+	Report(w *World, p, o int) int
+}
+
+// Honest probes and reports the true rating.
+type Honest struct{}
+
+// Report probes object o and returns the truth.
+func (Honest) Report(w *World, p, o int) int { return w.Probe(p, o) }
+
+// World is the rating-scale game substrate: hidden rating matrix, probe
+// accounting, pluggable behaviors. It mirrors world.World for the
+// non-binary setting.
+type World struct {
+	n, m      int
+	scale     int
+	truth     [][]int
+	honest    []bool
+	behaviors []Behavior
+	probed    [][]bool
+	probes    []int
+}
+
+// NewWorld builds a rating world from a truth matrix with ratings in
+// [0, scale].
+func NewWorld(truth [][]int, scale int) *World {
+	if len(truth) == 0 {
+		panic("multival: no players")
+	}
+	m := len(truth[0])
+	w := &World{
+		n:         len(truth),
+		m:         m,
+		scale:     scale,
+		truth:     truth,
+		honest:    make([]bool, len(truth)),
+		behaviors: make([]Behavior, len(truth)),
+		probed:    make([][]bool, len(truth)),
+		probes:    make([]int, len(truth)),
+	}
+	for p := range truth {
+		if len(truth[p]) != m {
+			panic("multival: ragged truth matrix")
+		}
+		w.honest[p] = true
+		w.behaviors[p] = Honest{}
+		w.probed[p] = make([]bool, m)
+	}
+	return w
+}
+
+// N returns the number of players; M the number of objects; Scale the
+// rating scale.
+func (w *World) N() int     { return w.n }
+func (w *World) M() int     { return w.m }
+func (w *World) Scale() int { return w.scale }
+
+// Probe returns the true rating and charges a probe for the first visit.
+// Not safe for concurrent probes by the same player; the protocol phases
+// here parallelize across players only.
+func (w *World) Probe(p, o int) int {
+	if !w.probed[p][o] {
+		w.probed[p][o] = true
+		w.probes[p]++
+	}
+	return w.truth[p][o]
+}
+
+// PeekTruth returns the true rating without accounting (adversary and
+// measurement use).
+func (w *World) PeekTruth(p, o int) int { return w.truth[p][o] }
+
+// Probes returns the probe count of player p.
+func (w *World) Probes(p int) int { return w.probes[p] }
+
+// MaxHonestProbes returns the probe complexity measure.
+func (w *World) MaxHonestProbes() int {
+	mx := 0
+	for p := 0; p < w.n; p++ {
+		if w.honest[p] && w.probes[p] > mx {
+			mx = w.probes[p]
+		}
+	}
+	return mx
+}
+
+// SetBehavior installs a behavior; non-Honest behaviors mark the player
+// dishonest.
+func (w *World) SetBehavior(p int, b Behavior) {
+	w.behaviors[p] = b
+	_, isHonest := b.(Honest)
+	w.honest[p] = isHonest
+}
+
+// IsHonest reports whether p follows the protocol.
+func (w *World) IsHonest(p int) bool { return w.honest[p] }
+
+// Report asks p's behavior for its published rating of o.
+func (w *World) Report(p, o int) int { return w.behaviors[p].Report(w, p, o) }
+
+// TruthRow returns a copy of p's true ratings.
+func (w *World) TruthRow(p int) Ratings { return Ratings(w.truth[p]).Clone() }
+
+// Params configures the generalized protocol.
+type Params struct {
+	// B is the budget parameter (clusters of ≥ n/B − n/(3B) players).
+	B int
+	// SampleFactor f sets |S| ≈ f·ln(n)·n·scale/D for diameter guess D
+	// (sampling rate f·ln(n)·scale/D per object, capped at 1).
+	SampleFactor float64
+	// EdgeFactor e sets the neighbor threshold to e× the expected sampled
+	// L1 distance of a pair at the diameter guess (e·rate·D).
+	EdgeFactor float64
+	// RedundancyFactor r sets ⌈r·ln n⌉ probers per (cluster, object).
+	RedundancyFactor float64
+	// MinD/MaxD restrict the diameter-doubling loop (L1 diameters).
+	MinD, MaxD int
+}
+
+// Scaled returns simulation-scale constants mirroring core.Scaled.
+func Scaled(n, b int) Params {
+	return Params{B: b, SampleFactor: 0.5, EdgeFactor: 4, RedundancyFactor: 1.5}
+}
+
+// Result is the protocol output.
+type Result struct {
+	// Output[p] is the predicted rating vector of player p.
+	Output []Ratings
+	// NumClusters per diameter guess, for instrumentation.
+	NumClusters []int
+}
+
+// Run executes the generalized CalculatePreferences over the rating world.
+func Run(w *World, shared *xrand.Stream, pr Params) *Result {
+	n, m := w.N(), w.M()
+	lnn := lnN(n)
+	minSize := n/pr.B - n/(3*pr.B)
+	if minSize < 1 {
+		minSize = 1
+	}
+	res := &Result{}
+
+	lo, hi := pr.MinD, pr.MaxD
+	if lo <= 0 {
+		lo = 1
+	}
+	if hi <= 0 {
+		hi = n * w.scale
+	}
+	type candidateSet struct {
+		vecs []Ratings // one per player
+	}
+	var candidates []candidateSet
+	gi := 0
+	for d := 1; d <= n*w.scale; d *= 2 {
+		if d < lo || d > hi {
+			continue
+		}
+		iterRng := shared.Split(uint64(gi), uint64(d))
+		gi++
+		out := runIteration(w, d, minSize, lnn, iterRng, pr, res)
+		candidates = append(candidates, candidateSet{vecs: out})
+	}
+	if len(candidates) == 0 {
+		res.Output = make([]Ratings, n)
+		for p := range res.Output {
+			res.Output[p] = make(Ratings, m)
+		}
+		return res
+	}
+
+	// Final selection per player: probe a few random objects and keep the
+	// candidate with the smallest L1 disagreement (the RSelect analogue;
+	// sampling L1 distances concentrates the same way).
+	res.Output = par.Map(n, func(p int) Ratings {
+		if !w.IsHonest(p) {
+			return make(Ratings, m)
+		}
+		if len(candidates) == 1 {
+			return candidates[0].vecs[p]
+		}
+		rng := shared.Split(0xFE11, uint64(p))
+		check := rng.Sample(m, minInt(m, 8*int(lnn)))
+		best, bestScore := 0, 1<<60
+		for ci := range candidates {
+			score := 0
+			for _, o := range check {
+				truth := w.Probe(p, o)
+				r := candidates[ci].vecs[p][o]
+				if r > truth {
+					score += r - truth
+				} else {
+					score += truth - r
+				}
+			}
+			if score < bestScore {
+				best, bestScore = ci, score
+			}
+		}
+		return candidates[best].vecs[p]
+	})
+	return res
+}
+
+// runIteration performs one diameter guess: sample, publish, cluster,
+// median work-share.
+func runIteration(w *World, d, minSize int, lnn float64, shared *xrand.Stream, pr Params, res *Result) []Ratings {
+	n, m := w.N(), w.M()
+	rate := pr.SampleFactor * lnn * float64(w.scale) / float64(d)
+	if rate > 1 {
+		rate = 1
+	}
+	sample := shared.Split(0x5A).BernoulliSubset(m, rate)
+	if len(sample) == 0 {
+		sample = []int{0}
+	}
+
+	// Every player publishes its (claimed) ratings on the sample.
+	published := par.Map(n, func(p int) Ratings {
+		out := make(Ratings, len(sample))
+		for j, o := range sample {
+			out[j] = clampRating(w.Report(p, o), w.scale)
+		}
+		return out
+	})
+
+	// Neighbor graph on L1 sample distance: a pair at true L1 distance d
+	// lands at ≈ rate·d on the sample, so the edge threshold is a small
+	// multiple of that.
+	threshold := int(pr.EdgeFactor * rate * float64(d))
+	if threshold < 1 {
+		threshold = 1
+	}
+	adj := par.Map(n, func(p int) []int {
+		var nb []int
+		for q := 0; q < n; q++ {
+			if q != p && published[p].L1(published[q]) <= threshold {
+				nb = append(nb, q)
+			}
+		}
+		return nb
+	})
+	cl := peel(adj, n, minSize)
+	res.NumClusters = append(res.NumClusters, len(cl.Clusters))
+
+	// Median work sharing.
+	red := int(pr.RedundancyFactor*lnn) + 1
+	out := make([]Ratings, n)
+	for p := range out {
+		out[p] = make(Ratings, m)
+	}
+	for j, members := range cl.Clusters {
+		clusterRng := shared.Split(0x5C, uint64(j))
+		ratings := par.Map(m, func(o int) int {
+			rng := clusterRng.Split(uint64(o))
+			reports := make([]int, 0, red)
+			for i := 0; i < red; i++ {
+				q := members[rng.Intn(len(members))]
+				reports = append(reports, clampRating(w.Report(q, o), w.scale))
+			}
+			return Median(reports)
+		})
+		for _, p := range members {
+			copy(out[p], ratings)
+		}
+	}
+	return out
+}
+
+// clampRating forces reported ratings into [0, scale]; dishonest players
+// cannot inject out-of-scale values (the bulletin board validates writes).
+func clampRating(r, scale int) int {
+	if r < 0 {
+		return 0
+	}
+	if r > scale {
+		return scale
+	}
+	return r
+}
+
+// peel reuses the §6.5 peeling on a plain adjacency list.
+func peel(adj [][]int, n, minSize int) *cluster.Clustering {
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	of := make([]int, n)
+	for i := range of {
+		of[i] = -1
+	}
+	var clusters [][]int
+	for {
+		found := -1
+		for p := 0; p < n; p++ {
+			if !alive[p] {
+				continue
+			}
+			deg := 0
+			for _, q := range adj[p] {
+				if alive[q] {
+					deg++
+				}
+			}
+			if deg >= minSize-1 {
+				found = p
+				break
+			}
+		}
+		if found < 0 {
+			break
+		}
+		members := []int{found}
+		for _, q := range adj[found] {
+			if alive[q] {
+				members = append(members, q)
+			}
+		}
+		j := len(clusters)
+		for _, q := range members {
+			alive[q] = false
+			of[q] = j
+		}
+		clusters = append(clusters, members)
+	}
+	for p := 0; p < n; p++ {
+		if !alive[p] {
+			continue
+		}
+		for _, q := range adj[p] {
+			if of[q] >= 0 {
+				of[p] = of[q]
+				clusters[of[q]] = append(clusters[of[q]], p)
+				alive[p] = false
+				break
+			}
+		}
+	}
+	return &cluster.Clustering{Clusters: clusters, Of: of}
+}
+
+// Errors returns per-honest-player L1 errors of the outputs.
+func Errors(w *World, out []Ratings) []int {
+	var errs []int
+	for p := 0; p < w.N(); p++ {
+		if !w.IsHonest(p) {
+			continue
+		}
+		errs = append(errs, Ratings(w.truth[p]).L1(out[p]))
+	}
+	return errs
+}
+
+// ErrorStats summarizes per-player L1 errors.
+func ErrorStats(w *World, out []Ratings) metrics.ErrorStats {
+	return metrics.Summarize(Errors(w, out))
+}
+
+// Generate plants clusters of the given size whose members are within L1
+// diameter of each other on a 0..scale rating scale, mirroring
+// prefgen.DiameterClusters.
+func Generate(rng *xrand.Stream, n, m, clusterSize, diameter, scale int) ([][]int, []int) {
+	if clusterSize <= 0 || clusterSize > n {
+		panic("multival: bad cluster size")
+	}
+	numClusters := n / clusterSize
+	if numClusters == 0 {
+		numClusters = 1
+	}
+	centers := make([][]int, numClusters)
+	for c := range centers {
+		row := make([]int, m)
+		for o := range row {
+			row[o] = rng.Intn(scale + 1)
+		}
+		centers[c] = row
+	}
+	truth := make([][]int, n)
+	clusterOf := make([]int, n)
+	perm := rng.Perm(n)
+	for rank, p := range perm {
+		c := rank / clusterSize
+		if c >= numClusters {
+			c = numClusters - 1
+		}
+		clusterOf[p] = c
+		row := append([]int(nil), centers[c]...)
+		budget := diameter / 2
+		for budget > 0 {
+			o := rng.Intn(m)
+			delta := 1
+			if rng.Bool() {
+				delta = -1
+			}
+			nv := row[o] + delta
+			if nv >= 0 && nv <= scale {
+				row[o] = nv
+				budget--
+			}
+		}
+		truth[p] = row
+	}
+	return truth, clusterOf
+}
+
+// RandomRater is the non-binary random liar: consistent pseudo-random
+// ratings.
+type RandomRater struct{ Seed uint64 }
+
+// Report returns a consistent pseudo-random rating.
+func (r RandomRater) Report(w *World, p, o int) int {
+	x := r.Seed ^ uint64(p)<<32 ^ uint64(o)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int(x % uint64(w.Scale()+1))
+}
+
+// Exaggerator pushes every rating to the nearest extreme of the scale —
+// the attack median aggregation is specifically robust to.
+type Exaggerator struct{}
+
+// Report returns 0 or scale depending on the player's true lean.
+func (Exaggerator) Report(w *World, p, o int) int {
+	if w.PeekTruth(p, o)*2 >= w.Scale() {
+		return w.Scale()
+	}
+	return 0
+}
+
+// Shifter reports truth plus a constant bias (clamped), modeling a
+// systematically harsh or generous dishonest reviewer.
+type Shifter struct{ Delta int }
+
+// Report returns the biased rating.
+func (s Shifter) Report(w *World, p, o int) int {
+	return clampRating(w.PeekTruth(p, o)+s.Delta, w.Scale())
+}
+
+func lnN(n int) float64 {
+	v := math.Log(float64(n))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,97 @@
+// Package par provides the small worker-pool primitives used to parallelize
+// per-player and per-object protocol phases across CPU cores.
+//
+// The paper's protocols are "every player does X" loops with no data
+// dependencies inside a phase; phases themselves act as barriers. For is the
+// workhorse: it splits an index range into contiguous chunks and runs them on
+// up to GOMAXPROCS goroutines.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// For runs fn(i) for every i in [0,n), distributing work across up to
+// runtime.GOMAXPROCS(0) goroutines. It returns after all iterations finish.
+// fn must be safe to call concurrently for distinct i.
+func For(n int, fn func(i int)) {
+	ForChunked(n, 0, fn)
+}
+
+// ForChunked is For with an explicit chunk size; chunk <= 0 selects a chunk
+// size that gives each worker several chunks for load balancing.
+func ForChunked(n, chunk int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if chunk <= 0 {
+		chunk = n / (workers * 4)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	var next int64
+	var mu sync.Mutex
+	take := func() (lo, hi int, ok bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if int(next) >= n {
+			return 0, 0, false
+		}
+		lo = int(next)
+		hi = lo + chunk
+		if hi > n {
+			hi = n
+		}
+		next = int64(hi)
+		return lo, hi, true
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo, hi, ok := take()
+				if !ok {
+					return
+				}
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Do runs the given thunks concurrently and waits for all of them.
+func Do(fns ...func()) {
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for _, fn := range fns {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(fn)
+	}
+	wg.Wait()
+}
+
+// Map applies fn to every index in [0,n) in parallel and collects results.
+func Map[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(n, func(i int) { out[i] = fn(i) })
+	return out
+}

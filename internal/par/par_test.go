@@ -1,0 +1,68 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 10000} {
+		hits := make([]atomic.Int32, n)
+		For(n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestForChunkedCoversAllIndices(t *testing.T) {
+	const n = 1000
+	for _, chunk := range []int{-1, 0, 1, 3, 1000, 5000} {
+		hits := make([]atomic.Int32, n)
+		ForChunked(n, chunk, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("chunk=%d: index %d visited %d times", chunk, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestDoRunsAll(t *testing.T) {
+	var count atomic.Int32
+	Do(
+		func() { count.Add(1) },
+		func() { count.Add(1) },
+		func() { count.Add(1) },
+	)
+	if count.Load() != 3 {
+		t.Fatalf("Do ran %d thunks, want 3", count.Load())
+	}
+	Do() // no thunks: must not hang
+}
+
+func TestMapOrder(t *testing.T) {
+	out := Map(100, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("Map[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+	if len(Map(0, func(i int) int { return i })) != 0 {
+		t.Fatal("Map(0) should be empty")
+	}
+}
+
+func TestNestedParallelism(t *testing.T) {
+	var total atomic.Int64
+	For(10, func(i int) {
+		For(10, func(j int) {
+			total.Add(1)
+		})
+	})
+	if total.Load() != 100 {
+		t.Fatalf("nested For ran %d iterations, want 100", total.Load())
+	}
+}

@@ -1,0 +1,130 @@
+// Package rounds implements the synchronous execution model of §2
+// literally: "The game proceeds in synchronous rounds. In each round, each
+// player can choose one object to probe. … the players can update and read
+// the bulletin board after each probe."
+//
+// The batch protocol implementations in this repository account probes but
+// do not schedule them; this package provides the scheduler that maps a
+// per-player probe plan onto rounds, one goroutine per player, with a
+// barrier between rounds and all inter-player communication through the
+// bulletin board. It serves two purposes:
+//
+//   - model fidelity: tests use it to check that protocol phases fit in
+//     the round counts the paper implies (round complexity = the maximum
+//     number of probes any player makes, since a player performs exactly
+//     one probe per round);
+//   - a concurrency substrate demonstration: players really do run
+//     concurrently and interact only through the board.
+package rounds
+
+import (
+	"sync"
+
+	"collabscore/internal/board"
+	"collabscore/internal/world"
+)
+
+// Action is what a player does in one round.
+type Action struct {
+	// Probe is the object to probe this round, or -1 to idle.
+	Probe int
+	// Publish, when true, writes the probed (or reported) value to the
+	// player's board lane.
+	Publish bool
+	// Done signals that the player's program has finished; the player
+	// idles in all subsequent rounds.
+	Done bool
+}
+
+// Program drives one player: called once per round with the round number
+// and a read-only view of the board, it returns the player's action.
+// Programs run concurrently across players within a round; the engine
+// barriers between rounds, so board reads observe all writes of previous
+// rounds (and possibly some of the current one — the model lets players
+// "update and read the bulletin board after each probe").
+type Program func(round int, bd *board.Board) Action
+
+// Engine schedules programs over a world and a board.
+type Engine struct {
+	W  *world.World
+	Bd *board.Board
+	// MaxRounds caps execution (0 = 4·m rounds) so buggy programs cannot
+	// hang tests.
+	MaxRounds int
+}
+
+// Result reports a synchronous execution.
+type Result struct {
+	// Rounds is the number of rounds until every program finished.
+	Rounds int
+	// Finished reports whether all programs signalled Done within the cap.
+	Finished bool
+}
+
+// Run executes one program per player until all are done. Programs may be
+// nil (such players idle forever and are treated as done).
+func (e *Engine) Run(programs []Program) Result {
+	n := e.W.N()
+	if len(programs) != n {
+		panic("rounds: need one program per player")
+	}
+	cap := e.MaxRounds
+	if cap <= 0 {
+		cap = 4 * e.W.M()
+	}
+	done := make([]bool, n)
+	remaining := 0
+	for p, prog := range programs {
+		if prog == nil {
+			done[p] = true
+		} else {
+			remaining++
+		}
+	}
+	res := Result{}
+	var mu sync.Mutex
+	for round := 0; remaining > 0 && round < cap; round++ {
+		var wg sync.WaitGroup
+		for p := 0; p < n; p++ {
+			if done[p] {
+				continue
+			}
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				act := programs[p](round, e.Bd)
+				if act.Probe >= 0 {
+					v := e.W.Report(p, act.Probe)
+					if act.Publish {
+						e.Bd.Write(p, act.Probe, v)
+					}
+				}
+				if act.Done {
+					mu.Lock()
+					done[p] = true
+					remaining--
+					mu.Unlock()
+				}
+			}(p)
+		}
+		wg.Wait()
+		res.Rounds++
+	}
+	res.Finished = remaining == 0
+	return res
+}
+
+// ProbeList builds a Program that probes the given objects in order, one
+// per round, publishing each, then signals done.
+func ProbeList(objs []int) Program {
+	return func(round int, _ *board.Board) Action {
+		if round >= len(objs) {
+			return Action{Probe: -1, Done: true}
+		}
+		return Action{
+			Probe:   objs[round],
+			Publish: true,
+			Done:    round == len(objs)-1,
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package rounds
+
+import (
+	"testing"
+
+	"collabscore/internal/board"
+	"collabscore/internal/prefgen"
+	"collabscore/internal/world"
+	"collabscore/internal/xrand"
+)
+
+func engine(seed uint64, n, m int) (*Engine, *world.World) {
+	in := prefgen.Uniform(xrand.New(seed), n, m)
+	w := world.New(in.Truth)
+	return &Engine{W: w, Bd: board.New(n, m)}, w
+}
+
+// TestRoundComplexityEqualsLongestPlan: the synchronous model executes a
+// set of probe plans in exactly max(plan length) rounds.
+func TestRoundComplexityEqualsLongestPlan(t *testing.T) {
+	e, _ := engine(1, 4, 32)
+	programs := []Program{
+		ProbeList([]int{0, 1, 2}),
+		ProbeList([]int{5}),
+		ProbeList([]int{7, 8, 9, 10, 11}),
+		ProbeList([]int{3, 4}),
+	}
+	res := e.Run(programs)
+	if !res.Finished {
+		t.Fatal("programs did not finish")
+	}
+	if res.Rounds != 5 {
+		t.Fatalf("rounds = %d, want 5 (the longest plan)", res.Rounds)
+	}
+}
+
+// TestOneProbePerRound: a player's probe count equals its plan length —
+// the model's "one probe per round" discipline.
+func TestOneProbePerRound(t *testing.T) {
+	e, w := engine(2, 3, 64)
+	plans := [][]int{{1, 2, 3, 4}, {10, 11}, {20, 21, 22}}
+	programs := make([]Program, 3)
+	for p := range programs {
+		programs[p] = ProbeList(plans[p])
+	}
+	e.Run(programs)
+	for p, plan := range plans {
+		if got := w.Probes(p); got != int64(len(plan)) {
+			t.Fatalf("player %d probed %d objects, plan had %d", p, got, len(plan))
+		}
+	}
+}
+
+// TestPublishesLandOnBoard: every published probe is readable afterwards
+// with the player's truth.
+func TestPublishesLandOnBoard(t *testing.T) {
+	e, w := engine(3, 2, 16)
+	e.Run([]Program{ProbeList([]int{4, 5}), ProbeList([]int{6})})
+	for _, pc := range []struct{ p, o int }{{0, 4}, {0, 5}, {1, 6}} {
+		v, ok := e.Bd.Read(pc.p, pc.o)
+		if !ok {
+			t.Fatalf("probe (%d,%d) not on board", pc.p, pc.o)
+		}
+		if v != w.PeekTruth(pc.p, pc.o) {
+			t.Fatalf("board value for (%d,%d) is not the truth", pc.p, pc.o)
+		}
+	}
+}
+
+// TestNilProgramsIdle: nil programs finish immediately.
+func TestNilProgramsIdle(t *testing.T) {
+	e, _ := engine(4, 3, 8)
+	res := e.Run([]Program{nil, ProbeList([]int{1}), nil})
+	if !res.Finished || res.Rounds != 1 {
+		t.Fatalf("result %+v, want finished in 1 round", res)
+	}
+}
+
+// TestMaxRoundsCapsRunaway: a program that never finishes is cut off.
+func TestMaxRoundsCapsRunaway(t *testing.T) {
+	e, _ := engine(5, 1, 8)
+	e.MaxRounds = 10
+	forever := func(round int, _ *board.Board) Action {
+		return Action{Probe: round % 8}
+	}
+	res := e.Run([]Program{forever})
+	if res.Finished {
+		t.Fatal("runaway program reported finished")
+	}
+	if res.Rounds != 10 {
+		t.Fatalf("rounds = %d, want cap 10", res.Rounds)
+	}
+}
+
+// TestPanicsOnWrongProgramCount documents the contract.
+func TestPanicsOnWrongProgramCount(t *testing.T) {
+	e, _ := engine(6, 2, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Run([]Program{nil})
+}
+
+// TestWorkShareFitsInExpectedRounds: scheduling the work-share phase of
+// the protocol (each player probes its assigned objects) completes in
+// rounds equal to the maximum per-player assignment — the Lemma 10 round
+// budget O(B·log n) at protocol scale.
+func TestWorkShareFitsInExpectedRounds(t *testing.T) {
+	const n, m = 64, 256
+	e, w := engine(7, n, m)
+	rng := xrand.New(8)
+	// Assign each object to 3 random players, round-robin into per-player
+	// plans (a miniature work-share schedule).
+	plans := make([][]int, n)
+	for o := 0; o < m; o++ {
+		for i := 0; i < 3; i++ {
+			p := rng.Intn(n)
+			plans[p] = append(plans[p], o)
+		}
+	}
+	longest := 0
+	programs := make([]Program, n)
+	for p := range programs {
+		programs[p] = ProbeList(plans[p])
+		if len(plans[p]) > longest {
+			longest = len(plans[p])
+		}
+	}
+	res := e.Run(programs)
+	if !res.Finished {
+		t.Fatal("work-share schedule did not finish")
+	}
+	if res.Rounds != longest {
+		t.Fatalf("rounds %d != longest plan %d", res.Rounds, longest)
+	}
+	// Every assignment was published; spot check tallies.
+	for o := 0; o < m; o += 37 {
+		total := 0
+		for p := 0; p < n; p++ {
+			if _, ok := e.Bd.Read(p, o); ok {
+				total++
+			}
+		}
+		if total == 0 {
+			t.Fatalf("object %d has no published votes", o)
+		}
+	}
+	_ = w
+}

@@ -1,0 +1,196 @@
+// Package selection implements the candidate-vector selection protocols of
+// Figure 1: RSelect (randomized, Theorem 3) and Select (the deterministic
+// diameter-bounded variant used inside SmallRadius, Theorem 5).
+//
+// Both protocols run locally at one player p: given candidate preference
+// vectors over some object set, p probes a few objects on which candidates
+// disagree and eliminates candidates that lose the resulting votes. RSelect
+// guarantees the output is within a constant factor of the best candidate's
+// distance; Select additionally exploits a promised diameter bound D.
+package selection
+
+import (
+	"math"
+
+	"collabscore/internal/bitvec"
+	"collabscore/internal/world"
+	"collabscore/internal/xrand"
+)
+
+// Params holds the tunable constants of the selection protocols. The paper
+// specifies Θ(log n) probes per candidate pair and a 2/3 elimination
+// threshold; Defaults follows it.
+type Params struct {
+	// SampleFactor scales the per-pair probe budget of RSelect: each pair
+	// probes ⌈SampleFactor · ln n⌉ randomly chosen differing objects.
+	SampleFactor float64
+	// SelectSampleFactor scales the per-duel probe budget of Select, which
+	// runs a linear champion tournament and can therefore afford fewer
+	// probes per duel.
+	SelectSampleFactor float64
+	// EliminateFrac is the agreement fraction above which the losing
+	// candidate is eliminated in RSelect (paper: 2/3).
+	EliminateFrac float64
+	// KeepWithin (Select only): a challenger within KeepWithin·D of the
+	// current champion is skipped — either is acceptable under the
+	// diameter promise.
+	KeepWithin int
+}
+
+// Defaults returns the paper's constants.
+func Defaults() Params {
+	return Params{SampleFactor: 6, SelectSampleFactor: 2, EliminateFrac: 2.0 / 3.0, KeepWithin: 4}
+}
+
+// Scaled returns simulation-scale budgets. Duels are cheap here because a
+// player's probes are memoized (a duel can never cost more than the object
+// set it runs over), so Scaled buys reliability with a larger per-duel
+// budget and a tighter skip threshold instead of saving duel probes.
+func Scaled() Params {
+	return Params{SampleFactor: 1, SelectSampleFactor: 1.5, EliminateFrac: 2.0 / 3.0, KeepWithin: 1}
+}
+
+// pairBudget returns the number of probes used per candidate pair.
+func pairBudget(factor float64, n int) int {
+	k := int(math.Ceil(factor * math.Log(float64(n)+2)))
+	if k < 4 {
+		k = 4
+	}
+	return k
+}
+
+// RSelect runs the randomized tournament of Figure 1 for player p over the
+// given candidates. Each candidate is a vector over objs (bit j of a
+// candidate corresponds to global object objs[j]). The returned index
+// identifies the surviving candidate; whp its distance to v(p) is O(d*),
+// where d* is the distance of the best candidate (Theorem 3), using
+// O(k²·log n) probes.
+//
+// RSelect returns -1 only if candidates is empty.
+func RSelect(w *world.World, p int, objs []int, candidates []bitvec.Vector, rng *xrand.Stream, pr Params) int {
+	k := len(candidates)
+	if k == 0 {
+		return -1
+	}
+	if k == 1 {
+		return 0
+	}
+	budget := pairBudget(pr.SampleFactor, w.N())
+	alive := make([]bool, k)
+	for i := range alive {
+		alive[i] = true
+	}
+	for i := 0; i < k; i++ {
+		if !alive[i] {
+			continue
+		}
+		for j := i + 1; j < k; j++ {
+			if !alive[j] || !alive[i] {
+				continue
+			}
+			winner := duel(w, p, objs, candidates[i], candidates[j], rng, budget, pr.EliminateFrac)
+			switch winner {
+			case 0: // i wins, j eliminated
+				alive[j] = false
+			case 1: // j wins, i eliminated
+				alive[i] = false
+			}
+		}
+	}
+	for i, a := range alive {
+		if a {
+			return i
+		}
+	}
+	return 0 // unreachable: a duel never eliminates both
+}
+
+// duel probes up to budget objects where a and b differ and returns
+// 0 if b should be eliminated, 1 if a should be eliminated, -1 to keep both.
+func duel(w *world.World, p int, objs []int, a, b bitvec.Vector, rng *xrand.Stream, budget int, frac float64) int {
+	diff := a.DiffIndices(b)
+	if len(diff) == 0 {
+		return -1
+	}
+	probeIdx := diff
+	if len(diff) > budget {
+		probeIdx = rng.SampleFrom(diff, budget)
+	}
+	agreeA := 0
+	for _, j := range probeIdx {
+		if w.Probe(p, objs[j]) == a.Get(j) {
+			agreeA++
+		}
+	}
+	total := len(probeIdx)
+	if float64(agreeA) >= frac*float64(total) {
+		return 0
+	}
+	if float64(total-agreeA) >= frac*float64(total) {
+		return 1
+	}
+	return -1
+}
+
+// Select is the diameter-bounded selection protocol used by SmallRadius:
+// given the promise that at least one candidate is within distance d of
+// v(p), it returns the index of a candidate within O(d) of v(p), whp.
+//
+// It runs a linear champion tournament rather than the full pairwise
+// tournament of RSelect: challengers within KeepWithin·d of the champion
+// are skipped (either is acceptable under the promise), and far challengers
+// duel the champion by majority over a small probe sample. The best
+// candidate w* wins every far duel whp, so the final champion is w* or a
+// candidate within KeepWithin·d of it — within (KeepWithin+1)·d of v(p).
+// Probes: O(k·log n) instead of O(k²·log n), which is what lets SmallRadius
+// afford a Select per object group. (The paper leaves Select's pseudocode
+// to [2]; this variant satisfies the same contract.)
+//
+// Select returns -1 only if candidates is empty.
+func Select(w *world.World, p int, objs []int, candidates []bitvec.Vector, d int, rng *xrand.Stream, pr Params) int {
+	k := len(candidates)
+	if k == 0 {
+		return -1
+	}
+	if k == 1 {
+		return 0
+	}
+	if d < 1 {
+		d = 1
+	}
+	budget := pairBudget(pr.SelectSampleFactor, w.N())
+	near := pr.KeepWithin * d
+	champ := 0
+	for i := 1; i < k; i++ {
+		if candidates[champ].Hamming(candidates[i]) <= near {
+			continue // equally acceptable; keep the incumbent
+		}
+		if duelMajority(w, p, objs, candidates[champ], candidates[i], rng, budget) == 1 {
+			champ = i
+		}
+	}
+	return champ
+}
+
+// duelMajority probes up to budget differing objects and returns 0 if a
+// wins the majority, 1 if b does (ties to the incumbent a).
+func duelMajority(w *world.World, p int, objs []int, a, b bitvec.Vector, rng *xrand.Stream, budget int) int {
+	diff := a.DiffIndices(b)
+	if len(diff) == 0 {
+		return 0
+	}
+	probeIdx := diff
+	if len(diff) > budget {
+		probeIdx = rng.SampleFrom(diff, budget)
+	}
+	agreeA := 0
+	for _, j := range probeIdx {
+		if w.Probe(p, objs[j]) == a.Get(j) {
+			agreeA++
+		}
+	}
+	if 2*agreeA >= len(probeIdx) {
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,93 @@
+// Package sim is the experiment engine: it runs independent trials of a
+// simulation function in parallel with deterministic per-trial seeds and
+// aggregates the resulting measurements.
+package sim
+
+import (
+	"collabscore/internal/metrics"
+	"collabscore/internal/par"
+	"collabscore/internal/xrand"
+)
+
+// Trial is one independent simulation run: it receives the trial index and
+// a dedicated random stream, and returns any number of named measurements.
+type Trial func(trial int, rng *xrand.Stream) map[string]float64
+
+// Agg holds aggregated measurements for one metric across trials.
+type Agg struct {
+	Mean float64
+	Std  float64
+	CI95 float64
+	Min  float64
+	Max  float64
+	N    int
+}
+
+// Run executes k independent trials (in parallel) seeded from seed and
+// aggregates each named measurement.
+func Run(k int, seed uint64, fn Trial) map[string]Agg {
+	root := xrand.New(seed)
+	results := par.Map(k, func(i int) map[string]float64 {
+		return fn(i, root.Split(uint64(i)))
+	})
+	byName := map[string][]float64{}
+	for _, r := range results {
+		for name, v := range r {
+			byName[name] = append(byName[name], v)
+		}
+	}
+	out := make(map[string]Agg, len(byName))
+	for name, xs := range byName {
+		a := Agg{
+			Mean: metrics.Mean(xs),
+			Std:  metrics.Std(xs),
+			CI95: metrics.CI95(xs),
+			N:    len(xs),
+		}
+		for i, x := range xs {
+			if i == 0 || x < a.Min {
+				a.Min = x
+			}
+			if i == 0 || x > a.Max {
+				a.Max = x
+			}
+		}
+		out[name] = a
+	}
+	return out
+}
+
+// RunSequential is Run without parallelism, for trials that already
+// saturate the CPU internally.
+func RunSequential(k int, seed uint64, fn Trial) map[string]Agg {
+	root := xrand.New(seed)
+	results := make([]map[string]float64, k)
+	for i := 0; i < k; i++ {
+		results[i] = fn(i, root.Split(uint64(i)))
+	}
+	byName := map[string][]float64{}
+	for _, r := range results {
+		for name, v := range r {
+			byName[name] = append(byName[name], v)
+		}
+	}
+	out := make(map[string]Agg, len(byName))
+	for name, xs := range byName {
+		a := Agg{
+			Mean: metrics.Mean(xs),
+			Std:  metrics.Std(xs),
+			CI95: metrics.CI95(xs),
+			N:    len(xs),
+		}
+		for i, x := range xs {
+			if i == 0 || x < a.Min {
+				a.Min = x
+			}
+			if i == 0 || x > a.Max {
+				a.Max = x
+			}
+		}
+		out[name] = a
+	}
+	return out
+}

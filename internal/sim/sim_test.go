@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"collabscore/internal/xrand"
+)
+
+func TestRunAggregates(t *testing.T) {
+	agg := Run(10, 42, func(trial int, rng *xrand.Stream) map[string]float64 {
+		return map[string]float64{"x": float64(trial), "const": 7}
+	})
+	x := agg["x"]
+	if x.N != 10 {
+		t.Fatalf("N = %d", x.N)
+	}
+	if math.Abs(x.Mean-4.5) > 1e-9 {
+		t.Fatalf("Mean = %v", x.Mean)
+	}
+	if x.Min != 0 || x.Max != 9 {
+		t.Fatalf("Min/Max = %v/%v", x.Min, x.Max)
+	}
+	c := agg["const"]
+	if c.Std != 0 || c.CI95 != 0 {
+		t.Fatalf("constant metric has spread: %+v", c)
+	}
+}
+
+func TestRunExecutesAllTrials(t *testing.T) {
+	var count atomic.Int32
+	Run(25, 1, func(trial int, rng *xrand.Stream) map[string]float64 {
+		count.Add(1)
+		return nil
+	})
+	if count.Load() != 25 {
+		t.Fatalf("ran %d trials, want 25", count.Load())
+	}
+}
+
+func TestTrialStreamsIndependentButDeterministic(t *testing.T) {
+	collect := func() []float64 {
+		agg := Run(8, 99, func(trial int, rng *xrand.Stream) map[string]float64 {
+			return map[string]float64{"v": rng.Float64()}
+		})
+		return []float64{agg["v"].Mean, agg["v"].Min, agg["v"].Max}
+	}
+	a, b := collect(), collect()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed gave different aggregate")
+		}
+	}
+	if a[1] == a[2] {
+		t.Fatal("all trials saw the same random value")
+	}
+}
+
+func TestRunSequentialMatchesRun(t *testing.T) {
+	fn := func(trial int, rng *xrand.Stream) map[string]float64 {
+		return map[string]float64{"v": rng.Float64()}
+	}
+	a := Run(12, 5, fn)
+	b := RunSequential(12, 5, fn)
+	if a["v"].Mean != b["v"].Mean || a["v"].Min != b["v"].Min {
+		t.Fatal("parallel and sequential runs disagree")
+	}
+}

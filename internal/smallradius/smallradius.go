@@ -1,0 +1,266 @@
+// Package smallradius implements the SmallRadius protocol of Figure 1
+// (from Alon, Awerbuch, Azar, Patt-Shamir [2,3]): collaborative scoring
+// under the assumption that each player has at least n/B peers within
+// Hamming distance D, for D up to about log n.
+//
+// Each of Θ(log n) repetitions randomly partitions the object set into
+// s = Θ(D^{3/2}) groups. Within a group, a diameter-D cluster restricted to
+// the group has expected diameter D/s < 1, i.e. it is almost always a
+// zero-radius cluster, so ZeroRadius recovers the group's preferences. Each
+// player selects the best group-vector with Select, concatenates across
+// groups, and finally selects the best repetition (Theorem 5: error ≤ 5D).
+package smallradius
+
+import (
+	"math"
+	"sort"
+
+	"collabscore/internal/bitvec"
+	"collabscore/internal/par"
+	"collabscore/internal/selection"
+	"collabscore/internal/world"
+	"collabscore/internal/xrand"
+	"collabscore/internal/zeroradius"
+)
+
+// Params carries the protocol's tunable constants. The paper's asymptotic
+// constants make the polylog factors exceed n itself at laptop scale (see
+// DESIGN.md §4); Scaled returns a parameterization that preserves the
+// guarantee shapes at simulation sizes, while Paper returns the literal
+// constants.
+type Params struct {
+	// Repeats is the number of independent repetitions (paper: Θ(log n)).
+	Repeats int
+	// SubsetScale and SubsetExp set the number of groups:
+	// s = ⌈SubsetScale·D^SubsetExp⌉ (paper: 1·D^{3/2}). The structural
+	// requirement is s ≳ D so that a diameter-D cluster restricted to one
+	// group has diameter ≲ 1 — the zero-radius regime ZeroRadius needs.
+	SubsetScale float64
+	SubsetExp   float64
+	// MinGroupObjects lowers s so that each group keeps at least this many
+	// objects; tiny groups degenerate ZeroRadius to probe-everything.
+	MinGroupObjects int
+	// BudgetMultiplier is the factor on B passed to ZeroRadius (paper: 5).
+	BudgetMultiplier int
+	// SupportDivisor sets the group-vector support threshold n/(SupportDivisor·B)
+	// (paper: 5).
+	SupportDivisor float64
+	// ZR configures the inner ZeroRadius runs.
+	ZR zeroradius.Params
+	// Sel configures the Select/RSelect calls.
+	Sel selection.Params
+}
+
+// Paper returns the constants as stated in Figure 1.
+func Paper(n int) Params {
+	return Params{
+		Repeats:          int(math.Ceil(math.Log2(float64(n) + 2))),
+		SubsetScale:      1,
+		SubsetExp:        1.5,
+		MinGroupObjects:  1,
+		BudgetMultiplier: 5,
+		SupportDivisor:   5,
+		ZR:               zeroradius.Defaults(),
+		Sel:              selection.Defaults(),
+	}
+}
+
+// Scaled returns simulation-friendly constants: fewer repetitions, fewer
+// and larger groups, a small ZeroRadius base case, and tighter Select probe
+// budgets, preserving the partition-then-zero-radius structure.
+func Scaled(n int) Params {
+	p := Paper(n)
+	p.Repeats = 2
+	p.SubsetScale = 1
+	p.SubsetExp = 1 // s ≈ D: one expected intra-cluster difference per group
+	p.MinGroupObjects = 16
+	p.ZR = zeroradius.Scaled()
+	p.Sel = selection.Scaled()
+	return p
+}
+
+// groups partitions positions [0,len(objs)) into s groups using shared
+// randomness, returning the group index of each position.
+func (pr Params) numGroups(d, numObjs int) int {
+	if d < 1 {
+		d = 1
+	}
+	exp := pr.SubsetExp
+	if exp == 0 {
+		exp = 1.5
+	}
+	s := int(math.Ceil(pr.SubsetScale * math.Pow(float64(d), exp)))
+	if s < 1 {
+		s = 1
+	}
+	if pr.MinGroupObjects > 0 && s > numObjs/pr.MinGroupObjects {
+		s = numObjs / pr.MinGroupObjects
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Run executes SmallRadius for all players over the objects objs (global
+// ids), with diameter bound d and per-player budget b. It returns, for each
+// player id, an output vector indexed like objs. Honest players satisfying
+// the small-radius assumption receive vectors within O(d) of their truth
+// whp; dishonest players' entries hold the vectors they publish (their
+// strategies' claims), which downstream steps treat as their z-vectors.
+func Run(w *world.World, objs []int, d, b int, shared *xrand.Stream, pr Params) map[int]bitvec.Vector {
+	n := w.N()
+	if b < 1 {
+		b = 1
+	}
+	out := make(map[int]bitvec.Vector, n)
+
+	// Dishonest players publish claims; compute once.
+	dishonest := w.DishonestPlayers()
+	claims := par.Map(len(dishonest), func(i int) bitvec.Vector {
+		return w.ReportVector(dishonest[i], objs)
+	})
+	for i, p := range dishonest {
+		out[p] = claims[i]
+	}
+
+	honest := w.HonestPlayers()
+	if len(objs) == 0 {
+		for _, p := range honest {
+			out[p] = bitvec.New(0)
+		}
+		return out
+	}
+
+	// candidates[p] accumulates one concatenated vector per repetition.
+	candidates := make(map[int][]bitvec.Vector, len(honest))
+
+	allPlayers := make([]int, n)
+	for i := range allPlayers {
+		allPlayers[i] = i
+	}
+
+	for rep := 0; rep < pr.Repeats; rep++ {
+		repRng := shared.Split(uint64(rep))
+		s := pr.numGroups(d, len(objs))
+		// A diameter-d cluster restricted to one of s random groups has
+		// expected diameter d/s; that is the promise the per-group Select
+		// works against.
+		dGroup := (d + s - 1) / s
+		if dGroup < 1 {
+			dGroup = 1
+		}
+
+		// Shared random partition of objs into s groups.
+		groupOf := make([]int, len(objs))
+		for j := range groupOf {
+			groupOf[j] = repRng.Intn(s)
+		}
+		groupPositions := make([][]int, s) // positions within objs
+		for j, g := range groupOf {
+			groupPositions[g] = append(groupPositions[g], j)
+		}
+
+		// Per-group ZeroRadius over all players, in parallel across groups.
+		type groupResult struct {
+			positions []int
+			ui        []bitvec.Vector // supported candidate vectors
+			outputs   map[int]bitvec.Vector
+		}
+		results := par.Map(s, func(g int) groupResult {
+			positions := groupPositions[g]
+			if len(positions) == 0 {
+				return groupResult{}
+			}
+			groupObjs := make([]int, len(positions))
+			for i, j := range positions {
+				groupObjs[i] = objs[j]
+			}
+			zr := zeroradius.Run(w, allPlayers, groupObjs, pr.BudgetMultiplier*b, repRng.Split(uint64(g)), pr.ZR)
+			// U_g: vectors output by at least n/(SupportDivisor·B) players.
+			threshold := float64(n) / (pr.SupportDivisor * float64(b))
+			if threshold < 1 {
+				threshold = 1
+			}
+			tally := make(map[string]int)
+			byKey := make(map[string]bitvec.Vector)
+			for _, v := range zr {
+				k := v.Key()
+				tally[k]++
+				byKey[k] = v
+			}
+			// Deterministic candidate order: support descending, then key.
+			keys := make([]string, 0, len(tally))
+			for k, c := range tally {
+				if float64(c) >= threshold {
+					keys = append(keys, k)
+				}
+			}
+			sort.Slice(keys, func(i, j int) bool {
+				if tally[keys[i]] != tally[keys[j]] {
+					return tally[keys[i]] > tally[keys[j]]
+				}
+				return keys[i] < keys[j]
+			})
+			ui := make([]bitvec.Vector, 0, len(keys))
+			for _, k := range keys {
+				ui = append(ui, byKey[k])
+			}
+			return groupResult{positions: positions, ui: ui, outputs: zr}
+		})
+
+		// Each honest player selects a vector per group and concatenates.
+		repCandidates := par.Map(len(honest), func(i int) bitvec.Vector {
+			p := honest[i]
+			full := bitvec.New(len(objs))
+			selRng := repRng.Split(0xC0FFEE, uint64(p))
+			for g := range results {
+				res := &results[g]
+				if len(res.positions) == 0 {
+					continue
+				}
+				var chosen bitvec.Vector
+				switch {
+				case len(res.ui) > 0:
+					groupObjs := make([]int, len(res.positions))
+					for k, j := range res.positions {
+						groupObjs[k] = objs[j]
+					}
+					idx := selection.Select(w, p, groupObjs, res.ui, dGroup, selRng, pr.Sel)
+					chosen = res.ui[idx]
+				case res.outputs[p].Len() > 0:
+					// No supported candidate (assumption violated for this
+					// group); fall back to the player's own ZeroRadius output.
+					chosen = res.outputs[p]
+				default:
+					chosen = bitvec.New(len(res.positions))
+				}
+				for k, j := range res.positions {
+					if chosen.Get(k) {
+						full.Set(j, true)
+					}
+				}
+			}
+			return full
+		})
+		for i, p := range honest {
+			candidates[p] = append(candidates[p], repCandidates[i])
+		}
+	}
+
+	// Final per-player selection among the repetition candidates.
+	finals := par.Map(len(honest), func(i int) bitvec.Vector {
+		p := honest[i]
+		cands := candidates[p]
+		selRng := shared.Split(0xF1A7, uint64(p))
+		idx := selection.Select(w, p, objs, cands, d, selRng, pr.Sel)
+		if idx < 0 {
+			return bitvec.New(len(objs))
+		}
+		return cands[idx]
+	})
+	for i, p := range honest {
+		out[p] = finals[i]
+	}
+	return out
+}

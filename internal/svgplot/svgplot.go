@@ -1,0 +1,205 @@
+// Package svgplot renders experiment series as standalone SVG line charts
+// using only the standard library. The paper publishes no result figures
+// (its artifacts are theorems), so these charts are the figure-equivalents
+// of the reproduction: error-vs-corruption, probes-vs-n, and any other
+// table produced by the experiment harness can be turned into one.
+package svgplot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named polyline.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart is a collection of series with axis labels.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// LogY switches the y-axis to log10 scale (values must be positive).
+	LogY bool
+	// Width and Height in pixels (0 → 720×440).
+	Width, Height int
+}
+
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// Add appends a series. X and Y must have equal length.
+func (c *Chart) Add(name string, x, y []float64) {
+	if len(x) != len(y) {
+		panic("svgplot: x/y length mismatch")
+	}
+	c.Series = append(c.Series, Series{Name: name, X: x, Y: y})
+}
+
+// Render produces a complete SVG document.
+func (c *Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 720
+	}
+	if h <= 0 {
+		h = 440
+	}
+	const marginL, marginR, marginT, marginB = 64, 24, 40, 56
+	plotW := float64(w - marginL - marginR)
+	plotH := float64(h - marginT - marginB)
+
+	minX, maxX, minY, maxY := c.bounds()
+	ty := func(y float64) float64 {
+		if c.LogY {
+			y = math.Log10(y)
+		}
+		lo, hi := minY, maxY
+		if c.LogY {
+			lo, hi = math.Log10(minY), math.Log10(maxY)
+		}
+		if hi == lo {
+			hi = lo + 1
+		}
+		return float64(marginT) + plotH*(1-(y-lo)/(hi-lo))
+	}
+	tx := func(x float64) float64 {
+		if maxX == minX {
+			maxX = minX + 1
+		}
+		return float64(marginL) + plotW*(x-minX)/(maxX-minX)
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`, w, h)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	if c.Title != "" {
+		fmt.Fprintf(&sb, `<text x="%d" y="22" font-size="15" font-weight="bold">%s</text>`, marginL, esc(c.Title))
+	}
+
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		marginL, marginT, marginL, h-marginB)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		marginL, h-marginB, w-marginR, h-marginB)
+
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		fx := minX + (maxX-minX)*float64(i)/4
+		px := tx(fx)
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ccc"/>`,
+			px, marginT, px, h-marginB)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`,
+			px, h-marginB+18, fmtTick(fx))
+
+		var fy float64
+		if c.LogY {
+			lo, hi := math.Log10(minY), math.Log10(maxY)
+			fy = math.Pow(10, lo+(hi-lo)*float64(i)/4)
+		} else {
+			fy = minY + (maxY-minY)*float64(i)/4
+		}
+		py := ty(fy)
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#eee"/>`,
+			marginL, py, w-marginR, py)
+		fmt.Fprintf(&sb, `<text x="%d" y="%.1f" text-anchor="end">%s</text>`,
+			marginL-6, py+4, fmtTick(fy))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" text-anchor="middle">%s</text>`,
+			marginL+int(plotW/2), h-12, esc(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&sb, `<text x="16" y="%d" transform="rotate(-90 16 %d)" text-anchor="middle">%s</text>`,
+			marginT+int(plotH/2), marginT+int(plotH/2), esc(c.YLabel))
+	}
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		pts := make([]string, 0, len(s.X))
+		order := argsortByX(s)
+		for _, i := range order {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", tx(s.X[i]), ty(s.Y[i])))
+		}
+		fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`,
+			strings.Join(pts, " "), color)
+		for _, i := range order {
+			fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`,
+				tx(s.X[i]), ty(s.Y[i]), color)
+		}
+		// Legend entry.
+		ly := marginT + 8 + 18*si
+		fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="12" height="3" fill="%s"/>`,
+			w-marginR-150, ly, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d">%s</text>`,
+			w-marginR-132, ly+6, esc(s.Name))
+	}
+	sb.WriteString(`</svg>`)
+	return sb.String()
+}
+
+func (c *Chart) bounds() (minX, maxX, minY, maxY float64) {
+	first := true
+	for _, s := range c.Series {
+		for i := range s.X {
+			if c.LogY && s.Y[i] <= 0 {
+				continue
+			}
+			if first {
+				minX, maxX, minY, maxY = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if first {
+		return 0, 1, 0, 1
+	}
+	if !c.LogY {
+		if minY > 0 {
+			minY = 0 // anchor linear charts at zero
+		}
+	}
+	return minX, maxX, minY, maxY
+}
+
+func argsortByX(s Series) []int {
+	order := make([]int, len(s.X))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return s.X[order[a]] < s.X[order[b]] })
+	return order
+}
+
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	case av == 0:
+		return "0"
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func esc(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}

@@ -1,0 +1,129 @@
+package svgplot
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	c := &Chart{Title: "err vs f", XLabel: "f", YLabel: "max err"}
+	c.Add("byzantine", []float64{0, 21, 42}, []float64{16, 16, 16})
+	svg := c.Render()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "err vs f", "byzantine", "max err"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("rendered SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<circle") != 3 {
+		t.Fatalf("want 3 point markers, got %d", strings.Count(svg, "<circle"))
+	}
+}
+
+func TestMultipleSeriesGetDistinctColors(t *testing.T) {
+	c := &Chart{}
+	c.Add("a", []float64{0, 1}, []float64{1, 2})
+	c.Add("b", []float64{0, 1}, []float64{2, 3})
+	svg := c.Render()
+	if !strings.Contains(svg, palette[0]) || !strings.Contains(svg, palette[1]) {
+		t.Fatal("series colors missing")
+	}
+}
+
+func TestLogScale(t *testing.T) {
+	c := &Chart{LogY: true}
+	c.Add("probes", []float64{512, 1024, 2048}, []float64{512, 300, 350})
+	svg := c.Render()
+	if !strings.Contains(svg, "<polyline") {
+		t.Fatal("log chart missing polyline")
+	}
+	// Non-positive values are skipped, not rendered as NaN coordinates.
+	c2 := &Chart{LogY: true}
+	c2.Add("bad", []float64{1, 2}, []float64{0, 10})
+	if strings.Contains(c2.Render(), "NaN") {
+		t.Fatal("log chart rendered NaN")
+	}
+}
+
+func TestUnsortedXGetsSorted(t *testing.T) {
+	c := &Chart{}
+	c.Add("s", []float64{3, 1, 2}, []float64{30, 10, 20})
+	svg := c.Render()
+	// The polyline must be drawn left-to-right: extract the points attr
+	// and check x coordinates ascend.
+	i := strings.Index(svg, `points="`)
+	if i < 0 {
+		t.Fatal("no points attribute")
+	}
+	rest := svg[i+len(`points="`):]
+	attr := rest[:strings.Index(rest, `"`)]
+	pts := strings.Fields(attr)
+	prev := -1.0
+	for _, p := range pts {
+		var x, y float64
+		if _, err := sscanPoint(p, &x, &y); err != nil {
+			t.Fatalf("bad point %q", p)
+		}
+		if x < prev {
+			t.Fatal("polyline x-coordinates not ascending")
+		}
+		prev = x
+	}
+}
+
+func sscanPoint(s string, x, y *float64) (int, error) {
+	parts := strings.SplitN(s, ",", 2)
+	if len(parts) != 2 {
+		return 0, strconvErr(s)
+	}
+	var err error
+	*x, err = parseF(parts[0])
+	if err != nil {
+		return 0, err
+	}
+	*y, err = parseF(parts[1])
+	if err != nil {
+		return 1, err
+	}
+	return 2, nil
+}
+
+func parseF(s string) (float64, error) {
+	var v float64
+	var err error
+	_, err = fmtSscan(s, &v)
+	return v, err
+}
+
+func TestEmptyChart(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	svg := c.Render()
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("empty chart is not valid SVG scaffolding")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := &Chart{Title: "a < b & c"}
+	svg := c.Render()
+	if strings.Contains(svg, "a < b & c") {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(svg, "a &lt; b &amp; c") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestAddPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&Chart{}).Add("x", []float64{1}, []float64{1, 2})
+}
+
+// test helpers kept minimal and stdlib-only.
+func fmtSscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }
+
+func strconvErr(s string) error { return fmt.Errorf("malformed point %q", s) }

@@ -1,0 +1,76 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := New("Demo", "name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("b", 123456)
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Demo" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Fatalf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "----") {
+		t.Fatalf("separator = %q", lines[2])
+	}
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d", len(lines))
+	}
+}
+
+func TestRenderNoTitle(t *testing.T) {
+	tb := New("", "a")
+	tb.AddRow("x")
+	out := tb.Render()
+	if strings.HasPrefix(out, "\n") {
+		t.Fatal("leading newline with empty title")
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := New("", "v")
+	tb.AddRow(3.14159265)
+	if !strings.Contains(tb.Render(), "3.142") {
+		t.Fatalf("float not formatted: %s", tb.Render())
+	}
+	tb2 := New("", "v")
+	tb2.AddRow(float32(2.5))
+	if !strings.Contains(tb2.Render(), "2.5") {
+		t.Fatal("float32 not formatted")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("t", "a", "b")
+	tb.AddRow("x,y", "plain")
+	tb.AddRow(`quo"te`, 7)
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if lines[0] != "a,b" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if lines[1] != `"x,y",plain` {
+		t.Fatalf("csv row = %q", lines[1])
+	}
+	if lines[2] != `"quo""te",7` {
+		t.Fatalf("csv quoting = %q", lines[2])
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := New("empty", "col")
+	out := tb.Render()
+	if !strings.Contains(out, "col") {
+		t.Fatal("missing header")
+	}
+	if tb.CSV() != "col\n" {
+		t.Fatalf("CSV = %q", tb.CSV())
+	}
+}

@@ -1,0 +1,262 @@
+// Package world implements the game substrate of the paper's model (§2):
+// n players, m objects, a hidden binary preference matrix, a probe oracle
+// with per-player probe accounting, and pluggable per-player behaviors so
+// dishonest strategies can be injected at every point where a player reports
+// a value.
+//
+// Probes versus reports. Probing is the paper's cost measure: when player p
+// probes object o it learns the truth v(p)_o, and we charge one probe to p.
+// What p *reports* (writes to the bulletin board, or returns from a protocol
+// subroutine) is a separate act: honest players report probed truth,
+// dishonest players report whatever their strategy dictates — without
+// necessarily probing, since the adversary is full-information.
+package world
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"collabscore/internal/bitvec"
+)
+
+// Behavior decides what a player reports when the protocol asks it to probe
+// an object and publish the result. Implementations must be safe for
+// concurrent use across distinct calls.
+type Behavior interface {
+	// Report returns the value player p publishes for object o. Honest
+	// behaviors probe (charging p) and return the truth; dishonest ones may
+	// return anything and typically do not probe.
+	Report(w *World, p, o int) bool
+}
+
+// Honest is the protocol-following behavior: probe and report the truth.
+type Honest struct{}
+
+// Report probes object o as player p and returns the true preference.
+func (Honest) Report(w *World, p, o int) bool { return w.Probe(p, o) }
+
+// Public is protocol state visible to all players — and therefore to the
+// full-information adversary. Protocol phases update it as they go so that
+// adaptive strategies (cluster hijacking, strange-object attacks) can react.
+type Public struct {
+	// Phase names the currently executing protocol phase, e.g. "sample",
+	// "smallradius", "workshare".
+	Phase string
+	// Sample holds the current sample set S (global object ids), when one
+	// has been published. Use SetSample to keep the membership index in sync.
+	Sample []int
+	// sampleSet indexes Sample for O(1) membership tests.
+	sampleSet map[int]bool
+	// Clusters holds the current clustering (player ids per cluster), when
+	// one has been computed.
+	Clusters [][]int
+	// TargetDiameter is the diameter guess D of the current iteration.
+	TargetDiameter int
+}
+
+// SetSample publishes a sample set and rebuilds the membership index.
+// Passing nil clears the sample.
+func (pub *Public) SetSample(sample []int) {
+	pub.Sample = sample
+	if sample == nil {
+		pub.sampleSet = nil
+		return
+	}
+	pub.sampleSet = make(map[int]bool, len(sample))
+	for _, o := range sample {
+		pub.sampleSet[o] = true
+	}
+}
+
+// InSample reports whether object o belongs to the published sample set.
+// It returns false when no sample is published.
+func (pub *Public) InSample(o int) bool { return pub.sampleSet[o] }
+
+// HasSample reports whether a sample set is currently published.
+func (pub *Public) HasSample() bool { return pub.Sample != nil }
+
+// World is the simulation substrate. The truth matrix, roles, and behaviors
+// are fixed at construction; probe counters are updated concurrently.
+type World struct {
+	n, m      int
+	truth     []bitvec.Vector // truth[p] has length m
+	honest    []bool
+	behaviors []Behavior
+	probes    []atomic.Int64
+	known     []knownBits // per-player probe memo
+
+	// Pub is mutated only between parallel phases (never concurrently with
+	// Report calls that read it).
+	Pub Public
+}
+
+// knownBits memoizes what a player has already learned. Once a player has
+// probed an object it knows the answer forever, so re-probing is free: the
+// paper's probe complexity counts distinct objects examined.
+type knownBits struct {
+	mu   sync.Mutex
+	mask bitvec.Vector
+}
+
+// New creates a world from a truth matrix. All players start honest; use
+// SetBehavior/SetDishonest to corrupt some of them. It panics if truth is
+// empty or rows have unequal lengths.
+func New(truth []bitvec.Vector) *World {
+	if len(truth) == 0 {
+		panic("world: no players")
+	}
+	m := truth[0].Len()
+	for p, v := range truth {
+		if v.Len() != m {
+			panic(fmt.Sprintf("world: truth row %d has length %d, want %d", p, v.Len(), m))
+		}
+	}
+	w := &World{
+		n:         len(truth),
+		m:         m,
+		truth:     truth,
+		honest:    make([]bool, len(truth)),
+		behaviors: make([]Behavior, len(truth)),
+		probes:    make([]atomic.Int64, len(truth)),
+		known:     make([]knownBits, len(truth)),
+	}
+	for p := range w.honest {
+		w.honest[p] = true
+		w.behaviors[p] = Honest{}
+		w.known[p].mask = bitvec.New(m)
+	}
+	return w
+}
+
+// N returns the number of players.
+func (w *World) N() int { return w.n }
+
+// M returns the number of objects.
+func (w *World) M() int { return w.m }
+
+// Probe returns the true preference v(p)_o and charges one probe to player
+// p unless p has probed o before (probing teaches the answer permanently,
+// so only distinct objects count). It is safe for concurrent use.
+func (w *World) Probe(p, o int) bool {
+	kb := &w.known[p]
+	kb.mu.Lock()
+	if !kb.mask.Get(o) {
+		kb.mask.Set(o, true)
+		w.probes[p].Add(1)
+	}
+	kb.mu.Unlock()
+	return w.truth[p].Get(o)
+}
+
+// PeekTruth returns v(p)_o without charging a probe. It exists for the
+// full-information adversary and for measurement code; protocol logic must
+// use Probe.
+func (w *World) PeekTruth(p, o int) bool { return w.truth[p].Get(o) }
+
+// TruthVector returns a copy of player p's full truth vector (measurement
+// use only).
+func (w *World) TruthVector(p int) bitvec.Vector { return w.truth[p].Clone() }
+
+// Report asks player p's behavior for its published value for object o.
+func (w *World) Report(p, o int) bool { return w.behaviors[p].Report(w, p, o) }
+
+// SetBehavior installs a behavior for player p and marks it dishonest
+// unless the behavior is Honest.
+func (w *World) SetBehavior(p int, b Behavior) {
+	w.behaviors[p] = b
+	_, isHonest := b.(Honest)
+	w.honest[p] = isHonest
+}
+
+// IsHonest reports whether player p follows the protocol.
+func (w *World) IsHonest(p int) bool { return w.honest[p] }
+
+// HonestPlayers returns the ids of all honest players, ascending.
+func (w *World) HonestPlayers() []int {
+	var out []int
+	for p := 0; p < w.n; p++ {
+		if w.honest[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// DishonestPlayers returns the ids of all dishonest players, ascending.
+func (w *World) DishonestPlayers() []int {
+	var out []int
+	for p := 0; p < w.n; p++ {
+		if !w.honest[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// NumDishonest returns the number of dishonest players.
+func (w *World) NumDishonest() int {
+	c := 0
+	for _, h := range w.honest {
+		if !h {
+			c++
+		}
+	}
+	return c
+}
+
+// Probes returns the number of probes charged to player p so far.
+func (w *World) Probes(p int) int64 { return w.probes[p].Load() }
+
+// MaxHonestProbes returns the maximum probe count over honest players —
+// the paper's per-player probe complexity measure.
+func (w *World) MaxHonestProbes() int64 {
+	var mx int64
+	for p := 0; p < w.n; p++ {
+		if w.honest[p] {
+			if c := w.probes[p].Load(); c > mx {
+				mx = c
+			}
+		}
+	}
+	return mx
+}
+
+// TotalProbes returns the total probes charged across all players.
+func (w *World) TotalProbes() int64 {
+	var t int64
+	for p := range w.probes {
+		t += w.probes[p].Load()
+	}
+	return t
+}
+
+// ResetProbes zeroes all probe counters and forgets all memoized probes.
+func (w *World) ResetProbes() {
+	for p := range w.probes {
+		w.probes[p].Store(0)
+		w.known[p].mu.Lock()
+		w.known[p].mask = bitvec.New(w.m)
+		w.known[p].mu.Unlock()
+	}
+}
+
+// ReportVector returns player p's reports for the given objects as a vector
+// indexed like objs (bit j corresponds to objs[j]). For honest players this
+// probes every listed object.
+func (w *World) ReportVector(p int, objs []int) bitvec.Vector {
+	v := bitvec.New(len(objs))
+	for j, o := range objs {
+		if w.Report(p, o) {
+			v.Set(j, true)
+		}
+	}
+	return v
+}
+
+// HonestError returns, for honest player p, the Hamming distance between
+// the supplied output vector (over all m objects) and p's truth. It panics
+// if the lengths differ.
+func (w *World) HonestError(p int, out bitvec.Vector) int {
+	return w.truth[p].Hamming(out)
+}

@@ -1,0 +1,217 @@
+package world
+
+import (
+	"sync"
+	"testing"
+
+	"collabscore/internal/bitvec"
+)
+
+func twoByThree() *World {
+	// 2 players, 3 objects
+	return New([]bitvec.Vector{
+		bitvec.FromBits([]int{1, 0, 1}),
+		bitvec.FromBits([]int{0, 1, 1}),
+	})
+}
+
+func TestProbeReturnsTruth(t *testing.T) {
+	w := twoByThree()
+	if !w.Probe(0, 0) || w.Probe(0, 1) || !w.Probe(0, 2) {
+		t.Fatal("probe returned wrong truth for player 0")
+	}
+	if w.Probe(1, 0) || !w.Probe(1, 1) || !w.Probe(1, 2) {
+		t.Fatal("probe returned wrong truth for player 1")
+	}
+}
+
+func TestProbeAccountingDistinctObjects(t *testing.T) {
+	w := twoByThree()
+	w.Probe(0, 0)
+	w.Probe(0, 0)
+	w.Probe(0, 0)
+	if w.Probes(0) != 1 {
+		t.Fatalf("re-probing the same object charged %d probes, want 1", w.Probes(0))
+	}
+	w.Probe(0, 1)
+	if w.Probes(0) != 2 {
+		t.Fatalf("Probes = %d, want 2", w.Probes(0))
+	}
+	if w.Probes(1) != 0 {
+		t.Fatal("probes leaked across players")
+	}
+}
+
+func TestPeekTruthDoesNotCharge(t *testing.T) {
+	w := twoByThree()
+	w.PeekTruth(0, 0)
+	w.PeekTruth(0, 1)
+	if w.Probes(0) != 0 {
+		t.Fatal("PeekTruth charged probes")
+	}
+}
+
+func TestResetProbes(t *testing.T) {
+	w := twoByThree()
+	w.Probe(0, 0)
+	w.ResetProbes()
+	if w.Probes(0) != 0 {
+		t.Fatal("ResetProbes did not zero counters")
+	}
+	w.Probe(0, 0)
+	if w.Probes(0) != 1 {
+		t.Fatal("probe memo not cleared by ResetProbes")
+	}
+}
+
+func TestHonestByDefault(t *testing.T) {
+	w := twoByThree()
+	if !w.IsHonest(0) || !w.IsHonest(1) {
+		t.Fatal("players not honest by default")
+	}
+	if w.NumDishonest() != 0 {
+		t.Fatal("NumDishonest != 0 on fresh world")
+	}
+	if got := w.HonestPlayers(); len(got) != 2 {
+		t.Fatalf("HonestPlayers = %v", got)
+	}
+}
+
+type liar struct{}
+
+func (liar) Report(w *World, p, o int) bool { return !w.PeekTruth(p, o) }
+
+func TestSetBehaviorMarksDishonest(t *testing.T) {
+	w := twoByThree()
+	w.SetBehavior(1, liar{})
+	if w.IsHonest(1) {
+		t.Fatal("SetBehavior(liar) left player honest")
+	}
+	if w.NumDishonest() != 1 {
+		t.Fatalf("NumDishonest = %d, want 1", w.NumDishonest())
+	}
+	if got := w.DishonestPlayers(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("DishonestPlayers = %v", got)
+	}
+	// Re-installing Honest restores honesty.
+	w.SetBehavior(1, Honest{})
+	if !w.IsHonest(1) {
+		t.Fatal("SetBehavior(Honest) did not restore honesty")
+	}
+}
+
+func TestReportHonestProbes(t *testing.T) {
+	w := twoByThree()
+	v := w.Report(0, 0)
+	if !v {
+		t.Fatal("honest report returned wrong value")
+	}
+	if w.Probes(0) != 1 {
+		t.Fatal("honest report did not charge a probe")
+	}
+}
+
+func TestReportDishonestLies(t *testing.T) {
+	w := twoByThree()
+	w.SetBehavior(0, liar{})
+	if w.Report(0, 0) {
+		t.Fatal("liar told the truth")
+	}
+	if w.Probes(0) != 0 {
+		t.Fatal("liar charged a probe")
+	}
+}
+
+func TestReportVector(t *testing.T) {
+	w := twoByThree()
+	v := w.ReportVector(0, []int{2, 0})
+	// objs[0]=2 → truth 1; objs[1]=0 → truth 1
+	if !v.Get(0) || !v.Get(1) || v.Len() != 2 {
+		t.Fatalf("ReportVector = %v", v)
+	}
+	if w.Probes(0) != 2 {
+		t.Fatalf("ReportVector charged %d probes, want 2", w.Probes(0))
+	}
+}
+
+func TestHonestError(t *testing.T) {
+	w := twoByThree()
+	out := bitvec.FromBits([]int{1, 1, 1}) // truth for p0 is 101
+	if e := w.HonestError(0, out); e != 1 {
+		t.Fatalf("HonestError = %d, want 1", e)
+	}
+}
+
+func TestMaxHonestProbesIgnoresDishonest(t *testing.T) {
+	w := twoByThree()
+	w.SetBehavior(1, liar{})
+	w.Probe(1, 0)
+	w.Probe(1, 1)
+	w.Probe(0, 0)
+	if got := w.MaxHonestProbes(); got != 1 {
+		t.Fatalf("MaxHonestProbes = %d, want 1", got)
+	}
+	if w.TotalProbes() != 3 {
+		t.Fatalf("TotalProbes = %d, want 3", w.TotalProbes())
+	}
+}
+
+func TestConcurrentProbes(t *testing.T) {
+	n, m := 4, 512
+	truth := make([]bitvec.Vector, n)
+	for p := range truth {
+		truth[p] = bitvec.New(m)
+	}
+	w := New(truth)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := 0; p < n; p++ {
+				for o := 0; o < m; o++ {
+					w.Probe(p, o)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for p := 0; p < n; p++ {
+		if w.Probes(p) != int64(m) {
+			t.Fatalf("player %d charged %d probes, want %d", p, w.Probes(p), m)
+		}
+	}
+}
+
+func TestPublicSample(t *testing.T) {
+	w := twoByThree()
+	if w.Pub.HasSample() {
+		t.Fatal("fresh world has a sample")
+	}
+	w.Pub.SetSample([]int{0, 2})
+	if !w.Pub.HasSample() || !w.Pub.InSample(0) || w.Pub.InSample(1) || !w.Pub.InSample(2) {
+		t.Fatal("sample membership wrong")
+	}
+	w.Pub.SetSample(nil)
+	if w.Pub.HasSample() || w.Pub.InSample(0) {
+		t.Fatal("clearing sample failed")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ragged truth")
+		}
+	}()
+	New([]bitvec.Vector{bitvec.New(3), bitvec.New(4)})
+}
+
+func TestTruthVectorIsCopy(t *testing.T) {
+	w := twoByThree()
+	v := w.TruthVector(0)
+	v.Flip(0)
+	if !w.PeekTruth(0, 0) {
+		t.Fatal("TruthVector shares storage with world truth")
+	}
+}

@@ -1,0 +1,255 @@
+// Package xrand provides the deterministic, splittable randomness substrate
+// used by every protocol in the repository.
+//
+// The paper's protocols consume two kinds of randomness:
+//
+//   - private coins, used by an individual player (e.g. which objects RSelect
+//     probes), and
+//   - shared coins, agreed upon by all honest players (e.g. the sample set S
+//     in CalculatePreferences step 1.b, or the per-object prober assignment
+//     in step 1.e). In the Byzantine setting shared coins come from a leader
+//     elected with Feige's protocol (§7.1) and are only trustworthy when the
+//     leader is honest.
+//
+// Both are modeled as Streams split deterministically from a root seed, so
+// any simulation is exactly reproducible from a single uint64.
+package xrand
+
+import (
+	"math"
+	"sort"
+)
+
+// splitmix64 advances the state and returns the next output. It is the
+// standard SplitMix64 generator, used both directly and to seed splits.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Stream is a deterministic pseudo-random stream. It is NOT safe for
+// concurrent use; split independent streams for concurrent consumers.
+type Stream struct {
+	state uint64
+}
+
+// New returns a Stream seeded from the given seed.
+func New(seed uint64) *Stream {
+	s := &Stream{state: seed}
+	// Warm up so that small, similar seeds diverge immediately.
+	splitmix64(&s.state)
+	return s
+}
+
+// Split derives an independent child stream labeled by the given tags.
+// Splitting with the same tags always yields the same child, so subsystems
+// can re-derive their streams without coordination.
+func (s *Stream) Split(tags ...uint64) *Stream {
+	st := s.state
+	for _, t := range tags {
+		st = mix(st, t)
+	}
+	return New(mix(st, 0x5deece66d))
+}
+
+func mix(a, b uint64) uint64 {
+	x := a ^ (b + 0x9e3779b97f4a7c15 + (a << 6) + (a >> 2))
+	return splitmix64(&x)
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (s *Stream) Uint64() uint64 { return splitmix64(&s.state) }
+
+// Intn returns a uniform int in [0,n). It panics if n <= 0.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with n <= 0")
+	}
+	// Lemire's multiply-shift rejection method for unbiased bounded ints.
+	bound := uint64(n)
+	for {
+		x := s.Uint64()
+		hi, lo := mul128(x, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+func mul128(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	ah, al := a>>32, a&mask
+	bh, bl := b>>32, b&mask
+	t := ah*bl + (al*bl)>>32
+	lo = a * b
+	hi = ah*bh + (t >> 32) + ((t&mask + al*bh) >> 32)
+	return hi, lo
+}
+
+// Float64 returns a uniform float in [0,1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a fair coin flip.
+func (s *Stream) Bool() bool { return s.Uint64()&1 == 1 }
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (s *Stream) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Perm returns a uniformly random permutation of [0,n).
+func (s *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Sample returns k distinct uniform elements of [0,n), sorted ascending.
+// If k >= n it returns all of [0,n).
+func (s *Stream) Sample(n, k int) []int {
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	if k <= 0 {
+		return nil
+	}
+	// Floyd's algorithm: k iterations, O(k) space.
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		t := s.Intn(j + 1)
+		if _, ok := chosen[t]; ok {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SampleFrom returns k distinct uniform elements of the given slice,
+// in arbitrary order. If k >= len(set) it returns a copy of set.
+func (s *Stream) SampleFrom(set []int, k int) []int {
+	if k >= len(set) {
+		out := make([]int, len(set))
+		copy(out, set)
+		return out
+	}
+	idx := s.Sample(len(set), k)
+	out := make([]int, len(idx))
+	for i, j := range idx {
+		out[i] = set[j]
+	}
+	return out
+}
+
+// BernoulliSubset returns the sorted subset of [0,n) where each element is
+// included independently with probability p. This is how the sample set S
+// of CalculatePreferences step 1.b is drawn.
+func (s *Stream) BernoulliSubset(n int, p float64) []int {
+	if p <= 0 {
+		return nil
+	}
+	if p >= 1 {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	// Geometric skipping: expected O(pn) work.
+	var out []int
+	i := 0
+	lq := math.Log1p(-p)
+	for {
+		u := s.Float64()
+		skip := int(math.Floor(math.Log1p(-u) / lq))
+		i += skip
+		if i >= n {
+			return out
+		}
+		out = append(out, i)
+		i++
+	}
+}
+
+// Zipf returns a value in [0,n) drawn from a (shifted) Zipf distribution
+// with exponent alpha > 0: P(i) ∝ 1/(i+1)^alpha. It uses inversion against
+// a precomputed CDF for small n; callers needing many draws should use
+// NewZipf.
+type Zipf struct {
+	cdf []float64
+	s   *Stream
+}
+
+// NewZipf builds a Zipf sampler over [0,n) with exponent alpha.
+func NewZipf(s *Stream, n int, alpha float64) *Zipf {
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), alpha)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{cdf: cdf, s: s}
+}
+
+// Draw returns the next Zipf-distributed value.
+func (z *Zipf) Draw() int {
+	u := z.s.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Binomial returns a draw from Binomial(n, p) by direct simulation for
+// small n and a normal approximation fallback is deliberately avoided to
+// keep determinism simple; n in this codebase is at most a few thousand.
+func (s *Stream) Binomial(n int, p float64) int {
+	c := 0
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(p) {
+			c++
+		}
+	}
+	return c
+}
+
+// Shuffle permutes the given slice in place.
+func Shuffle[T any](s *Stream, xs []T) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

@@ -1,0 +1,303 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between different seeds", same)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	root := New(7)
+	a := root.Split(1, 2, 3)
+	b := root.Split(1, 2, 3)
+	for i := 0; i < 50; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-tag splits differ")
+		}
+	}
+}
+
+func TestSplitIndependent(t *testing.T) {
+	root := New(7)
+	a := root.Split(1)
+	b := root.Split(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between different-tag splits", same)
+	}
+}
+
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	a := New(9)
+	b := New(9)
+	a.Split(1)
+	a.Split(2, 3)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Split advanced the parent stream")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(5)
+	for _, n := range []int{1, 2, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	s := New(11)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("value %d count %d too far from expected %.0f", v, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(13)
+	sum := 0.0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / trials; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	s := New(17)
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	s := New(19)
+	const p, trials = 0.3, 100000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if s.Bernoulli(p) {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if math.Abs(rate-p) > 0.01 {
+		t.Fatalf("Bernoulli rate = %v, want ≈%v", rate, p)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(23)
+	for _, n := range []int{0, 1, 5, 100} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleDistinctSorted(t *testing.T) {
+	s := New(29)
+	for trial := 0; trial < 100; trial++ {
+		n := 10 + s.Intn(100)
+		k := 1 + s.Intn(n)
+		out := s.Sample(n, k)
+		if len(out) != k {
+			t.Fatalf("Sample(%d,%d) returned %d elements", n, k, len(out))
+		}
+		for i, v := range out {
+			if v < 0 || v >= n {
+				t.Fatalf("sample element %d out of range", v)
+			}
+			if i > 0 && out[i] <= out[i-1] {
+				t.Fatal("sample not sorted/distinct")
+			}
+		}
+	}
+}
+
+func TestSampleWholeRange(t *testing.T) {
+	s := New(31)
+	out := s.Sample(5, 10)
+	if len(out) != 5 {
+		t.Fatalf("Sample(5,10) = %v", out)
+	}
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("Sample(5,10) = %v, want identity", out)
+		}
+	}
+	if s.Sample(5, 0) != nil {
+		t.Fatal("Sample(n,0) should be nil")
+	}
+}
+
+func TestSampleFrom(t *testing.T) {
+	s := New(37)
+	set := []int{10, 20, 30, 40, 50}
+	out := s.SampleFrom(set, 3)
+	if len(out) != 3 {
+		t.Fatalf("SampleFrom returned %d elements", len(out))
+	}
+	valid := map[int]bool{10: true, 20: true, 30: true, 40: true, 50: true}
+	seen := map[int]bool{}
+	for _, v := range out {
+		if !valid[v] || seen[v] {
+			t.Fatalf("SampleFrom produced invalid/duplicate %d", v)
+		}
+		seen[v] = true
+	}
+	all := s.SampleFrom(set, 99)
+	if len(all) != len(set) {
+		t.Fatal("SampleFrom with k>len should copy all")
+	}
+}
+
+func TestBernoulliSubsetRate(t *testing.T) {
+	s := New(41)
+	const n = 10000
+	const p = 0.05
+	out := s.BernoulliSubset(n, p)
+	want := float64(n) * p
+	if math.Abs(float64(len(out))-want) > 5*math.Sqrt(want) {
+		t.Fatalf("BernoulliSubset size %d, want ≈%.0f", len(out), want)
+	}
+	for i, v := range out {
+		if v < 0 || v >= n {
+			t.Fatalf("element %d out of range", v)
+		}
+		if i > 0 && out[i] <= out[i-1] {
+			t.Fatal("subset not sorted/distinct")
+		}
+	}
+}
+
+func TestBernoulliSubsetEdges(t *testing.T) {
+	s := New(43)
+	if out := s.BernoulliSubset(100, 0); out != nil {
+		t.Fatal("p=0 should give empty subset")
+	}
+	out := s.BernoulliSubset(100, 1)
+	if len(out) != 100 {
+		t.Fatalf("p=1 should give everything, got %d", len(out))
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	s := New(47)
+	z := NewZipf(s, 10, 1.5)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		v := z.Draw()
+		if v < 0 || v >= 10 {
+			t.Fatalf("Zipf draw %d out of range", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[9] {
+		t.Fatalf("Zipf not skewed: counts[0]=%d counts[9]=%d", counts[0], counts[9])
+	}
+	if counts[0] <= counts[1] {
+		t.Fatalf("Zipf rank order violated: counts[0]=%d counts[1]=%d", counts[0], counts[1])
+	}
+}
+
+func TestBinomialMean(t *testing.T) {
+	s := New(53)
+	const n, p, trials = 50, 0.4, 2000
+	total := 0
+	for i := 0; i < trials; i++ {
+		v := s.Binomial(n, p)
+		if v < 0 || v > n {
+			t.Fatalf("Binomial out of range: %d", v)
+		}
+		total += v
+	}
+	mean := float64(total) / trials
+	if math.Abs(mean-n*p) > 1 {
+		t.Fatalf("Binomial mean = %v, want ≈%v", mean, n*p)
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	s := New(59)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	orig := append([]int(nil), xs...)
+	Shuffle(s, xs)
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	wantSum := 0
+	for _, x := range orig {
+		wantSum += x
+	}
+	if sum != wantSum {
+		t.Fatal("Shuffle changed elements")
+	}
+}

@@ -1,0 +1,235 @@
+package zeroradius
+
+import (
+	"testing"
+
+	"collabscore/internal/adversary"
+	"collabscore/internal/prefgen"
+	"collabscore/internal/world"
+	"collabscore/internal/xrand"
+)
+
+func identityObjs(m int) []int {
+	out := make([]int, m)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func allPlayers(n int) []int { return identityObjs(n) }
+
+// exactFraction runs ZeroRadius and returns the fraction of honest players
+// recovering their exact preference vector, plus the max honest error.
+func exactFraction(t *testing.T, w *world.World, in *prefgen.Instance, bPrime int, seed uint64, pr Params) (float64, int) {
+	t.Helper()
+	n, m := w.N(), w.M()
+	out := Run(w, allPlayers(n), identityObjs(m), bPrime, xrand.New(seed), pr)
+	exact, honest, maxErr := 0, 0, 0
+	for p := 0; p < n; p++ {
+		if !w.IsHonest(p) {
+			continue
+		}
+		honest++
+		d := in.Truth[p].Hamming(out[p])
+		if d == 0 {
+			exact++
+		}
+		if d > maxErr {
+			maxErr = d
+		}
+	}
+	return float64(exact) / float64(honest), maxErr
+}
+
+// TestExactRecoveryIdenticalClusters is Theorem 4: with planted identical
+// clusters large relative to the vote threshold, every player recovers its
+// exact preference vector. The config keeps clusters of size n/B' ≫ the
+// per-leaf support threshold, the regime of the whp analysis.
+func TestExactRecoveryIdenticalClusters(t *testing.T) {
+	const n, m, b = 256, 2048, 2
+	rng := xrand.New(11)
+	in := prefgen.IdenticalClusters(rng.Split(1), n, m, n/b)
+	w := world.New(in.Truth)
+	frac, maxErr := exactFraction(t, w, in, b, 21, Defaults())
+	if frac != 1 {
+		t.Fatalf("exact-recovery fraction %.3f (max err %d), want 1", frac, maxErr)
+	}
+}
+
+// TestRecoveryModerateClusters: with B'=8 (smaller clusters) occasional
+// leaf-level support failures are expected at simulation n, but the vast
+// majority of players must still recover exactly.
+func TestRecoveryModerateClusters(t *testing.T) {
+	const n, m, b = 256, 1024, 8
+	rng := xrand.New(13)
+	in := prefgen.IdenticalClusters(rng.Split(1), n, m, n/b)
+	w := world.New(in.Truth)
+	frac, _ := exactFraction(t, w, in, b, 23, Defaults())
+	if frac < 0.9 {
+		t.Fatalf("exact-recovery fraction %.3f, want ≥ 0.9", frac)
+	}
+}
+
+// TestProbeComplexity verifies the O(B'·log n) probe bound shape: probes per
+// player must be far below m when m is large.
+func TestProbeComplexity(t *testing.T) {
+	const n, m, b = 256, 4096, 2
+	rng := xrand.New(77)
+	in := prefgen.IdenticalClusters(rng.Split(1), n, m, n/b)
+	w := world.New(in.Truth)
+	frac, _ := exactFraction(t, w, in, b, 31, Defaults())
+	if frac != 1 {
+		t.Fatalf("exact-recovery fraction %.3f, want 1", frac)
+	}
+	maxProbes := w.MaxHonestProbes()
+	if maxProbes >= int64(m)/4 {
+		t.Fatalf("probes per player %d — insufficient savings over probing all %d objects", maxProbes, m)
+	}
+}
+
+// TestSmallInputBaseCase: inputs below the base-case threshold trigger
+// probe-everything and must be exactly correct without cluster structure.
+func TestSmallInputBaseCase(t *testing.T) {
+	const n, m = 4, 64
+	rng := xrand.New(3)
+	in := prefgen.Uniform(rng.Split(1), n, m)
+	w := world.New(in.Truth)
+	out := Run(w, allPlayers(n), identityObjs(m), 2, rng.Split(2), Defaults())
+	for p := 0; p < n; p++ {
+		if d := in.Truth[p].Hamming(out[p]); d != 0 {
+			t.Fatalf("base case player %d error %d", p, d)
+		}
+	}
+}
+
+// TestEmptyInputs must not panic and must return sane shapes.
+func TestEmptyInputs(t *testing.T) {
+	rng := xrand.New(4)
+	in := prefgen.Uniform(rng.Split(1), 4, 8)
+	w := world.New(in.Truth)
+	out := Run(w, nil, identityObjs(8), 2, rng.Split(2), Defaults())
+	if len(out) != 0 {
+		t.Fatalf("no players should give empty output, got %d", len(out))
+	}
+	out = Run(w, allPlayers(4), nil, 2, rng.Split(3), Defaults())
+	for p, v := range out {
+		if v.Len() != 0 {
+			t.Fatalf("player %d got vector of length %d for no objects", p, v.Len())
+		}
+	}
+}
+
+// TestSubsetOfObjects: ZeroRadius over a strict subset of the object space
+// must return vectors indexed like that subset.
+func TestSubsetOfObjects(t *testing.T) {
+	const n, m = 64, 128
+	rng := xrand.New(5)
+	in := prefgen.IdenticalClusters(rng.Split(1), n, m, 16)
+	w := world.New(in.Truth)
+	objs := []int{3, 17, 40, 41, 90, 100, 101, 120}
+	out := Run(w, allPlayers(n), objs, 4, rng.Split(2), Defaults())
+	for p := 0; p < n; p++ {
+		v := out[p]
+		if v.Len() != len(objs) {
+			t.Fatalf("player %d vector length %d, want %d", p, v.Len(), len(objs))
+		}
+		for j, o := range objs {
+			if v.Get(j) != w.PeekTruth(p, o) {
+				t.Fatalf("player %d wrong at subset position %d (object %d)", p, j, o)
+			}
+		}
+	}
+}
+
+// TestDishonestCannotCorruptHonest is the §7.2 remark: dishonest players
+// cannot significantly impact ZeroRadius — honest players still recover
+// their vectors when enough honest identical peers exist.
+func TestDishonestCannotCorruptHonest(t *testing.T) {
+	const n, m, b = 256, 2048, 2
+	rng := xrand.New(6)
+	in := prefgen.IdenticalClusters(rng.Split(1), n, m, n/b)
+	w := world.New(in.Truth)
+	f := n / (3 * b)
+	perm := rng.Split(9).Perm(n)
+	adversary.Corrupt(w, f, perm, func(p int) world.Behavior {
+		return adversary.RandomLiar{Seed: 11}
+	})
+	frac, maxErr := exactFraction(t, w, in, b, 41, Defaults())
+	if frac != 1 {
+		t.Fatalf("honest exact-recovery fraction %.3f (max err %d) under random liars, want 1", frac, maxErr)
+	}
+}
+
+// TestColludersCannotInjectWinningVector: a dishonest bloc publishing a
+// coordinated junk vector may enter the candidate set, but honest players'
+// elimination probes discard it.
+func TestColludersCannotInjectWinningVector(t *testing.T) {
+	const n, m, b = 256, 2048, 2
+	rng := xrand.New(8)
+	in := prefgen.IdenticalClusters(rng.Split(1), n, m, n/b)
+	w := world.New(in.Truth)
+	f := n / (3 * b)
+	coll := adversary.NewColluder(99, m)
+	perm := rng.Split(10).Perm(n)
+	adversary.Corrupt(w, f, perm, func(p int) world.Behavior { return coll })
+	frac, maxErr := exactFraction(t, w, in, b, 43, Defaults())
+	if frac != 1 {
+		t.Fatalf("honest exact-recovery fraction %.3f (max err %d) under colluders, want 1", frac, maxErr)
+	}
+}
+
+// TestDeterminism: same world + same stream → identical outputs.
+func TestDeterminism(t *testing.T) {
+	const n, m = 64, 128
+	mk := func() map[int]int {
+		rng := xrand.New(12)
+		in := prefgen.IdenticalClusters(rng.Split(1), n, m, 16)
+		w := world.New(in.Truth)
+		out := Run(w, allPlayers(n), identityObjs(m), 4, rng.Split(2), Defaults())
+		sig := make(map[int]int, n)
+		for p, v := range out {
+			sig[p] = v.Count()
+		}
+		return sig
+	}
+	a, b := mk(), mk()
+	for p := range a {
+		if a[p] != b[p] {
+			t.Fatal("nondeterministic output")
+		}
+	}
+}
+
+// TestSplitHalfNonEmpty: the partition helper never returns an empty half
+// for inputs of size ≥ 2.
+func TestSplitHalfNonEmpty(t *testing.T) {
+	rng := xrand.New(13)
+	for trial := 0; trial < 200; trial++ {
+		size := 2 + rng.Intn(50)
+		xs := make([]int, size)
+		for i := range xs {
+			xs[i] = i
+		}
+		a, b := splitHalf(rng, xs)
+		if len(a) == 0 || len(b) == 0 {
+			t.Fatalf("empty half for size %d", size)
+		}
+		if len(a)+len(b) != size {
+			t.Fatalf("lost elements: %d + %d != %d", len(a), len(b), size)
+		}
+	}
+}
+
+// TestScaledParamsStillRecover: the simulation-scale parameterization keeps
+// exact recovery in the planted regime.
+func TestScaledParamsStillRecover(t *testing.T) {
+	const n, m, b = 256, 512, 2
+	rng := xrand.New(15)
+	in := prefgen.IdenticalClusters(rng.Split(1), n, m, n/b)
+	w := world.New(in.Truth)
+	frac, maxErr := exactFraction(t, w, in, b, 51, Scaled())
+	if frac < 0.99 {
+		t.Fatalf("scaled exact-recovery fraction %.3f (max err %d), want ≥0.99", frac, maxErr)
+	}
+}
