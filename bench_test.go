@@ -237,6 +237,31 @@ func BenchmarkFullByzantine(b *testing.B) {
 	}
 }
 
+// BenchmarkRunByzantine measures the Byzantine wrapper at n=2048 with
+// k=8 repetitions and tolerance-level corruption, comparing the concurrent
+// repetition schedule (the default) against the serial reference. The
+// parallel/serial wall-clock ratio is the headline payoff of per-run
+// execution contexts; see README.md for a recorded table.
+func BenchmarkRunByzantine(b *testing.B) {
+	const n, k = 2048, 8
+	run := func(b *testing.B, serial bool) {
+		for i := 0; i < b.N; i++ {
+			sim := NewSimulation(Config{Players: n, Budget: 8, Seed: uint64(i), FixedDiameter: n / 32})
+			sim.PlantClusters(n/8, n/32)
+			sim.Corrupt(sim.Tolerance(), ClusterHijackers)
+			sim.Params().ByzIterations = k
+			sim.Params().ByzSerial = serial
+			rep := sim.RunByzantine()
+			if i == b.N-1 {
+				b.ReportMetric(float64(rep.MaxError), "max_err")
+				b.ReportMetric(float64(rep.HonestLeaders), "honest_leaders")
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, true) })
+	b.Run("parallel", func(b *testing.B) { run(b, false) })
+}
+
 // BenchmarkScalingN prints the probe-scaling series (the E7 shape) as
 // sub-benchmarks over n.
 func BenchmarkScalingN(b *testing.B) {

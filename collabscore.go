@@ -221,6 +221,16 @@ type IterationInfo struct {
 	FullSmallRadius bool
 }
 
+// RepetitionInfo describes one Byzantine repetition: who led it, and the
+// bulletin-board traffic it generated (zero for dishonest-leader
+// repetitions, which run no protocol — see DESIGN.md §3).
+type RepetitionInfo struct {
+	Leader       int
+	HonestLeader bool
+	BoardWrites  int64
+	BoardReads   int64
+}
+
 // Report summarizes one protocol run.
 type Report struct {
 	// MaxError is the paper's rate of error: the worst Hamming error over
@@ -240,11 +250,16 @@ type Report struct {
 	// outcomes (zero for honest-randomness runs).
 	HonestLeaders int
 	Repetitions   int
+	// Reps details each Byzantine repetition in order (nil for
+	// honest-randomness runs).
+	Reps []RepetitionInfo
 	// CommWrites / CommReads account bulletin-board traffic in the
 	// work-sharing phases (§8's communication-cost question).
 	CommWrites int64
 	CommReads  int64
-	// Iterations holds per-diameter-guess statistics of the (last) run.
+	// Iterations holds per-diameter-guess statistics: the single doubling
+	// loop for honest-randomness runs, or the last honest-leader repetition
+	// for Byzantine runs.
 	Iterations []IterationInfo
 	// Outputs holds the predicted preference vector per player.
 	Outputs []bitvec.Vector
@@ -283,6 +298,14 @@ func (s *Simulation) report(res *core.Result) *Report {
 		CommReads:     res.BoardReads,
 		Outputs:       res.Output,
 	}
+	for _, rp := range res.Reps {
+		r.Reps = append(r.Reps, RepetitionInfo{
+			Leader:       rp.Leader,
+			HonestLeader: rp.HonestLeader,
+			BoardWrites:  rp.BoardWrites,
+			BoardReads:   rp.BoardReads,
+		})
+	}
 	for _, it := range res.Iterations {
 		r.Iterations = append(r.Iterations, IterationInfo{
 			D:               it.D,
@@ -308,6 +331,9 @@ func (s *Simulation) Run() *Report {
 
 // RunByzantine executes the full §7 protocol: Θ(log n) repetitions under
 // leaders elected with Feige's lightest-bin protocol, then a final RSelect.
+// The repetitions execute concurrently across cores with byte-identical
+// fixed-seed output to the serial schedule (set Params().ByzSerial for the
+// single-threaded reference; see DESIGN.md §6).
 func (s *Simulation) RunByzantine() *Report {
 	s.w.ResetProbes()
 	res := core.RunByzantine(s.w, s.rng.Split(11), nil, s.params)

@@ -1,0 +1,3 @@
+module collabscore
+
+go 1.24

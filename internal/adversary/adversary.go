@@ -9,7 +9,8 @@
 // Every strategy here implements world.Behavior, so it is consulted at
 // exactly the points where a player publishes a probe result. Strategies
 // may consult the world's full truth matrix and the published protocol
-// state (world.Pub) — strictly at least as strong as the paper's model.
+// state of the asking run (world.Run.Pub) — strictly at least as strong as
+// the paper's model.
 //
 // Strategies must be deterministic per (player, object) within a run:
 // protocols may ask for the same report through different code paths, and a
@@ -44,7 +45,7 @@ type RandomLiar struct {
 }
 
 // Report returns a deterministic pseudo-random bit for (p, o).
-func (r RandomLiar) Report(_ *world.World, p, o int) bool {
+func (r RandomLiar) Report(_ *world.Run, p, o int) bool {
 	return hash64(r.Seed, p, o)&1 == 1
 }
 
@@ -54,15 +55,15 @@ type FlipAll struct{}
 
 // Report returns the negation of the truth, without charging a probe (the
 // adversary already knows its vector).
-func (FlipAll) Report(w *world.World, p, o int) bool {
-	return !w.PeekTruth(p, o)
+func (FlipAll) Report(rc *world.Run, p, o int) bool {
+	return !rc.PeekTruth(p, o)
 }
 
 // ZeroSpam always reports 0 — the laziest possible participant.
 type ZeroSpam struct{}
 
 // Report returns false for every object.
-func (ZeroSpam) Report(_ *world.World, _, _ int) bool { return false }
+func (ZeroSpam) Report(_ *world.Run, _, _ int) bool { return false }
 
 // Colluder coordinates all colluding players on one shared target vector,
 // modeling a bloc trying to push a specific outcome (e.g. bias the scores
@@ -85,7 +86,7 @@ func NewColluder(seed uint64, m int) Colluder {
 }
 
 // Report returns the shared target preference for object o.
-func (c Colluder) Report(_ *world.World, _, o int) bool {
+func (c Colluder) Report(_ *world.Run, _, o int) bool {
 	return c.Target.Get(o)
 }
 
@@ -102,9 +103,9 @@ type ClusterHijacker struct {
 // Report mimics the victim on the current sample set and anti-mimics it
 // elsewhere. If no sample has been published yet, it mimics everywhere
 // (building trust).
-func (h ClusterHijacker) Report(w *world.World, _, o int) bool {
-	truth := w.PeekTruth(h.Victim, o)
-	if !w.Pub.HasSample() || w.Pub.InSample(o) {
+func (h ClusterHijacker) Report(rc *world.Run, _, o int) bool {
+	truth := rc.PeekTruth(h.Victim, o)
+	if !rc.Pub.HasSample() || rc.Pub.InSample(o) {
 		return truth
 	}
 	return !truth
@@ -122,8 +123,8 @@ type StrangeObjectAttacker struct {
 // Report inspects the attacker's published cluster (if any) and votes with
 // the minority of honest members' true preferences for object o; with no
 // cluster information it falls back to a consistent random lie.
-func (a StrangeObjectAttacker) Report(w *world.World, p, o int) bool {
-	for _, cl := range w.Pub.Clusters {
+func (a StrangeObjectAttacker) Report(rc *world.Run, p, o int) bool {
+	for _, cl := range rc.Pub.Clusters {
 		inCluster := false
 		for _, q := range cl {
 			if q == p {
@@ -136,10 +137,10 @@ func (a StrangeObjectAttacker) Report(w *world.World, p, o int) bool {
 		}
 		ones, zeros := 0, 0
 		for _, q := range cl {
-			if !w.IsHonest(q) {
+			if !rc.IsHonest(q) {
 				continue
 			}
-			if w.PeekTruth(q, o) {
+			if rc.PeekTruth(q, o) {
 				ones++
 			} else {
 				zeros++
@@ -157,11 +158,11 @@ type MimicThenFlip struct{}
 
 // Report tells the truth while the protocol is sampling and lies during
 // work sharing.
-func (MimicThenFlip) Report(w *world.World, p, o int) bool {
-	if w.Pub.Phase == "workshare" {
-		return !w.PeekTruth(p, o)
+func (MimicThenFlip) Report(rc *world.Run, p, o int) bool {
+	if rc.Pub.Phase == "workshare" {
+		return !rc.PeekTruth(p, o)
 	}
-	return w.PeekTruth(p, o)
+	return rc.PeekTruth(p, o)
 }
 
 // Flipflopper violates the report-consistency discipline deliberately: it
@@ -181,7 +182,7 @@ func NewFlipflopper() *Flipflopper {
 }
 
 // Report alternates between 1 and 0 on successive calls for the same cell.
-func (f *Flipflopper) Report(_ *world.World, p, o int) bool {
+func (f *Flipflopper) Report(_ *world.Run, p, o int) bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.calls[[2]int{p, o}]++
@@ -199,11 +200,11 @@ type Combined struct {
 }
 
 // Report dispatches on the published protocol phase.
-func (c Combined) Report(w *world.World, p, o int) bool {
-	if w.Pub.Phase == "workshare" {
-		return StrangeObjectAttacker{Seed: c.Seed}.Report(w, p, o)
+func (c Combined) Report(rc *world.Run, p, o int) bool {
+	if rc.Pub.Phase == "workshare" {
+		return StrangeObjectAttacker{Seed: c.Seed}.Report(rc, p, o)
 	}
-	return ClusterHijacker{Victim: c.Victim}.Report(w, p, o)
+	return ClusterHijacker{Victim: c.Victim}.Report(rc, p, o)
 }
 
 // Corrupt installs the given strategy on the first k players chosen by the

@@ -8,9 +8,9 @@ import (
 	"collabscore/internal/xrand"
 )
 
-func testWorld(seed uint64, n, m int) *world.World {
+func testWorld(seed uint64, n, m int) *world.Run {
 	in := prefgen.Uniform(xrand.New(seed), n, m)
-	return world.New(in.Truth)
+	return world.NewRun(world.New(in.Truth))
 }
 
 func TestRandomLiarConsistency(t *testing.T) {
@@ -124,7 +124,7 @@ func TestStrangeObjectAttackerSidesWithMinority(t *testing.T) {
 	for p := 0; p < 5; p++ {
 		in.Truth[p].Set(0, p < 3)
 	}
-	w := world.New(in.Truth)
+	w := world.NewRun(world.New(in.Truth))
 	att := StrangeObjectAttacker{Seed: 3}
 	w.SetBehavior(5, att)
 	w.Pub.Clusters = [][]int{{0, 1, 2, 3, 4, 5}}
@@ -191,7 +191,7 @@ func TestCombinedDispatchesOnPhase(t *testing.T) {
 
 func TestCorrupt(t *testing.T) {
 	w := testWorld(10, 10, 16)
-	ids := Corrupt(w, 3, nil, func(p int) world.Behavior { return FlipAll{} })
+	ids := Corrupt(w.World, 3, nil, func(p int) world.Behavior { return FlipAll{} })
 	if len(ids) != 3 {
 		t.Fatalf("corrupted %d, want 3", len(ids))
 	}
@@ -206,13 +206,13 @@ func TestCorrupt(t *testing.T) {
 	// With a permutation.
 	w2 := testWorld(11, 10, 16)
 	perm := []int{9, 7, 5, 3, 1, 0, 2, 4, 6, 8}
-	ids2 := Corrupt(w2, 2, perm, func(p int) world.Behavior { return FlipAll{} })
+	ids2 := Corrupt(w2.World, 2, perm, func(p int) world.Behavior { return FlipAll{} })
 	if ids2[0] != 9 || ids2[1] != 7 {
 		t.Fatalf("Corrupt ignored permutation: %v", ids2)
 	}
 	// Clamp at n.
 	w3 := testWorld(12, 4, 8)
-	if got := Corrupt(w3, 100, nil, func(p int) world.Behavior { return FlipAll{} }); len(got) != 4 {
+	if got := Corrupt(w3.World, 100, nil, func(p int) world.Behavior { return FlipAll{} }); len(got) != 4 {
 		t.Fatalf("Corrupt over-corrupted: %d", len(got))
 	}
 }

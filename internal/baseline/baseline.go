@@ -45,6 +45,7 @@ func AASPScaled(n, b int) AASPParams {
 // the B² (rather than B) dependence of [2,3] shows up.
 func AASP(w *world.World, shared *xrand.Stream, pr AASPParams) []bitvec.Vector {
 	n, m := w.N(), w.M()
+	rc := world.NewRun(w)
 	allObjs := make([]int, m)
 	for i := range allObjs {
 		allObjs[i] = i
@@ -62,7 +63,7 @@ func AASP(w *world.World, shared *xrand.Stream, pr AASPParams) []bitvec.Vector {
 		if d < lo || d > hi {
 			continue
 		}
-		z := smallradius.Run(w, allObjs, d, pr.B, shared.Split(uint64(gi)), pr.SR)
+		z := smallradius.Run(rc, allObjs, d, pr.B, shared.Split(uint64(gi)), pr.SR)
 		for p := 0; p < n; p++ {
 			candidates[p] = append(candidates[p], z[p])
 		}

@@ -27,8 +27,8 @@ import (
 type Board struct {
 	n, m   int
 	lanes  []lane
-	writes atomic.Int64
-	reads  atomic.Int64
+	writes counter
+	reads  counter
 }
 
 // lane is one player's region of the board.
@@ -36,6 +36,49 @@ type lane struct {
 	mu      sync.RWMutex
 	written bitvec.Vector
 	values  bitvec.Vector
+}
+
+// numStripes is the number of counter stripes; a power of two so the stripe
+// index is a mask. 32 stripes comfortably exceed the core counts this
+// repository targets.
+const numStripes = 32
+
+// counter is a striped event counter. Each board belongs to one work-sharing
+// phase of one protocol run, but within that phase par.Map hammers the
+// write/read totals from every worker goroutine at once, so a single atomic
+// word becomes a cache-line ping-pong hotspot (and with concurrent Byzantine
+// repetitions, every core is busy doing the same to its own repetition's
+// board). Each stripe lives on its own cache line; callers spread increments
+// by lane id and totals are summed on read (counts only need to be exact
+// between phases, which is when anyone reads them).
+type counter struct {
+	stripes [numStripes]paddedCount
+}
+
+// paddedCount pads each stripe to a full 64-byte cache line to prevent
+// false sharing between adjacent stripes.
+type paddedCount struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// add increments the stripe selected by key.
+func (c *counter) add(key int) { c.stripes[key&(numStripes-1)].n.Add(1) }
+
+// total sums all stripes.
+func (c *counter) total() int64 {
+	var t int64
+	for i := range c.stripes {
+		t += c.stripes[i].n.Load()
+	}
+	return t
+}
+
+// reset zeroes all stripes.
+func (c *counter) reset() {
+	for i := range c.stripes {
+		c.stripes[i].n.Store(0)
+	}
 }
 
 // New creates an empty board for n players and m objects.
@@ -65,7 +108,7 @@ func (b *Board) Write(p, o int, v bool) {
 		ln.values.Set(o, v)
 	}
 	ln.mu.Unlock()
-	b.writes.Add(1)
+	b.writes.add(p)
 }
 
 // Read returns player p's published value for object o and whether p has
@@ -76,7 +119,7 @@ func (b *Board) Read(p, o int) (value, ok bool) {
 	ok = ln.written.Get(o)
 	value = ln.values.Get(o)
 	ln.mu.RUnlock()
-	b.reads.Add(1)
+	b.reads.add(p)
 	return value, ok
 }
 
@@ -103,15 +146,15 @@ func (b *Board) Snapshot(p int) (written, values bitvec.Vector) {
 	ln := &b.lanes[p]
 	ln.mu.RLock()
 	defer ln.mu.RUnlock()
-	b.reads.Add(1)
+	b.reads.add(p)
 	return ln.written.Clone(), ln.values.Clone()
 }
 
 // WriteCount returns the total number of Write calls (communication cost).
-func (b *Board) WriteCount() int64 { return b.writes.Load() }
+func (b *Board) WriteCount() int64 { return b.writes.total() }
 
 // ReadCount returns the total number of Read/Votes/Snapshot accesses.
-func (b *Board) ReadCount() int64 { return b.reads.Load() }
+func (b *Board) ReadCount() int64 { return b.reads.total() }
 
 // Reset clears all lanes and counters, reusing the allocated storage.
 func (b *Board) Reset() {
@@ -122,6 +165,6 @@ func (b *Board) Reset() {
 		ln.values = bitvec.New(b.m)
 		ln.mu.Unlock()
 	}
-	b.writes.Store(0)
-	b.reads.Store(0)
+	b.writes.reset()
+	b.reads.reset()
 }

@@ -123,6 +123,7 @@ func Run(w *world.World, shared *xrand.Stream, pr Params) *Result {
 		red = 3
 	}
 	res := &Result{}
+	rc := world.NewRun(w)
 	lo, hi := pr.MinD, pr.MaxD
 	if lo <= 0 {
 		lo = 1
@@ -138,7 +139,7 @@ func Run(w *world.World, shared *xrand.Stream, pr Params) *Result {
 		}
 		iterRng := shared.Split(uint64(gi), uint64(d))
 		gi++
-		out := runIteration(w, d, red, lnn, iterRng, pr, res)
+		out := runIteration(rc, d, red, lnn, iterRng, pr, res)
 		candidates = append(candidates, out)
 	}
 	if len(candidates) == 0 {
@@ -180,21 +181,23 @@ func zeroOutputs(n, m int) []bitvec.Vector {
 	return out
 }
 
-func runIteration(w *world.World, d, red int, lnn float64, shared *xrand.Stream, pr Params, res *Result) []bitvec.Vector {
-	n, m := w.N(), w.M()
+func runIteration(rc *world.Run, d, red int, lnn float64, shared *xrand.Stream, pr Params, res *Result) []bitvec.Vector {
+	n, m := rc.N(), rc.M()
 
 	// Sample and estimate sample preferences (same machinery as core).
 	rate := pr.SampleFactor * lnn / float64(d)
 	if rate > 1 {
 		rate = 1
 	}
+	rc.Pub.Phase = "sample"
 	sample := shared.Split(0x5A).BernoulliSubset(m, rate)
 	if len(sample) == 0 {
 		sample = []int{0}
 	}
-	w.Pub.SetSample(sample)
+	rc.Pub.SetSample(sample)
+	rc.Pub.Phase = "smallradius"
 	srBudget := maxInt(1, n/maxInt(1, m*red/maxInt(1, meanCapacity(pr.Capacity))))
-	zMap := smallradius.Run(w, sample, int(math.Ceil(2*lnn)), srBudget, shared.Split(0x5B), pr.SR)
+	zMap := smallradius.Run(rc, sample, int(math.Ceil(2*lnn)), srBudget, shared.Split(0x5B), pr.SR)
 	z := make([]bitvec.Vector, n)
 	for p := 0; p < n; p++ {
 		z[p] = zMap[p]
@@ -216,10 +219,10 @@ func runIteration(w *world.World, d, red int, lnn float64, shared *xrand.Stream,
 		}
 		res.ClusterCapacity = append(res.ClusterCapacity, t)
 	}
-	w.Pub.Clusters = cl.Clusters
+	rc.Pub.Clusters = cl.Clusters
 
 	// Capacity-weighted work sharing.
-	w.Pub.Phase = "workshare"
+	rc.Pub.Phase = "workshare"
 	out := zeroOutputs(n, m)
 	for j, members := range cl.Clusters {
 		clusterRng := shared.Split(0x5C, uint64(j))
@@ -235,7 +238,7 @@ func runIteration(w *world.World, d, red int, lnn float64, shared *xrand.Stream,
 			ones, zeros := 0, 0
 			for i := 0; i < red; i++ {
 				q := members[weightedPick(rng, weights, total)]
-				if w.Report(q, o) {
+				if rc.Report(q, o) {
 					ones++
 				} else {
 					zeros++
@@ -253,8 +256,9 @@ func runIteration(w *world.World, d, red int, lnn float64, shared *xrand.Stream,
 			out[p] = maj.Clone()
 		}
 	}
-	w.Pub.SetSample(nil)
-	w.Pub.Clusters = nil
+	rc.Pub.SetSample(nil)
+	rc.Pub.Clusters = nil
+	rc.Pub.Phase = ""
 	return out
 }
 

@@ -7,6 +7,11 @@
 // players whose true distance is ≤ 84·D, and every player has degree
 // ≥ n/B − 1 when the diameter guess D is correct; Lemma 9 shows the peeled
 // clusters have size ≥ n/B and diameter O(D).
+//
+// BuildGraph and Build are pure functions of their inputs (they touch no
+// world or board state), so concurrent protocol runs — e.g. parallel
+// Byzantine repetitions, DESIGN.md §6 — may call them freely on their own
+// z-vectors.
 package cluster
 
 import (

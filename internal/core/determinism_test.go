@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"collabscore/internal/adversary"
+	"collabscore/internal/bitvec"
+	"collabscore/internal/prefgen"
+	"collabscore/internal/world"
+	"collabscore/internal/xrand"
+)
+
+// byzWorld builds a planted instance with tolerance-many dishonest players,
+// so the parallel path is exercised with adaptive (Pub-observing)
+// adversaries, not just honest reporters.
+func byzWorld(seed uint64, n, b int, corrupt bool) *world.World {
+	rng := xrand.New(seed)
+	in := prefgen.DiameterClusters(rng.Split(1), n, n, n/b, 4)
+	w := world.New(in.Truth)
+	if corrupt {
+		pr := Scaled(n, b)
+		perm := rng.Split(2).Perm(n)
+		adversary.Corrupt(w, pr.MaxDishonest(n), perm, func(p int) world.Behavior {
+			return adversary.Combined{Victim: (p + 1) % n, Seed: seed}
+		})
+	}
+	return w
+}
+
+func equalOutputs(a, b []bitvec.Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for p := range a {
+		if a[p].Hamming(b[p]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestByzantineParallelMatchesSerial asserts that the concurrent repetition
+// schedule produces byte-identical output, leader tallies, and board
+// traffic to the single-threaded reference schedule for fixed seeds — with
+// and without Pub-observing adversaries, at small and medium n.
+func TestByzantineParallelMatchesSerial(t *testing.T) {
+	for _, n := range []int{64, 512} {
+		for _, corrupt := range []bool{false, true} {
+			const b = 8
+			seed := uint64(1000 + n)
+
+			pr := Scaled(n, b)
+			pr.ByzIterations = 8
+
+			serial := pr
+			serial.ByzSerial = true
+			refW := byzWorld(seed, n, b, corrupt)
+			ref := RunByzantine(refW, xrand.New(seed).Split(11), nil, serial)
+
+			gotW := byzWorld(seed, n, b, corrupt)
+			got := RunByzantine(gotW, xrand.New(seed).Split(11), nil, pr)
+
+			if !equalOutputs(ref.Output, got.Output) {
+				t.Fatalf("n=%d corrupt=%v: parallel output differs from serial", n, corrupt)
+			}
+			if ref.HonestLeaders != got.HonestLeaders || ref.Repetitions != got.Repetitions {
+				t.Fatalf("n=%d corrupt=%v: leaders %d/%d vs %d/%d", n, corrupt,
+					got.HonestLeaders, got.Repetitions, ref.HonestLeaders, ref.Repetitions)
+			}
+			if ref.BoardWrites != got.BoardWrites || ref.BoardReads != got.BoardReads {
+				t.Fatalf("n=%d corrupt=%v: board traffic %d/%d vs %d/%d", n, corrupt,
+					got.BoardWrites, got.BoardReads, ref.BoardWrites, ref.BoardReads)
+			}
+			if len(ref.Reps) != len(got.Reps) {
+				t.Fatalf("n=%d corrupt=%v: Reps length mismatch", n, corrupt)
+			}
+			for it := range ref.Reps {
+				if ref.Reps[it].Leader != got.Reps[it].Leader ||
+					ref.Reps[it].HonestLeader != got.Reps[it].HonestLeader {
+					t.Fatalf("n=%d corrupt=%v rep %d: leader mismatch", n, corrupt, it)
+				}
+			}
+			// Probe charging is per distinct (player, object) and therefore
+			// schedule-independent too.
+			for p := 0; p < n; p++ {
+				if refW.Probes(p) != gotW.Probes(p) {
+					t.Fatalf("n=%d corrupt=%v: player %d probes %d vs %d",
+						n, corrupt, p, gotW.Probes(p), refW.Probes(p))
+				}
+			}
+		}
+	}
+}
+
+// TestByzantineRepStats pins the satellite bugfix: per-repetition stats are
+// recorded for every repetition, and Result.Iterations matches the last
+// honest-leader repetition (not a stale earlier one when the final leader
+// is dishonest).
+func TestByzantineRepStats(t *testing.T) {
+	const n, b = 128, 8
+	w := byzWorld(7, n, b, true)
+	pr := Scaled(n, b)
+	pr.ByzIterations = 8
+	res := RunByzantine(w, xrand.New(7).Split(11), nil, pr)
+
+	if len(res.Reps) != pr.ByzIterations {
+		t.Fatalf("Reps records %d repetitions, want %d", len(res.Reps), pr.ByzIterations)
+	}
+	honest := 0
+	var lastHonest *RepetitionStats
+	for it := range res.Reps {
+		st := &res.Reps[it]
+		if st.HonestLeader != w.IsHonest(st.Leader) {
+			t.Fatalf("rep %d: HonestLeader flag disagrees with leader %d", it, st.Leader)
+		}
+		if st.HonestLeader {
+			honest++
+			lastHonest = st
+			if len(st.Iterations) == 0 {
+				t.Fatalf("rep %d: honest-leader repetition recorded no iterations", it)
+			}
+		} else if len(st.Iterations) != 0 || st.BoardWrites != 0 {
+			t.Fatalf("rep %d: dishonest-leader repetition recorded protocol stats", it)
+		}
+	}
+	if honest != res.HonestLeaders {
+		t.Fatalf("Reps counts %d honest leaders, Result says %d", honest, res.HonestLeaders)
+	}
+	if lastHonest != nil {
+		if len(res.Iterations) != len(lastHonest.Iterations) ||
+			(len(res.Iterations) > 0 && res.Iterations[0] != lastHonest.Iterations[0]) {
+			t.Fatal("Result.Iterations does not match the last honest repetition")
+		}
+	}
+}
+
+// TestByzantineConcurrentSmall exercises the parallel path at a size small
+// enough for the race detector to explore thoroughly (run under -race).
+func TestByzantineConcurrentSmall(t *testing.T) {
+	const n, b = 96, 8
+	for seed := uint64(0); seed < 3; seed++ {
+		w := byzWorld(seed, n, b, true)
+		pr := Scaled(n, b)
+		pr.ByzIterations = 8
+		res := RunByzantine(w, xrand.New(seed).Split(3), nil, pr)
+		if len(res.Output) != n {
+			t.Fatalf("seed %d: got %d outputs", seed, len(res.Output))
+		}
+	}
+}

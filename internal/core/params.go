@@ -63,6 +63,11 @@ type Params struct {
 	// ByzIterations is the number of leader-election + full-protocol
 	// repetitions in the Byzantine wrapper (paper: Θ(log n)).
 	ByzIterations int
+	// ByzSerial forces the Byzantine repetitions to execute one after
+	// another instead of concurrently. The repetitions are independent and
+	// merged deterministically, so this only trades wall-clock time for a
+	// single-threaded schedule (reference runs, benchmarks, debugging).
+	ByzSerial bool
 
 	SR       smallradius.Params
 	Sel      selection.Params

@@ -34,14 +34,33 @@ type IterationStats struct {
 	WorkshareTime time.Duration
 }
 
+// RepetitionStats records what one Byzantine repetition did.
+type RepetitionStats struct {
+	// Leader is the player elected for this repetition; HonestLeader
+	// reports whether it follows the protocol.
+	Leader       int
+	HonestLeader bool
+	// Iterations holds the repetition's per-diameter-guess statistics
+	// (empty for dishonest-leader repetitions, which run no protocol —
+	// see the worst-case model in DESIGN.md §3).
+	Iterations []IterationStats
+	// BoardWrites/BoardReads are the repetition's bulletin-board traffic.
+	BoardWrites int64
+	BoardReads  int64
+}
+
 // Result is the output of one protocol run.
 type Result struct {
 	// Output[p] is the predicted preference vector for player p (length m).
 	// Entries for dishonest players are meaningless.
 	Output []bitvec.Vector
-	// Iterations holds per-diameter-guess statistics (honest run) or the
-	// statistics of the last Byzantine repetition.
+	// Iterations holds per-diameter-guess statistics. For honest-randomness
+	// runs it covers the single doubling loop; for Byzantine runs it holds
+	// the statistics of the last repetition that elected an honest leader
+	// (empty if every leader was dishonest — Reps has the full picture).
 	Iterations []IterationStats
+	// Reps holds per-repetition statistics (Byzantine runs only).
+	Reps []RepetitionStats
 	// HonestLeaders counts Byzantine repetitions that elected an honest
 	// leader (Byzantine runs only).
 	HonestLeaders int
@@ -60,22 +79,23 @@ type Result struct {
 // leader election.
 func Run(w *world.World, shared *xrand.Stream, pr Params) *Result {
 	res := &Result{}
-	candidates := runDoublingLoop(w, shared, pr, res)
+	rc := world.NewRun(w)
+	candidates := runDoublingLoop(rc, shared, pr, res)
 	res.Output = finalSelect(w, shared, candidates, pr)
 	return res
 }
 
 // runDoublingLoop executes the diameter-doubling loop of Figure 2 and
 // returns, for each player, the list of candidate vectors (one per guess).
-func runDoublingLoop(w *world.World, shared *xrand.Stream, pr Params, res *Result) [][]bitvec.Vector {
-	n, m := w.N(), w.M()
+func runDoublingLoop(rc *world.Run, shared *xrand.Stream, pr Params, res *Result) [][]bitvec.Vector {
+	n, m := rc.N(), rc.M()
 	guesses := pr.DiameterGuesses(n)
 	candidates := make([][]bitvec.Vector, n)
 	allObjs := identity(m)
 
 	for gi, d := range guesses {
 		iterRng := shared.Split(uint64(gi), uint64(d))
-		cand, stats := runIteration(w, allObjs, d, iterRng, pr)
+		cand, stats := runIteration(rc, allObjs, d, iterRng, pr)
 		res.Iterations = append(res.Iterations, stats)
 		res.BoardWrites += stats.BoardWrites
 		res.BoardReads += stats.BoardReads
@@ -89,17 +109,17 @@ func runDoublingLoop(w *world.World, shared *xrand.Stream, pr Params, res *Resul
 // runIteration executes one diameter guess: sample, SmallRadius, cluster,
 // work-share (Figure 2 steps 1.b–1.e). It returns one candidate vector per
 // player over all m objects.
-func runIteration(w *world.World, allObjs []int, d int, shared *xrand.Stream, pr Params) ([]bitvec.Vector, IterationStats) {
-	n, m := w.N(), w.M()
+func runIteration(rc *world.Run, allObjs []int, d int, shared *xrand.Stream, pr Params) ([]bitvec.Vector, IterationStats) {
+	n, m := rc.N(), rc.M()
 	stats := IterationStats{D: d}
-	w.Pub.TargetDiameter = d
+	rc.Pub.TargetDiameter = d
 
 	// Easy case (§6.1): small diameter guesses run SmallRadius directly on
 	// the full object set.
 	if float64(d) < pr.SmallDThreshold*lnN(n) {
 		stats.UsedFullSR = true
-		w.Pub.Phase = "smallradius-full"
-		z := smallradius.Run(w, allObjs, d, pr.B, shared.Split(0xF0), pr.SR)
+		rc.Pub.Phase = "smallradius-full"
+		z := smallradius.Run(rc, allObjs, d, pr.B, shared.Split(0xF0), pr.SR)
 		out := make([]bitvec.Vector, n)
 		for p := 0; p < n; p++ {
 			out[p] = z[p]
@@ -108,20 +128,20 @@ func runIteration(w *world.World, allObjs []int, d int, shared *xrand.Stream, pr
 	}
 
 	// Step 1.b: shared random sample set S.
-	w.Pub.Phase = "sample"
+	rc.Pub.Phase = "sample"
 	start := time.Now()
 	sample := shared.Split(0x5A).BernoulliSubset(m, pr.SampleProb(n, d))
 	if len(sample) == 0 {
 		sample = []int{0}
 	}
-	w.Pub.SetSample(sample)
+	rc.Pub.SetSample(sample)
 	stats.SampleSize = len(sample)
 	stats.SampleTime = time.Since(start)
 
 	// Step 1.c: SmallRadius on the sample.
-	w.Pub.Phase = "smallradius"
+	rc.Pub.Phase = "smallradius"
 	start = time.Now()
-	zMap := smallradius.Run(w, sample, pr.SampleDiameter(n), pr.B, shared.Split(0x5B), pr.SR)
+	zMap := smallradius.Run(rc, sample, pr.SampleDiameter(n), pr.B, shared.Split(0x5B), pr.SR)
 	z := make([]bitvec.Vector, n)
 	for p := 0; p < n; p++ {
 		z[p] = zMap[p]
@@ -132,7 +152,7 @@ func runIteration(w *world.World, allObjs []int, d int, shared *xrand.Stream, pr
 	start = time.Now()
 	g := cluster.BuildGraph(z, pr.EdgeThreshold(n))
 	cl := cluster.Build(g, pr.MinClusterSize(n))
-	w.Pub.Clusters = cl.Clusters
+	rc.Pub.Clusters = cl.Clusters
 	stats.NumClusters = len(cl.Clusters)
 	stats.MinCluster = cl.MinClusterSize()
 	stats.Unassigned = len(cl.Unassigned())
@@ -141,15 +161,15 @@ func runIteration(w *world.World, allObjs []int, d int, shared *xrand.Stream, pr
 	// Step 1.e: share the probing work within each cluster. Reports travel
 	// through the bulletin board: probers publish to their own lanes and
 	// every cluster member tallies the published votes.
-	w.Pub.Phase = "workshare"
+	rc.Pub.Phase = "workshare"
 	start = time.Now()
 	bd := board.New(n, m)
-	out := workShare(w, bd, cl, shared.Split(0x5C), pr)
+	out := workShare(rc, bd, cl, shared.Split(0x5C), pr)
 	stats.WorkshareTime = time.Since(start)
 	stats.BoardWrites = bd.WriteCount()
 	stats.BoardReads = bd.ReadCount()
-	w.Pub.SetSample(nil)
-	w.Pub.Clusters = nil
+	rc.Pub.SetSample(nil)
+	rc.Pub.Clusters = nil
 	return out, stats
 }
 
@@ -158,8 +178,8 @@ func runIteration(w *world.World, allObjs []int, d int, shared *xrand.Stream, pr
 // their reports on the bulletin board, and each member of the cluster
 // adopts the majority of the published votes (Figure 2 step 1.e). Players
 // in no cluster receive zero vectors, which the final RSelect discards.
-func workShare(w *world.World, bd *board.Board, cl *cluster.Clustering, shared *xrand.Stream, pr Params) []bitvec.Vector {
-	n, m := w.N(), w.M()
+func workShare(rc *world.Run, bd *board.Board, cl *cluster.Clustering, shared *xrand.Stream, pr Params) []bitvec.Vector {
+	n, m := rc.N(), rc.M()
 	red := pr.Redundancy(n)
 	out := make([]bitvec.Vector, n)
 	for p := range out {
@@ -180,7 +200,7 @@ func workShare(w *world.World, bd *board.Board, cl *cluster.Clustering, shared *
 			// Publish phase: each assigned prober writes its report to its
 			// own board lane (a dishonest prober cannot touch other lanes).
 			for _, q := range probers {
-				bd.Write(q, o, w.Report(q, o))
+				bd.Write(q, o, rc.Report(q, o))
 			}
 			// Tally phase: read the published votes back off the board.
 			// Duplicate assignments collapse to one published vote per
@@ -250,7 +270,16 @@ func RunTrivial(w *world.World) *Result {
 // shared coins of that repetition are adversarial; we model the worst case
 // by letting the adversary replace the repetition's candidate vectors with
 // the complement of each player's truth — strictly worse than anything a
-// biased seed could produce (see DESIGN.md).
+// biased seed could produce (see DESIGN.md §3).
+//
+// The repetitions are mutually independent — each gets its own split RNG
+// streams, its own execution context (world.Run), and its own bulletin
+// boards — so they execute concurrently across cores unless pr.ByzSerial
+// is set. Per-repetition statistics are merged in repetition order, so the
+// output and every counter are byte-identical to the serial schedule for a
+// fixed seed (stateful call-order-dependent behaviors like
+// adversary.Flipflopper being the one documented exception; see DESIGN.md
+// §6).
 //
 // binStrategy drives dishonest players' election behavior (nil: greedy
 // lightest-bin rushing).
@@ -262,30 +291,68 @@ func RunByzantine(w *world.World, trueRng *xrand.Stream, binStrategy election.Bi
 		k = 1
 	}
 	res.Repetitions = k
-	candidates := make([][]bitvec.Vector, n)
 
+	// Split every repetition's streams from the parent up front: Stream
+	// splitting is pure but not safe for concurrent use on one parent.
+	elecRng := make([]*xrand.Stream, k)
+	sharedRng := make([]*xrand.Stream, k)
 	for it := 0; it < k; it++ {
-		el := election.Run(w, trueRng.Split(0xE1EC, uint64(it)), binStrategy, pr.Election)
-		if w.IsHonest(el.Leader) {
-			res.HonestLeaders++
-			// Honest leader: shared coins are unbiased.
-			shared := trueRng.Split(0x5EED, uint64(it))
-			sub := &Result{}
-			cands := runDoublingLoop(w, shared, pr, sub)
-			outputs := finalSelect(w, shared, cands, pr)
-			for p := 0; p < n; p++ {
-				candidates[p] = append(candidates[p], outputs[p])
-			}
-			res.Iterations = sub.Iterations
-			res.BoardWrites += sub.BoardWrites
-			res.BoardReads += sub.BoardReads
-		} else {
+		elecRng[it] = trueRng.Split(0xE1EC, uint64(it))
+		sharedRng[it] = trueRng.Split(0x5EED, uint64(it))
+	}
+
+	res.Reps = make([]RepetitionStats, k)
+	outputs := make([][]bitvec.Vector, k) // outputs[it][p]
+	runRep := func(it int) {
+		st := &res.Reps[it]
+		el := election.Run(w, elecRng[it], binStrategy, pr.Election)
+		st.Leader = el.Leader
+		if !w.IsHonest(el.Leader) {
 			// Dishonest leader: adversarial coins. Worst-case model — the
 			// repetition's output is maximally wrong for every player.
+			advOut := make([]bitvec.Vector, n)
 			for p := 0; p < n; p++ {
-				candidates[p] = append(candidates[p], w.TruthVector(p).Not())
+				advOut[p] = w.TruthVector(p).Not()
 			}
+			outputs[it] = advOut
+			return
 		}
+		// Honest leader: shared coins are unbiased. The repetition runs in
+		// its own execution context, leaving w itself read-only.
+		st.HonestLeader = true
+		rc := world.NewRun(w)
+		sub := &Result{}
+		cands := runDoublingLoop(rc, sharedRng[it], pr, sub)
+		outputs[it] = finalSelect(w, sharedRng[it], cands, pr)
+		st.Iterations = sub.Iterations
+		st.BoardWrites = sub.BoardWrites
+		st.BoardReads = sub.BoardReads
+	}
+	if pr.ByzSerial {
+		for it := 0; it < k; it++ {
+			runRep(it)
+		}
+	} else {
+		par.For(k, runRep)
+	}
+
+	// Deterministic merge in repetition order, independent of the schedule.
+	for it := 0; it < k; it++ {
+		st := &res.Reps[it]
+		if st.HonestLeader {
+			res.HonestLeaders++
+			res.Iterations = st.Iterations
+		}
+		res.BoardWrites += st.BoardWrites
+		res.BoardReads += st.BoardReads
+	}
+	candidates := make([][]bitvec.Vector, n)
+	for p := 0; p < n; p++ {
+		cands := make([]bitvec.Vector, k)
+		for it := 0; it < k; it++ {
+			cands[it] = outputs[it][p]
+		}
+		candidates[p] = cands
 	}
 	// If every leader was dishonest (probability vanishing in k at the
 	// tolerated corruption level) all candidates are adversarial and the

@@ -85,6 +85,12 @@ type Result struct {
 // Run elects a leader among all players of w. rng supplies the honest
 // players' private coins (split per player and round). strategy drives the
 // dishonest players; nil defaults to GreedyLightest.
+//
+// Run only reads the roster and consumes its own rng, so concurrent
+// elections — one per parallel Byzantine repetition (DESIGN.md §6) — are
+// safe as long as each call gets a dedicated stream; BinStrategy
+// implementations must likewise be safe for concurrent use (the in-tree
+// ones are stateless).
 func Run(w Roster, rng *xrand.Stream, strategy BinStrategy, pr Params) Result {
 	if strategy == nil {
 		strategy = GreedyLightest{}

@@ -211,7 +211,7 @@ func runE4(cfg Config) *tablefmt.Table {
 		agg := sim.RunSequential(cfg.Trials, cfg.Seed+uint64(b), func(trial int, rng *xrand.Stream) map[string]float64 {
 			in := prefgen.IdenticalClusters(rng.Split(1), n, m, n/b)
 			w := world.New(in.Truth)
-			out := zeroradius.Run(w, identityObjs(n), identityObjs(m), b, rng.Split(2), zeroradius.Scaled())
+			out := zeroradius.Run(world.NewRun(w), identityObjs(n), identityObjs(m), b, rng.Split(2), zeroradius.Scaled())
 			exact := 0
 			for p := 0; p < n; p++ {
 				if in.Truth[p].Hamming(out[p]) == 0 {
@@ -244,7 +244,7 @@ func runE5(cfg Config) *tablefmt.Table {
 		agg := sim.RunSequential(cfg.Trials, cfg.Seed+uint64(d), func(trial int, rng *xrand.Stream) map[string]float64 {
 			in := prefgen.DiameterClusters(rng.Split(1), n, m, n/cfg.B, d)
 			w := world.New(in.Truth)
-			out := smallradius.Run(w, identityObjs(m), d, cfg.B, rng.Split(2), smallradius.Scaled(n))
+			out := smallradius.Run(world.NewRun(w), identityObjs(m), d, cfg.B, rng.Split(2), smallradius.Scaled(n))
 			var errs []int
 			for p := 0; p < n; p++ {
 				errs = append(errs, in.Truth[p].Hamming(out[p]))
@@ -279,7 +279,7 @@ func runE6(cfg Config) *tablefmt.Table {
 			if len(sample) == 0 {
 				sample = []int{0}
 			}
-			zMap := smallradius.Run(w, sample, pr.SampleDiameter(n), cfg.B, rng.Split(3), pr.SR)
+			zMap := smallradius.Run(world.NewRun(w), sample, pr.SampleDiameter(n), cfg.B, rng.Split(3), pr.SR)
 			z := make([]bitvec.Vector, n)
 			zErrMax := 0
 			for p := 0; p < n; p++ {

@@ -57,7 +57,7 @@ func TestErrorsHonestOnly(t *testing.T) {
 
 type dishonest struct{}
 
-func (dishonest) Report(w *world.World, p, o int) bool { return false }
+func (dishonest) Report(_ *world.Run, _, _ int) bool { return false }
 
 func TestProbes(t *testing.T) {
 	in := prefgen.Uniform(xrand.New(2), 3, 32)

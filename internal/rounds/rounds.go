@@ -82,6 +82,7 @@ func (e *Engine) Run(programs []Program) Result {
 		}
 	}
 	res := Result{}
+	rc := world.NewRun(e.W)
 	var mu sync.Mutex
 	for round := 0; remaining > 0 && round < cap; round++ {
 		var wg sync.WaitGroup
@@ -94,7 +95,7 @@ func (e *Engine) Run(programs []Program) Result {
 				defer wg.Done()
 				act := programs[p](round, e.Bd)
 				if act.Probe >= 0 {
-					v := e.W.Report(p, act.Probe)
+					v := rc.Report(p, act.Probe)
 					if act.Publish {
 						e.Bd.Write(p, act.Probe, v)
 					}

@@ -108,23 +108,23 @@ func (pr Params) numGroups(d, numObjs int) int {
 // the small-radius assumption receive vectors within O(d) of their truth
 // whp; dishonest players' entries hold the vectors they publish (their
 // strategies' claims), which downstream steps treat as their z-vectors.
-func Run(w *world.World, objs []int, d, b int, shared *xrand.Stream, pr Params) map[int]bitvec.Vector {
-	n := w.N()
+func Run(rc *world.Run, objs []int, d, b int, shared *xrand.Stream, pr Params) map[int]bitvec.Vector {
+	n := rc.N()
 	if b < 1 {
 		b = 1
 	}
 	out := make(map[int]bitvec.Vector, n)
 
 	// Dishonest players publish claims; compute once.
-	dishonest := w.DishonestPlayers()
+	dishonest := rc.DishonestPlayers()
 	claims := par.Map(len(dishonest), func(i int) bitvec.Vector {
-		return w.ReportVector(dishonest[i], objs)
+		return rc.ReportVector(dishonest[i], objs)
 	})
 	for i, p := range dishonest {
 		out[p] = claims[i]
 	}
 
-	honest := w.HonestPlayers()
+	honest := rc.HonestPlayers()
 	if len(objs) == 0 {
 		for _, p := range honest {
 			out[p] = bitvec.New(0)
@@ -176,7 +176,7 @@ func Run(w *world.World, objs []int, d, b int, shared *xrand.Stream, pr Params) 
 			for i, j := range positions {
 				groupObjs[i] = objs[j]
 			}
-			zr := zeroradius.Run(w, allPlayers, groupObjs, pr.BudgetMultiplier*b, repRng.Split(uint64(g)), pr.ZR)
+			zr := zeroradius.Run(rc, allPlayers, groupObjs, pr.BudgetMultiplier*b, repRng.Split(uint64(g)), pr.ZR)
 			// U_g: vectors output by at least n/(SupportDivisor·B) players.
 			threshold := float64(n) / (pr.SupportDivisor * float64(b))
 			if threshold < 1 {
@@ -226,7 +226,7 @@ func Run(w *world.World, objs []int, d, b int, shared *xrand.Stream, pr Params) 
 					for k, j := range res.positions {
 						groupObjs[k] = objs[j]
 					}
-					idx := selection.Select(w, p, groupObjs, res.ui, dGroup, selRng, pr.Sel)
+					idx := selection.Select(rc.World, p, groupObjs, res.ui, dGroup, selRng, pr.Sel)
 					chosen = res.ui[idx]
 				case res.outputs[p].Len() > 0:
 					// No supported candidate (assumption violated for this
@@ -253,7 +253,7 @@ func Run(w *world.World, objs []int, d, b int, shared *xrand.Stream, pr Params) 
 		p := honest[i]
 		cands := candidates[p]
 		selRng := shared.Split(0xF1A7, uint64(p))
-		idx := selection.Select(w, p, objs, cands, d, selRng, pr.Sel)
+		idx := selection.Select(rc.World, p, objs, cands, d, selRng, pr.Sel)
 		if idx < 0 {
 			return bitvec.New(len(objs))
 		}

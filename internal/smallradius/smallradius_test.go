@@ -21,7 +21,7 @@ func identityObjs(m int) []int {
 // runErrors executes SmallRadius and returns the per-honest-player errors
 // measured against the truth restricted to objs.
 func runErrors(w *world.World, objs []int, d, b int, seed uint64, pr Params) []int {
-	out := Run(w, objs, d, b, xrand.New(seed), pr)
+	out := Run(world.NewRun(w), objs, d, b, xrand.New(seed), pr)
 	var errs []int
 	for p := 0; p < w.N(); p++ {
 		if !w.IsHonest(p) {
@@ -73,7 +73,7 @@ func TestSubsetObjects(t *testing.T) {
 	in := prefgen.DiameterClusters(rng.Split(1), n, m, n/b, d)
 	w := world.New(in.Truth)
 	objs := rng.Split(5).Sample(m, 200)
-	out := Run(w, objs, d, b, xrand.New(11), Scaled(n))
+	out := Run(world.NewRun(w), objs, d, b, xrand.New(11), Scaled(n))
 	for p := 0; p < n; p++ {
 		if out[p].Len() != len(objs) {
 			t.Fatalf("player %d vector length %d, want %d", p, out[p].Len(), len(objs))
@@ -90,7 +90,7 @@ func TestEmptyObjects(t *testing.T) {
 	rng := xrand.New(4)
 	in := prefgen.Uniform(rng.Split(1), 16, 32)
 	w := world.New(in.Truth)
-	out := Run(w, nil, 4, 2, xrand.New(13), Scaled(16))
+	out := Run(world.NewRun(w), nil, 4, 2, xrand.New(13), Scaled(16))
 	for p, v := range out {
 		if v.Len() != 0 {
 			t.Fatalf("player %d got non-empty vector %d", p, v.Len())
@@ -106,7 +106,7 @@ func TestDishonestEntriesAreClaims(t *testing.T) {
 	in := prefgen.DiameterClusters(rng.Split(1), n, m, n/b, d)
 	w := world.New(in.Truth)
 	w.SetBehavior(3, adversary.FlipAll{})
-	out := Run(w, identityObjs(m), d, b, xrand.New(17), Scaled(n))
+	out := Run(world.NewRun(w), identityObjs(m), d, b, xrand.New(17), Scaled(n))
 	want := w.TruthVector(3).Not()
 	if !out[3].Equal(want) {
 		t.Fatal("dishonest player's entry is not its claim vector")
@@ -178,7 +178,7 @@ func TestDeterminism(t *testing.T) {
 		rng := xrand.New(25)
 		in := prefgen.DiameterClusters(rng.Split(1), n, m, n/b, d)
 		w := world.New(in.Truth)
-		out := Run(w, identityObjs(m), d, b, xrand.New(27), Scaled(n))
+		out := Run(world.NewRun(w), identityObjs(m), d, b, xrand.New(27), Scaled(n))
 		total := 0
 		for _, v := range out {
 			total += v.Count()

@@ -22,19 +22,21 @@ import (
 
 // Behavior decides what a player reports when the protocol asks it to probe
 // an object and publish the result. Implementations must be safe for
-// concurrent use across distinct calls.
+// concurrent use across distinct calls, including calls from concurrently
+// executing Runs over the same World.
 type Behavior interface {
 	// Report returns the value player p publishes for object o. Honest
 	// behaviors probe (charging p) and return the truth; dishonest ones may
-	// return anything and typically do not probe.
-	Report(w *World, p, o int) bool
+	// return anything and typically do not probe. The Run carries the
+	// published protocol state of the execution asking for the report.
+	Report(rc *Run, p, o int) bool
 }
 
 // Honest is the protocol-following behavior: probe and report the truth.
 type Honest struct{}
 
 // Report probes object o as player p and returns the true preference.
-func (Honest) Report(w *World, p, o int) bool { return w.Probe(p, o) }
+func (Honest) Report(rc *Run, p, o int) bool { return rc.Probe(p, o) }
 
 // Public is protocol state visible to all players — and therefore to the
 // full-information adversary. Protocol phases update it as they go so that
@@ -76,8 +78,48 @@ func (pub *Public) InSample(o int) bool { return pub.sampleSet[o] }
 // HasSample reports whether a sample set is currently published.
 func (pub *Public) HasSample() bool { return pub.Sample != nil }
 
+// Run is a per-execution context: one protocol run over a read-only World.
+// It owns the mutable published state (Pub) that protocol phases update as
+// they go and that full-information adversary behaviors observe. Because
+// every run carries its own Pub, independent runs — e.g. the repetitions of
+// the Byzantine wrapper — can execute concurrently over one World without
+// their observer state interfering (see DESIGN.md §6).
+//
+// A Run embeds the World, so all read-only accessors (N, M, Probe,
+// IsHonest, …) are available on it directly. Pub must only be mutated
+// between parallel phases of the owning run (never concurrently with Report
+// calls that read it), exactly as the World-global Pub had to be before
+// Runs existed.
+type Run struct {
+	*World
+	Pub Public
+}
+
+// NewRun creates a fresh execution context over w with empty published
+// state.
+func NewRun(w *World) *Run { return &Run{World: w} }
+
+// Report asks player p's behavior for its published value for object o, in
+// the context of this run.
+func (rc *Run) Report(p, o int) bool { return rc.behaviors[p].Report(rc, p, o) }
+
+// ReportVector returns player p's reports for the given objects as a vector
+// indexed like objs (bit j corresponds to objs[j]). For honest players this
+// probes every listed object.
+func (rc *Run) ReportVector(p int, objs []int) bitvec.Vector {
+	v := bitvec.New(len(objs))
+	for j, o := range objs {
+		if rc.Report(p, o) {
+			v.Set(j, true)
+		}
+	}
+	return v
+}
+
 // World is the simulation substrate. The truth matrix, roles, and behaviors
-// are fixed at construction; probe counters are updated concurrently.
+// are fixed at construction; probe counters are updated concurrently. A
+// World is read-only during protocol execution: all mutable published state
+// lives in the per-execution Run.
 type World struct {
 	n, m      int
 	truth     []bitvec.Vector // truth[p] has length m
@@ -85,10 +127,6 @@ type World struct {
 	behaviors []Behavior
 	probes    []atomic.Int64
 	known     []knownBits // per-player probe memo
-
-	// Pub is mutated only between parallel phases (never concurrently with
-	// Report calls that read it).
-	Pub Public
 }
 
 // knownBits memoizes what a player has already learned. Once a player has
@@ -157,9 +195,6 @@ func (w *World) PeekTruth(p, o int) bool { return w.truth[p].Get(o) }
 // TruthVector returns a copy of player p's full truth vector (measurement
 // use only).
 func (w *World) TruthVector(p int) bitvec.Vector { return w.truth[p].Clone() }
-
-// Report asks player p's behavior for its published value for object o.
-func (w *World) Report(p, o int) bool { return w.behaviors[p].Report(w, p, o) }
 
 // SetBehavior installs a behavior for player p and marks it dishonest
 // unless the behavior is Honest.
@@ -239,19 +274,6 @@ func (w *World) ResetProbes() {
 		w.known[p].mask = bitvec.New(w.m)
 		w.known[p].mu.Unlock()
 	}
-}
-
-// ReportVector returns player p's reports for the given objects as a vector
-// indexed like objs (bit j corresponds to objs[j]). For honest players this
-// probes every listed object.
-func (w *World) ReportVector(p int, objs []int) bitvec.Vector {
-	v := bitvec.New(len(objs))
-	for j, o := range objs {
-		if w.Report(p, o) {
-			v.Set(j, true)
-		}
-	}
-	return v
 }
 
 // HonestError returns, for honest player p, the Hamming distance between

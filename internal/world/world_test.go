@@ -79,7 +79,7 @@ func TestHonestByDefault(t *testing.T) {
 
 type liar struct{}
 
-func (liar) Report(w *World, p, o int) bool { return !w.PeekTruth(p, o) }
+func (liar) Report(rc *Run, p, o int) bool { return !rc.PeekTruth(p, o) }
 
 func TestSetBehaviorMarksDishonest(t *testing.T) {
 	w := twoByThree()
@@ -102,7 +102,7 @@ func TestSetBehaviorMarksDishonest(t *testing.T) {
 
 func TestReportHonestProbes(t *testing.T) {
 	w := twoByThree()
-	v := w.Report(0, 0)
+	v := NewRun(w).Report(0, 0)
 	if !v {
 		t.Fatal("honest report returned wrong value")
 	}
@@ -114,7 +114,7 @@ func TestReportHonestProbes(t *testing.T) {
 func TestReportDishonestLies(t *testing.T) {
 	w := twoByThree()
 	w.SetBehavior(0, liar{})
-	if w.Report(0, 0) {
+	if NewRun(w).Report(0, 0) {
 		t.Fatal("liar told the truth")
 	}
 	if w.Probes(0) != 0 {
@@ -124,7 +124,7 @@ func TestReportDishonestLies(t *testing.T) {
 
 func TestReportVector(t *testing.T) {
 	w := twoByThree()
-	v := w.ReportVector(0, []int{2, 0})
+	v := NewRun(w).ReportVector(0, []int{2, 0})
 	// objs[0]=2 → truth 1; objs[1]=0 → truth 1
 	if !v.Get(0) || !v.Get(1) || v.Len() != 2 {
 		t.Fatalf("ReportVector = %v", v)
@@ -184,17 +184,30 @@ func TestConcurrentProbes(t *testing.T) {
 }
 
 func TestPublicSample(t *testing.T) {
-	w := twoByThree()
-	if w.Pub.HasSample() {
-		t.Fatal("fresh world has a sample")
+	rc := NewRun(twoByThree())
+	if rc.Pub.HasSample() {
+		t.Fatal("fresh run has a sample")
 	}
-	w.Pub.SetSample([]int{0, 2})
-	if !w.Pub.HasSample() || !w.Pub.InSample(0) || w.Pub.InSample(1) || !w.Pub.InSample(2) {
+	rc.Pub.SetSample([]int{0, 2})
+	if !rc.Pub.HasSample() || !rc.Pub.InSample(0) || rc.Pub.InSample(1) || !rc.Pub.InSample(2) {
 		t.Fatal("sample membership wrong")
 	}
-	w.Pub.SetSample(nil)
-	if w.Pub.HasSample() || w.Pub.InSample(0) {
+	rc.Pub.SetSample(nil)
+	if rc.Pub.HasSample() || rc.Pub.InSample(0) {
 		t.Fatal("clearing sample failed")
+	}
+}
+
+func TestRunsAreIndependent(t *testing.T) {
+	w := twoByThree()
+	a, b := NewRun(w), NewRun(w)
+	a.Pub.SetSample([]int{1})
+	a.Pub.Phase = "workshare"
+	if b.Pub.HasSample() || b.Pub.Phase != "" {
+		t.Fatal("published state leaked between runs over one world")
+	}
+	if a.N() != w.N() || a.M() != w.M() {
+		t.Fatal("run does not expose the embedded world")
 	}
 }
 

@@ -67,13 +67,13 @@ func Scaled() Params { return Params{BaseFactor: 2, BaseObjects: 16, VoteDivisor
 // The result maps player id → output vector indexed like objs. Honest
 // players in qualifying zero-radius clusters receive their true preferences
 // whp; other players receive best-effort vectors.
-func Run(w *world.World, P []int, objs []int, bPrime int, shared *xrand.Stream, pr Params) map[int]bitvec.Vector {
+func Run(rc *world.Run, P []int, objs []int, bPrime int, shared *xrand.Stream, pr Params) map[int]bitvec.Vector {
 	if bPrime < 1 {
 		bPrime = 1
 	}
 	out := make(map[int]bitvec.Vector, len(P))
 	var mu chanLock
-	run(w, P, objs, bPrime, shared, pr, out, &mu, 0)
+	run(rc, P, objs, bPrime, shared, pr, out, &mu, 0)
 	return out
 }
 
@@ -90,8 +90,8 @@ func (l *chanLock) lock() {
 }
 func (l *chanLock) unlock() { <-l.ch }
 
-func run(w *world.World, P []int, objs []int, bPrime int, shared *xrand.Stream, pr Params, out map[int]bitvec.Vector, mu *chanLock, depth int) {
-	n := w.N()
+func run(rc *world.Run, P []int, objs []int, bPrime int, shared *xrand.Stream, pr Params, out map[int]bitvec.Vector, mu *chanLock, depth int) {
+	n := rc.N()
 	basePlayers := int(math.Ceil(pr.BaseFactor * float64(bPrime) * math.Log(float64(n)+2)))
 	if basePlayers < 2 {
 		basePlayers = 2
@@ -109,7 +109,7 @@ func run(w *world.World, P []int, objs []int, bPrime int, shared *xrand.Stream, 
 	if len(P) <= basePlayers || len(objs) <= baseObjects {
 		// Base case: every player reports every object directly.
 		results := par.Map(len(P), func(i int) bitvec.Vector {
-			return w.ReportVector(P[i], objs)
+			return rc.ReportVector(P[i], objs)
 		})
 		mu.lock()
 		for i, p := range P {
@@ -130,14 +130,14 @@ func run(w *world.World, P []int, objs []int, bPrime int, shared *xrand.Stream, 
 	sub1 := make(map[int]bitvec.Vector, len(p1))
 	var mu0, mu1 chanLock
 	par.Do(
-		func() { run(w, p0, o0, bPrime, nodeRng.Split(0), pr, sub0, &mu0, depth+1) },
-		func() { run(w, p1, o1, bPrime, nodeRng.Split(1), pr, sub1, &mu1, depth+1) },
+		func() { run(rc, p0, o0, bPrime, nodeRng.Split(0), pr, sub0, &mu0, depth+1) },
+		func() { run(rc, p1, o1, bPrime, nodeRng.Split(1), pr, sub1, &mu1, depth+1) },
 	)
 
 	// Cross-fill: players of each half learn the other half's objects from
 	// the vectors published by the other half's players.
-	cross0 := crossFill(w, p0, o1, sub1, p1, bPrime, pr) // P0 learns O1
-	cross1 := crossFill(w, p1, o0, sub0, p0, bPrime, pr) // P1 learns O0
+	cross0 := crossFill(rc, p0, o1, sub1, p1, bPrime, pr) // P0 learns O1
+	cross1 := crossFill(rc, p1, o0, sub0, p0, bPrime, pr) // P1 learns O0
 
 	// Assemble full vectors over objs for every player.
 	pos := make(map[int]int, len(objs))
@@ -214,7 +214,7 @@ type candidate struct {
 // top 2B' vectors by support. The candidate count stays O(B') — the probe
 // budget of the elimination loop is unchanged — and the elimination probes
 // discard any junk this lets in.
-func crossFill(w *world.World, learners []int, objs []int, pub map[int]bitvec.Vector, publishers []int, bPrime int, pr Params) map[int]bitvec.Vector {
+func crossFill(rc *world.Run, learners []int, objs []int, pub map[int]bitvec.Vector, publishers []int, bPrime int, pr Params) map[int]bitvec.Vector {
 	// Tally distinct published vectors.
 	tally := make(map[string]*candidate)
 	for _, q := range publishers {
@@ -256,12 +256,12 @@ func crossFill(w *world.World, learners []int, objs []int, pub map[int]bitvec.Ve
 	out := make(map[int]bitvec.Vector, len(learners))
 	results := par.Map(len(learners), func(i int) bitvec.Vector {
 		p := learners[i]
-		if !w.IsHonest(p) {
+		if !rc.IsHonest(p) {
 			// A dishonest player publishes its strategy's claims rather
 			// than running the elimination loop.
-			return w.ReportVector(p, objs)
+			return rc.ReportVector(p, objs)
 		}
-		return eliminate(w, p, objs, cands)
+		return eliminate(rc, p, objs, cands)
 	})
 	for i, p := range learners {
 		out[p] = results[i]
@@ -282,7 +282,7 @@ func crossFill(w *world.World, learners []int, objs []int, pub map[int]bitvec.Ve
 // as the player's own idiosyncrasy: the probe result is recorded but the
 // survivors are kept. The final survivor is the one agreeing best with all
 // recorded probes.
-func eliminate(w *world.World, p int, objs []int, cands []bitvec.Vector) bitvec.Vector {
+func eliminate(rc *world.Run, p int, objs []int, cands []bitvec.Vector) bitvec.Vector {
 	if len(objs) == 0 {
 		return bitvec.New(0)
 	}
@@ -297,7 +297,7 @@ func eliminate(w *world.World, p int, objs []int, cands []bitvec.Vector) bitvec.
 		if j < 0 {
 			break // all survivors identical on objs
 		}
-		truth := w.Probe(p, objs[j])
+		truth := rc.Probe(p, objs[j])
 		probed[j] = truth
 		next := make([]bitvec.Vector, 0, len(survivors))
 		for _, c := range survivors {

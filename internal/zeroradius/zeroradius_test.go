@@ -24,7 +24,7 @@ func allPlayers(n int) []int { return identityObjs(n) }
 func exactFraction(t *testing.T, w *world.World, in *prefgen.Instance, bPrime int, seed uint64, pr Params) (float64, int) {
 	t.Helper()
 	n, m := w.N(), w.M()
-	out := Run(w, allPlayers(n), identityObjs(m), bPrime, xrand.New(seed), pr)
+	out := Run(world.NewRun(w), allPlayers(n), identityObjs(m), bPrime, xrand.New(seed), pr)
 	exact, honest, maxErr := 0, 0, 0
 	for p := 0; p < n; p++ {
 		if !w.IsHonest(p) {
@@ -95,7 +95,7 @@ func TestSmallInputBaseCase(t *testing.T) {
 	rng := xrand.New(3)
 	in := prefgen.Uniform(rng.Split(1), n, m)
 	w := world.New(in.Truth)
-	out := Run(w, allPlayers(n), identityObjs(m), 2, rng.Split(2), Defaults())
+	out := Run(world.NewRun(w), allPlayers(n), identityObjs(m), 2, rng.Split(2), Defaults())
 	for p := 0; p < n; p++ {
 		if d := in.Truth[p].Hamming(out[p]); d != 0 {
 			t.Fatalf("base case player %d error %d", p, d)
@@ -108,11 +108,11 @@ func TestEmptyInputs(t *testing.T) {
 	rng := xrand.New(4)
 	in := prefgen.Uniform(rng.Split(1), 4, 8)
 	w := world.New(in.Truth)
-	out := Run(w, nil, identityObjs(8), 2, rng.Split(2), Defaults())
+	out := Run(world.NewRun(w), nil, identityObjs(8), 2, rng.Split(2), Defaults())
 	if len(out) != 0 {
 		t.Fatalf("no players should give empty output, got %d", len(out))
 	}
-	out = Run(w, allPlayers(4), nil, 2, rng.Split(3), Defaults())
+	out = Run(world.NewRun(w), allPlayers(4), nil, 2, rng.Split(3), Defaults())
 	for p, v := range out {
 		if v.Len() != 0 {
 			t.Fatalf("player %d got vector of length %d for no objects", p, v.Len())
@@ -128,7 +128,7 @@ func TestSubsetOfObjects(t *testing.T) {
 	in := prefgen.IdenticalClusters(rng.Split(1), n, m, 16)
 	w := world.New(in.Truth)
 	objs := []int{3, 17, 40, 41, 90, 100, 101, 120}
-	out := Run(w, allPlayers(n), objs, 4, rng.Split(2), Defaults())
+	out := Run(world.NewRun(w), allPlayers(n), objs, 4, rng.Split(2), Defaults())
 	for p := 0; p < n; p++ {
 		v := out[p]
 		if v.Len() != len(objs) {
@@ -186,7 +186,7 @@ func TestDeterminism(t *testing.T) {
 		rng := xrand.New(12)
 		in := prefgen.IdenticalClusters(rng.Split(1), n, m, 16)
 		w := world.New(in.Truth)
-		out := Run(w, allPlayers(n), identityObjs(m), 4, rng.Split(2), Defaults())
+		out := Run(world.NewRun(w), allPlayers(n), identityObjs(m), 4, rng.Split(2), Defaults())
 		sig := make(map[int]int, n)
 		for p, v := range out {
 			sig[p] = v.Count()
