@@ -237,20 +237,34 @@ func BenchmarkFullByzantine(b *testing.B) {
 	}
 }
 
-// BenchmarkRunByzantine measures the Byzantine wrapper at n=2048 with
-// k=8 repetitions and tolerance-level corruption, comparing the concurrent
-// repetition schedule (the default) against the serial reference. The
-// parallel/serial wall-clock ratio is the headline payoff of per-run
-// execution contexts; see README.md for a recorded table.
+// BenchmarkRunByzantine measures the Byzantine wrapper under the four
+// schedule combinations of the two parallelism layers (DESIGN.md §9):
+// fully serial, repetition-parallel (PhaseSerial pins the inner loops),
+// phase-parallel (ByzSerial pins the outer loop), and both layers
+// concurrent (the default configuration). All four produce byte-identical
+// fixed-seed output; only wall clock differs. The k=8 matrix runs at
+// n ∈ {256, 1024, 4096} with tolerance-level corruption; the 1rep group is
+// the single-repetition workload (core.Run-like: FixedDiameter sweeps,
+// §8 extensions) where only phase-level parallelism can help. See
+// README.md for a recorded table and DESIGN.md §8 for methodology.
 func BenchmarkRunByzantine(b *testing.B) {
-	const n, k = 2048, 8
-	run := func(b *testing.B, serial bool) {
+	schedules := []struct {
+		name                   string
+		byzSerial, phaseSerial bool
+	}{
+		{"serial", true, true},
+		{"reps-parallel", false, true},
+		{"phases-parallel", true, false},
+		{"both-parallel", false, false},
+	}
+	run := func(b *testing.B, n, k int, byzSerial, phaseSerial bool) {
 		for i := 0; i < b.N; i++ {
 			sim := NewSimulation(Config{Players: n, Budget: 8, Seed: uint64(i), FixedDiameter: n / 32})
 			sim.PlantClusters(n/8, n/32)
 			sim.Corrupt(sim.Tolerance(), ClusterHijackers)
 			sim.Params().ByzIterations = k
-			sim.Params().ByzSerial = serial
+			sim.Params().ByzSerial = byzSerial
+			sim.Params().PhaseSerial = phaseSerial
 			rep := sim.RunByzantine()
 			if i == b.N-1 {
 				b.ReportMetric(float64(rep.MaxError), "max_err")
@@ -258,8 +272,23 @@ func BenchmarkRunByzantine(b *testing.B) {
 			}
 		}
 	}
-	b.Run("serial", func(b *testing.B) { run(b, true) })
-	b.Run("parallel", func(b *testing.B) { run(b, false) })
+	for _, n := range []int{256, 1024, 4096} {
+		for _, sc := range schedules {
+			b.Run(fmt.Sprintf("n=%d/%s", n, sc.name), func(b *testing.B) {
+				run(b, n, 8, sc.byzSerial, sc.phaseSerial)
+			})
+		}
+	}
+	// Single repetition at n=1024: the acceptance workload for phase-level
+	// parallelism (repetition-level parallelism is a no-op at k=1).
+	for _, sc := range []struct {
+		name        string
+		phaseSerial bool
+	}{{"phases-serial", true}, {"phases-parallel", false}} {
+		b.Run("1rep/n=1024/"+sc.name, func(b *testing.B) {
+			run(b, 1024, 1, true, sc.phaseSerial)
+		})
+	}
 }
 
 // BenchmarkScalingN prints the probe-scaling series (the E7 shape) as

@@ -8,7 +8,10 @@
 // structurally impossible.
 //
 // The board also tracks communication cost (total writes and reads), which
-// §8 of the paper raises as an open accounting question.
+// §8 of the paper raises as an open accounting question. Counters are
+// striped across cache lines so concurrent phase loops do not contend on a
+// single hot word; see DESIGN.md §7 for the board's full concurrency
+// contract (publish → Freeze barrier → lock-free tally).
 package board
 
 import (
@@ -24,9 +27,16 @@ import (
 // result of a probe once (re-publishing the same truth is harmless, and a
 // dishonest player gains nothing by flip-flopping because honest readers
 // snapshot).
+//
+// A board alternates between a publish phase (concurrent Writes, each
+// taking its lane's lock) and a tally phase. Calling Freeze at the barrier
+// between them seals the board and returns an immutable view whose reads
+// need no locks at all — the cheap fan-out read path of the work-sharing
+// tally (DESIGN.md §7).
 type Board struct {
 	n, m   int
 	lanes  []lane
+	sealed atomic.Bool
 	writes counter
 	reads  counter
 }
@@ -99,10 +109,18 @@ func (b *Board) Objects() int { return b.m }
 
 // Write publishes player p's value for object o. The first write to a cell
 // sticks; later writes to the same cell are ignored. Write is safe for
-// concurrent use.
+// concurrent use. It panics if the board has been sealed by Freeze —
+// publishing after the tally barrier is a protocol-phase ordering bug.
+// The sealed check happens under the lane lock, so a write racing Freeze
+// either completes before the seal or panics; it can never mutate a lane
+// the frozen view is already reading.
 func (b *Board) Write(p, o int, v bool) {
 	ln := &b.lanes[p]
 	ln.mu.Lock()
+	if b.sealed.Load() {
+		ln.mu.Unlock()
+		panic("board: Write after Freeze")
+	}
 	if !ln.written.Get(o) {
 		ln.written.Set(o, true)
 		ln.values.Set(o, v)
@@ -140,8 +158,9 @@ func (b *Board) Votes(o int, players []int) (ones, zeros int) {
 	return ones, zeros
 }
 
-// Snapshot returns a copy of player p's published (mask, values) pair.
-// Reads of the snapshot are not counted as board reads.
+// Snapshot returns a copy of player p's published (mask, values) pair. The
+// Snapshot call itself counts as one board read; examining the returned
+// copies is free (they share no storage with the board).
 func (b *Board) Snapshot(p int) (written, values bitvec.Vector) {
 	ln := &b.lanes[p]
 	ln.mu.RLock()
@@ -150,14 +169,70 @@ func (b *Board) Snapshot(p int) (written, values bitvec.Vector) {
 	return ln.written.Clone(), ln.values.Clone()
 }
 
+// Frozen is an immutable view of a sealed board, produced by Freeze at the
+// barrier between a publish phase and a tally phase. Its reads take no
+// locks: the underlying lanes cannot change once the board is sealed, so
+// any number of goroutines may tally concurrently. Reads are still charged
+// to the board's communication counters (striped, so concurrent tallying
+// does not contend on a single counter word).
+type Frozen struct {
+	b *Board
+}
+
+// Freeze seals the board against further writes and returns the immutable
+// view. Sealing is permanent for the board's lifetime (boards are
+// per-phase objects; Reset unseals for reuse). Freeze is the phase
+// barrier: after setting the seal it acquires and releases every lane
+// lock, so any write that slipped in before the seal has fully completed
+// before Freeze returns, and any later write panics under its lane lock.
+func (b *Board) Freeze() *Frozen {
+	b.sealed.Store(true)
+	for i := range b.lanes {
+		// The empty critical section is the barrier: it flushes any writer
+		// that entered its lane before the seal became visible.
+		b.lanes[i].mu.Lock()
+		b.lanes[i].mu.Unlock() //nolint:staticcheck // SA2001: intentional
+	}
+	return &Frozen{b: b}
+}
+
+// Read returns player p's published value for object o and whether p has
+// published one, without locking. It counts as one board read.
+func (f *Frozen) Read(p, o int) (value, ok bool) {
+	ln := &f.b.lanes[p]
+	ok = ln.written.Get(o)
+	value = ln.values.Get(o)
+	f.b.reads.add(p)
+	return value, ok
+}
+
+// Votes tallies the published values for object o among the given players,
+// lock-free. Players that have not published for o are skipped.
+func (f *Frozen) Votes(o int, players []int) (ones, zeros int) {
+	for _, p := range players {
+		v, ok := f.Read(p, o)
+		if !ok {
+			continue
+		}
+		if v {
+			ones++
+		} else {
+			zeros++
+		}
+	}
+	return ones, zeros
+}
+
 // WriteCount returns the total number of Write calls (communication cost).
 func (b *Board) WriteCount() int64 { return b.writes.total() }
 
 // ReadCount returns the total number of Read/Votes/Snapshot accesses.
 func (b *Board) ReadCount() int64 { return b.reads.total() }
 
-// Reset clears all lanes and counters, reusing the allocated storage.
+// Reset clears all lanes and counters and unseals the board, reusing the
+// allocated storage. Any Frozen views taken before Reset must be discarded.
 func (b *Board) Reset() {
+	b.sealed.Store(false)
 	for i := range b.lanes {
 		ln := &b.lanes[i]
 		ln.mu.Lock()

@@ -125,6 +125,99 @@ func TestConcurrentWrites(t *testing.T) {
 	}
 }
 
+func TestFrozenReadsMatchBoard(t *testing.T) {
+	b := New(4, 16)
+	b.Write(0, 3, true)
+	b.Write(1, 3, false)
+	b.Write(2, 7, true)
+	f := b.Freeze()
+	for p := 0; p < 4; p++ {
+		for o := 0; o < 16; o++ {
+			wantV, wantOK := b.Read(p, o)
+			gotV, gotOK := f.Read(p, o)
+			if wantV != gotV || wantOK != gotOK {
+				t.Fatalf("cell (%d,%d): frozen (%v,%v) vs board (%v,%v)", p, o, gotV, gotOK, wantV, wantOK)
+			}
+		}
+	}
+	ones, zeros := f.Votes(3, []int{0, 1, 2, 3})
+	if ones != 1 || zeros != 1 {
+		t.Fatalf("frozen Votes = (%d,%d), want (1,1)", ones, zeros)
+	}
+}
+
+func TestFrozenReadsAreCounted(t *testing.T) {
+	b := New(2, 2)
+	b.Write(0, 0, true)
+	before := b.ReadCount()
+	f := b.Freeze()
+	f.Read(0, 0)
+	f.Votes(0, []int{0, 1})
+	if got := b.ReadCount() - before; got != 3 {
+		t.Fatalf("frozen reads counted %d, want 3", got)
+	}
+}
+
+func TestWriteAfterFreezePanics(t *testing.T) {
+	b := New(1, 1)
+	b.Write(0, 0, true)
+	b.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Write after Freeze did not panic")
+		}
+	}()
+	b.Write(0, 0, false)
+}
+
+func TestResetUnseals(t *testing.T) {
+	b := New(1, 2)
+	b.Write(0, 0, true)
+	b.Freeze()
+	b.Reset()
+	b.Write(0, 1, true) // must not panic
+	if v, ok := b.Read(0, 1); !ok || !v {
+		t.Fatal("write after Reset lost")
+	}
+}
+
+// TestFrozenConcurrentReads exercises the lock-free tally path under the
+// race detector: a parallel publish phase, a Freeze barrier, then many
+// goroutines reading the immutable view at once.
+func TestFrozenConcurrentReads(t *testing.T) {
+	const n, m = 8, 256
+	b := New(n, m)
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for o := 0; o < m; o++ {
+				b.Write(p, o, (p*o)%3 == 0)
+			}
+		}(p)
+	}
+	wg.Wait()
+	f := b.Freeze()
+	players := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for o := 0; o < m; o++ {
+				if v, ok := f.Read(o%n, o); !ok || v != ((o%n)*o%3 == 0) {
+					t.Errorf("frozen cell (%d,%d) wrong: (%v,%v)", o%n, o, v, ok)
+				}
+				ones, zeros := f.Votes(o, players)
+				if ones+zeros != n {
+					t.Errorf("object %d: %d votes, want %d", o, ones+zeros, n)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 func TestDims(t *testing.T) {
 	b := New(3, 7)
 	if b.Players() != 3 || b.Objects() != 7 {

@@ -146,7 +146,7 @@ func Run(w *world.World, shared *xrand.Stream, pr Params) *Result {
 		res.Output = zeroOutputs(n, m)
 		return res
 	}
-	res.Output = par.Map(n, func(p int) bitvec.Vector {
+	res.Output = par.MapOn(rc.Exec(), n, func(p int) bitvec.Vector {
 		if !w.IsHonest(p) {
 			return bitvec.New(m)
 		}
@@ -204,7 +204,7 @@ func runIteration(rc *world.Run, d, red int, lnn float64, shared *xrand.Stream, 
 	}
 
 	// Neighbor graph as in core.
-	g := cluster.BuildGraph(z, int(math.Ceil(pr.EdgeFactor*lnn)))
+	g := cluster.BuildGraphOn(rc.Exec(), z, int(math.Ceil(pr.EdgeFactor*lnn)))
 
 	// Capacity-validated peeling: a seed player and its alive neighbors
 	// form a cluster only when their total capacity can absorb the work.
@@ -233,7 +233,7 @@ func runIteration(rc *world.Run, d, red int, lnn float64, shared *xrand.Stream, 
 			total += pr.Capacity[p]
 			weights[i] = total
 		}
-		bits := par.Map(m, func(o int) bool {
+		bits := par.MapOn(rc.Exec(), m, func(o int) bool {
 			rng := clusterRng.Split(uint64(o))
 			ones, zeros := 0, 0
 			for i := 0; i < red; i++ {

@@ -11,7 +11,11 @@
 // BuildGraph and Build are pure functions of their inputs (they touch no
 // world or board state), so concurrent protocol runs — e.g. parallel
 // Byzantine repetitions, DESIGN.md §6 — may call them freely on their own
-// z-vectors.
+// z-vectors. Within one run, the O(n²) pairwise sweep is itself
+// block-partitioned across the run's executor (BuildGraphOn, DESIGN.md
+// §9); the peeling in Build stays sequential because each peel depends on
+// which players the previous peel removed, and it is a cheap bitset scan
+// over the precomputed adjacency.
 package cluster
 
 import (
@@ -38,23 +42,62 @@ type Graph struct {
 	adj []bitvec.Vector
 }
 
+// blockRows is the row-block granularity of the pairwise sweep. It is a
+// multiple of 64 so that a block's column range covers whole words of every
+// adjacency row: two tasks writing different column blocks of the same row
+// then touch disjoint words of its backing array, which lets the sweep set
+// both directions of each edge without locks or merge buffers.
+const blockRows = 64
+
 // BuildGraph constructs the neighbor graph from sample-set vectors: players
 // p and q are adjacent iff |z(p) − z(q)| ≤ threshold. z must contain a
-// vector of a common length for every player id in [0,n).
+// vector of a common length for every player id in [0,n). It runs on the
+// default parallel executor; BuildGraphOn accepts an explicit one.
 func BuildGraph(z []bitvec.Vector, threshold int) *Graph {
+	return BuildGraphOn(nil, z, threshold)
+}
+
+// BuildGraphOn is BuildGraph under the given executor (nil means parallel;
+// par.Serial() gives the reference schedule of DESIGN.md §9).
+//
+// The O(n²) pairwise-Hamming sweep is the serial bottleneck of the
+// clustering step, so it is block-partitioned: rows are cut into
+// word-aligned blocks of blockRows players, and each task owns one block
+// pair (bi ≤ bj), computing every distance with p < q exactly once and
+// setting both adj[p](q) and adj[q](p). Word alignment makes the writes of
+// distinct tasks land in disjoint words (see blockRows), so the schedule
+// cannot affect the result: the graph is a pure function of z and
+// threshold under any executor.
+func BuildGraphOn(exec *par.Runner, z []bitvec.Vector, threshold int) *Graph {
 	n := len(z)
 	g := &Graph{n: n, adj: make([]bitvec.Vector, n)}
-	par.For(n, func(p int) {
-		row := bitvec.New(n)
-		for q := 0; q < n; q++ {
-			if q == p {
-				continue
+	for p := range g.adj {
+		g.adj[p] = bitvec.New(n)
+	}
+	nb := (n + blockRows - 1) / blockRows
+	type blockPair struct{ bi, bj int }
+	tasks := make([]blockPair, 0, nb*(nb+1)/2)
+	for bi := 0; bi < nb; bi++ {
+		for bj := bi; bj < nb; bj++ {
+			tasks = append(tasks, blockPair{bi, bj})
+		}
+	}
+	exec.For(len(tasks), func(t int) {
+		bi, bj := tasks[t].bi, tasks[t].bj
+		pHi := min(n, (bi+1)*blockRows)
+		qHi := min(n, (bj+1)*blockRows)
+		for p := bi * blockRows; p < pHi; p++ {
+			qLo := bj * blockRows
+			if bi == bj {
+				qLo = p + 1
 			}
-			if z[p].Hamming(z[q]) <= threshold {
-				row.Set(q, true)
+			for q := qLo; q < qHi; q++ {
+				if z[p].Hamming(z[q]) <= threshold {
+					g.adj[p].Set(q, true)
+					g.adj[q].Set(p, true)
+				}
 			}
 		}
-		g.adj[p] = row
 	})
 	return g
 }
@@ -134,14 +177,31 @@ func Build(g *Graph, minSize int) *Clustering {
 }
 
 // Diameter computes the exact maximum pairwise Hamming distance of the
-// given players' vectors. Measurement/testing helper.
+// given players' vectors. Measurement/testing helper; DiameterOn accepts
+// an explicit executor.
 func Diameter(vecs []bitvec.Vector, members []int) int {
-	mx := 0
-	for i := 0; i < len(members); i++ {
-		for j := i + 1; j < len(members); j++ {
+	return DiameterOn(nil, vecs, members)
+}
+
+// DiameterOn is Diameter under the given executor (nil means parallel).
+// The pairwise max sweep fans out per anchor index with a private maximum
+// each, merged by a final max-reduce — commutative, so the result is
+// schedule-independent.
+func DiameterOn(exec *par.Runner, vecs []bitvec.Vector, members []int) int {
+	k := len(members)
+	rowMax := par.MapOn(exec, k, func(i int) int {
+		mx := 0
+		for j := i + 1; j < k; j++ {
 			if d := vecs[members[i]].Hamming(vecs[members[j]]); d > mx {
 				mx = d
 			}
+		}
+		return mx
+	})
+	mx := 0
+	for _, d := range rowMax {
+		if d > mx {
+			mx = d
 		}
 	}
 	return mx

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"collabscore/internal/bitvec"
+	"collabscore/internal/par"
 	"collabscore/internal/prefgen"
 	"collabscore/internal/xrand"
 )
@@ -183,6 +184,57 @@ func TestDiameterHelper(t *testing.T) {
 	}
 	if d := Diameter(vecs, []int{0}); d != 0 {
 		t.Fatalf("singleton Diameter = %d", d)
+	}
+}
+
+// TestBuildGraphSchedulesAgree pins the determinism contract of the
+// block-partitioned sweep: serial, default-parallel and fixed-width
+// executors must produce the identical graph, at sizes chosen to exercise
+// partial blocks, exact block boundaries and multi-block triangles.
+func TestBuildGraphSchedulesAgree(t *testing.T) {
+	for _, n := range []int{1, 2, 63, 64, 65, 128, 130, 257} {
+		rng := xrand.New(uint64(n))
+		in := prefgen.Uniform(rng, n, 96)
+		threshold := 40
+		ref := BuildGraphOn(par.Serial(), in.Truth, threshold)
+		for name, exec := range map[string]*par.Runner{
+			"parallel": par.Parallel(),
+			"fixed4":   par.Fixed(4),
+			"nil":      nil,
+		} {
+			g := BuildGraphOn(exec, in.Truth, threshold)
+			if g.N() != ref.N() {
+				t.Fatalf("n=%d %s: N %d vs %d", n, name, g.N(), ref.N())
+			}
+			for p := 0; p < n; p++ {
+				for q := 0; q < n; q++ {
+					if g.Adjacent(p, q) != ref.Adjacent(p, q) {
+						t.Fatalf("n=%d %s: edge (%d,%d) differs from serial", n, name, p, q)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDiameterSchedulesAgree: the parallel max-reduce must match the
+// serial pairwise sweep.
+func TestDiameterSchedulesAgree(t *testing.T) {
+	rng := xrand.New(9)
+	in := prefgen.Uniform(rng, 150, 200)
+	members := make([]int, 150)
+	for i := range members {
+		members[i] = i
+	}
+	want := DiameterOn(par.Serial(), in.Truth, members)
+	if got := DiameterOn(par.Parallel(), in.Truth, members); got != want {
+		t.Fatalf("parallel Diameter %d, serial %d", got, want)
+	}
+	if got := DiameterOn(par.Fixed(3), in.Truth, members); got != want {
+		t.Fatalf("fixed-width Diameter %d, serial %d", got, want)
+	}
+	if got := Diameter(in.Truth, nil); got != 0 {
+		t.Fatalf("empty member Diameter = %d", got)
 	}
 }
 

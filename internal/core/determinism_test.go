@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"testing"
 
 	"collabscore/internal/adversary"
@@ -88,6 +89,116 @@ func TestByzantineParallelMatchesSerial(t *testing.T) {
 						n, corrupt, p, gotW.Probes(p), refW.Probes(p))
 				}
 			}
+		}
+	}
+}
+
+// TestPhaseParallelMatchesSerial asserts the phase-level determinism
+// contract (DESIGN.md §9): with fixed seeds, running the intra-repetition
+// phase loops concurrently produces byte-identical output, probe counts and
+// board traffic to the single-threaded reference schedule
+// (Params.PhaseSerial), with and without Pub-observing adversaries, at
+// small and medium n.
+func TestPhaseParallelMatchesSerial(t *testing.T) {
+	for _, n := range []int{64, 512} {
+		for _, corrupt := range []bool{false, true} {
+			const b = 8
+			seed := uint64(2000 + n)
+
+			pr := Scaled(n, b)
+			serial := pr
+			serial.PhaseSerial = true
+
+			refW := byzWorld(seed, n, b, corrupt)
+			ref := Run(refW, xrand.New(seed).Split(10), serial)
+
+			gotW := byzWorld(seed, n, b, corrupt)
+			got := Run(gotW, xrand.New(seed).Split(10), pr)
+
+			if !equalOutputs(ref.Output, got.Output) {
+				t.Fatalf("n=%d corrupt=%v: phase-parallel output differs from serial", n, corrupt)
+			}
+			if ref.BoardWrites != got.BoardWrites || ref.BoardReads != got.BoardReads {
+				t.Fatalf("n=%d corrupt=%v: board traffic %d/%d vs %d/%d", n, corrupt,
+					got.BoardWrites, got.BoardReads, ref.BoardWrites, ref.BoardReads)
+			}
+			if len(ref.Iterations) != len(got.Iterations) {
+				t.Fatalf("n=%d corrupt=%v: iteration count differs", n, corrupt)
+			}
+			for gi := range ref.Iterations {
+				ri, go_ := &ref.Iterations[gi], &got.Iterations[gi]
+				if ri.SampleSize != go_.SampleSize || ri.NumClusters != go_.NumClusters ||
+					ri.MinCluster != go_.MinCluster || ri.Unassigned != go_.Unassigned ||
+					ri.BoardWrites != go_.BoardWrites || ri.BoardReads != go_.BoardReads {
+					t.Fatalf("n=%d corrupt=%v: iteration %d stats differ", n, corrupt, gi)
+				}
+			}
+			// The probe memo charges per distinct (player, object), so probe
+			// complexity is schedule-independent too.
+			for p := 0; p < n; p++ {
+				if refW.Probes(p) != gotW.Probes(p) {
+					t.Fatalf("n=%d corrupt=%v: player %d probes %d vs %d",
+						n, corrupt, p, gotW.Probes(p), refW.Probes(p))
+				}
+			}
+		}
+	}
+}
+
+// TestScheduleMatrixMatches runs the full Byzantine wrapper under all four
+// schedule combinations (repetitions × phases, serial × parallel) and
+// requires byte-identical results: the two parallelism layers must compose
+// without affecting any output.
+func TestScheduleMatrixMatches(t *testing.T) {
+	const n, b = 64, 8
+	const seed = 77
+	type schedule struct{ byzSerial, phaseSerial bool }
+	var ref *Result
+	var refW *world.World
+	for _, sc := range []schedule{{true, true}, {true, false}, {false, true}, {false, false}} {
+		pr := Scaled(n, b)
+		pr.ByzIterations = 6
+		pr.ByzSerial = sc.byzSerial
+		pr.PhaseSerial = sc.phaseSerial
+		w := byzWorld(seed, n, b, true)
+		res := RunByzantine(w, xrand.New(seed).Split(11), nil, pr)
+		if ref == nil {
+			ref, refW = res, w
+			continue
+		}
+		if !equalOutputs(ref.Output, res.Output) {
+			t.Fatalf("schedule %+v: output differs from fully-serial reference", sc)
+		}
+		if ref.HonestLeaders != res.HonestLeaders || ref.BoardWrites != res.BoardWrites ||
+			ref.BoardReads != res.BoardReads {
+			t.Fatalf("schedule %+v: counters differ from fully-serial reference", sc)
+		}
+		for p := 0; p < n; p++ {
+			if refW.Probes(p) != w.Probes(p) {
+				t.Fatalf("schedule %+v: player %d probes differ", sc, p)
+			}
+		}
+	}
+}
+
+// TestPhaseConcurrentSmall exercises the phase-parallel path — including
+// the lock-free probe memo, the frozen board tally and the block-
+// partitioned graph sweep — with real goroutine interleavings even on a
+// single-core host, at a size small enough for the race detector to
+// explore thoroughly (run under -race).
+func TestPhaseConcurrentSmall(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	if prev < 4 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	const n, b = 96, 8
+	for seed := uint64(0); seed < 3; seed++ {
+		w := byzWorld(seed, n, b, true)
+		pr := Scaled(n, b)
+		res := Run(w, xrand.New(seed).Split(5), pr)
+		if len(res.Output) != n {
+			t.Fatalf("seed %d: got %d outputs", seed, len(res.Output))
 		}
 	}
 }

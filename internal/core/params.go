@@ -68,6 +68,15 @@ type Params struct {
 	// merged deterministically, so this only trades wall-clock time for a
 	// single-threaded schedule (reference runs, benchmarks, debugging).
 	ByzSerial bool
+	// PhaseSerial forces the intra-repetition protocol phases (the
+	// per-player, per-pair and per-object loops of SmallRadius, ZeroRadius,
+	// graph building and work sharing) onto the single-threaded reference
+	// schedule. Phase loops fan out on pre-split RNG streams with
+	// index-ordered merges, so fixed-seed output is byte-identical between
+	// the serial and parallel phase schedules (DESIGN.md §9;
+	// TestPhaseParallelMatchesSerial pins it). Set both ByzSerial and
+	// PhaseSerial for a fully single-threaded run.
+	PhaseSerial bool
 
 	SR       smallradius.Params
 	Sel      selection.Params

@@ -73,15 +73,25 @@ type Result struct {
 	BoardReads  int64
 }
 
+// phaseExec returns the executor protocol phases run on: the serial
+// reference schedule when pr.PhaseSerial is set, the default parallel one
+// otherwise (DESIGN.md §9).
+func phaseExec(pr Params) *par.Runner {
+	if pr.PhaseSerial {
+		return par.Serial()
+	}
+	return par.Parallel()
+}
+
 // Run executes CalculatePreferences assuming unbiased shared randomness
 // (the honest-randomness setting of §6; dishonest players may still lie
 // about preferences). Use RunByzantine for the full §7 protocol with
 // leader election.
 func Run(w *world.World, shared *xrand.Stream, pr Params) *Result {
 	res := &Result{}
-	rc := world.NewRun(w)
+	rc := world.NewRunOn(w, phaseExec(pr))
 	candidates := runDoublingLoop(rc, shared, pr, res)
-	res.Output = finalSelect(w, shared, candidates, pr)
+	res.Output = finalSelect(w, rc.Exec(), shared, candidates, pr)
 	return res
 }
 
@@ -148,9 +158,11 @@ func runIteration(rc *world.Run, allObjs []int, d int, shared *xrand.Stream, pr 
 	}
 	stats.SRTime = time.Since(start)
 
-	// Step 1.d: neighbor graph and clusters.
+	// Step 1.d: neighbor graph and clusters. The O(n²) pairwise sweep is
+	// block-partitioned across the run's executor; the peel itself is a
+	// cheap sequential scan over the precomputed adjacency.
 	start = time.Now()
-	g := cluster.BuildGraph(z, pr.EdgeThreshold(n))
+	g := cluster.BuildGraphOn(rc.Exec(), z, pr.EdgeThreshold(n))
 	cl := cluster.Build(g, pr.MinClusterSize(n))
 	rc.Pub.Clusters = cl.Clusters
 	stats.NumClusters = len(cl.Clusters)
@@ -178,34 +190,57 @@ func runIteration(rc *world.Run, allObjs []int, d int, shared *xrand.Stream, pr 
 // their reports on the bulletin board, and each member of the cluster
 // adopts the majority of the published votes (Figure 2 step 1.e). Players
 // in no cluster receive zero vectors, which the final RSelect discards.
+//
+// It runs as two fan-out phases separated by a board barrier (DESIGN.md
+// §7): a publish phase over all (cluster, object) cells — each cell picks
+// its probers with shared coins split per (cluster, object) and writes
+// their reports to the probers' own lanes — then, after Freeze seals the
+// board into an immutable view, a lock-free tally phase. Prober choice,
+// published values (first-write-wins) and majorities are pure functions of
+// the split streams, so the output is identical under any schedule.
 func workShare(rc *world.Run, bd *board.Board, cl *cluster.Clustering, shared *xrand.Stream, pr Params) []bitvec.Vector {
 	n, m := rc.N(), rc.M()
 	red := pr.Redundancy(n)
+	exec := rc.Exec()
 	out := make([]bitvec.Vector, n)
 	for p := range out {
 		out[p] = bitvec.New(m) // default for unassigned players
 	}
+	numCl := len(cl.Clusters)
+	clusterRngs := make([]*xrand.Stream, numCl)
+	for j := 0; j < numCl; j++ {
+		clusterRngs[j] = shared.Split(uint64(j))
+	}
+
+	// Publish phase, parallel over every (cluster, object) cell.
+	probers := make([][][]int, numCl) // probers[j][o] = assigned prober ids
+	for j := range probers {
+		probers[j] = make([][]int, m)
+	}
+	exec.For(numCl*m, func(cell int) {
+		j, o := cell/m, cell%m
+		members := cl.Clusters[j]
+		rng := clusterRngs[j].Split(uint64(o))
+		chosen := make([]int, 0, red)
+		for i := 0; i < red; i++ {
+			chosen = append(chosen, members[rng.Intn(len(members))])
+		}
+		// Each assigned prober writes its report to its own board lane (a
+		// dishonest prober cannot touch other lanes).
+		for _, q := range chosen {
+			bd.Write(q, o, rc.Report(q, o))
+		}
+		probers[j][o] = chosen
+	})
+
+	// Barrier: seal the board. The tally below reads the immutable view
+	// without locks.
+	frozen := bd.Freeze()
 	for j, members := range cl.Clusters {
-		clusterRng := shared.Split(uint64(j))
-		// Parallel over objects: each object independently picks its
-		// probers with shared coins split per object. Majority bits are
-		// collected per object and folded sequentially (bitvec.Set on
-		// neighboring bits is not atomic).
-		bits := par.Map(m, func(o int) bool {
-			rng := clusterRng.Split(uint64(o))
-			probers := make([]int, 0, red)
-			for i := 0; i < red; i++ {
-				probers = append(probers, members[rng.Intn(len(members))])
-			}
-			// Publish phase: each assigned prober writes its report to its
-			// own board lane (a dishonest prober cannot touch other lanes).
-			for _, q := range probers {
-				bd.Write(q, o, rc.Report(q, o))
-			}
-			// Tally phase: read the published votes back off the board.
-			// Duplicate assignments collapse to one published vote per
-			// (player, object) cell, matching the board's semantics.
-			ones, zeros := bd.Votes(o, dedup(probers))
+		// Duplicate assignments collapse to one published vote per
+		// (player, object) cell, matching the board's semantics.
+		bits := par.MapOn(exec, m, func(o int) bool {
+			ones, zeros := frozen.Votes(o, dedup(probers[j][o]))
 			return ones > zeros
 		})
 		maj := bitvec.New(m)
@@ -222,12 +257,14 @@ func workShare(rc *world.Run, bd *board.Board, cl *cluster.Clustering, shared *x
 }
 
 // finalSelect runs RSelect per honest player over its candidate vectors
-// (Figure 2 step 2).
-func finalSelect(w *world.World, shared *xrand.Stream, candidates [][]bitvec.Vector, pr Params) []bitvec.Vector {
+// (Figure 2 step 2), fanning out over players on the given executor. Each
+// player's selection coins are split from the shared stream by player id,
+// so the outcome is schedule-independent.
+func finalSelect(w *world.World, exec *par.Runner, shared *xrand.Stream, candidates [][]bitvec.Vector, pr Params) []bitvec.Vector {
 	n, m := w.N(), w.M()
 	allObjs := identity(m)
 	out := make([]bitvec.Vector, n)
-	par.For(n, func(p int) {
+	exec.For(n, func(p int) {
 		if !w.IsHonest(p) {
 			out[p] = bitvec.New(m)
 			return
@@ -275,11 +312,13 @@ func RunTrivial(w *world.World) *Result {
 // The repetitions are mutually independent — each gets its own split RNG
 // streams, its own execution context (world.Run), and its own bulletin
 // boards — so they execute concurrently across cores unless pr.ByzSerial
-// is set. Per-repetition statistics are merged in repetition order, so the
-// output and every counter are byte-identical to the serial schedule for a
-// fixed seed (stateful call-order-dependent behaviors like
-// adversary.Flipflopper being the one documented exception; see DESIGN.md
-// §6).
+// is set; within each repetition the protocol phases fan out over players
+// and objects on the run's executor unless pr.PhaseSerial is set (the two
+// layers compose; DESIGN.md §9). Per-repetition statistics are merged in
+// repetition order, so the output and every counter are byte-identical to
+// the serial schedule for a fixed seed (stateful call-order-dependent
+// behaviors like adversary.Flipflopper being the one documented exception;
+// see DESIGN.md §6).
 //
 // binStrategy drives dishonest players' election behavior (nil: greedy
 // lightest-bin rushing).
@@ -292,8 +331,11 @@ func RunByzantine(w *world.World, trueRng *xrand.Stream, binStrategy election.Bi
 	}
 	res.Repetitions = k
 
-	// Split every repetition's streams from the parent up front: Stream
-	// splitting is pure but not safe for concurrent use on one parent.
+	// Split every repetition's streams from the parent up front. Splitting
+	// is a pure read of the parent's state — concurrent Splits of one
+	// parent are safe — but a repetition must never *draw* (Uint64 etc.)
+	// from a stream another repetition touches, so each gets its own
+	// children before the fan-out.
 	elecRng := make([]*xrand.Stream, k)
 	sharedRng := make([]*xrand.Stream, k)
 	for it := 0; it < k; it++ {
@@ -320,10 +362,10 @@ func RunByzantine(w *world.World, trueRng *xrand.Stream, binStrategy election.Bi
 		// Honest leader: shared coins are unbiased. The repetition runs in
 		// its own execution context, leaving w itself read-only.
 		st.HonestLeader = true
-		rc := world.NewRun(w)
+		rc := world.NewRunOn(w, phaseExec(pr))
 		sub := &Result{}
 		cands := runDoublingLoop(rc, sharedRng[it], pr, sub)
-		outputs[it] = finalSelect(w, sharedRng[it], cands, pr)
+		outputs[it] = finalSelect(w, rc.Exec(), sharedRng[it], cands, pr)
 		st.Iterations = sub.Iterations
 		st.BoardWrites = sub.BoardWrites
 		st.BoardReads = sub.BoardReads
@@ -358,7 +400,7 @@ func RunByzantine(w *world.World, trueRng *xrand.Stream, binStrategy election.Bi
 	// tolerated corruption level) all candidates are adversarial and the
 	// final selection cannot help; res.HonestLeaders exposes this to
 	// experiments.
-	res.Output = finalSelect(w, trueRng.Split(0xF17A1), candidates, pr)
+	res.Output = finalSelect(w, phaseExec(pr), trueRng.Split(0xF17A1), candidates, pr)
 	return res
 }
 

@@ -5,6 +5,12 @@
 // dependencies inside a phase; phases themselves act as barriers. For is the
 // workhorse: it splits an index range into contiguous chunks and runs them on
 // up to GOMAXPROCS goroutines.
+//
+// Two parallelism layers use these primitives (DESIGN.md §9): the Byzantine
+// repetitions of core.RunByzantine fan out on the package-level For, while
+// the intra-repetition phase loops go through a Runner threaded on
+// world.Run, so a whole protocol execution can be pinned to the serial
+// reference schedule (core.Params.PhaseSerial) without touching its callers.
 package par
 
 import (
@@ -12,23 +18,80 @@ import (
 	"sync"
 )
 
-// For runs fn(i) for every i in [0,n), distributing work across up to
-// runtime.GOMAXPROCS(0) goroutines. It returns after all iterations finish.
-// fn must be safe to call concurrently for distinct i.
-func For(n int, fn func(i int)) {
-	ForChunked(n, 0, fn)
+// Runner is an execution policy for phase loops: parallel (the default),
+// strictly serial (the reference schedule determinism tests compare
+// against), or a fixed worker count (race tests force real goroutines even
+// on a single-core host). The zero value and a nil *Runner both behave like
+// Parallel, so code paths that never configured an executor keep their
+// historical behavior.
+//
+// Every Runner schedule must produce identical results for loop bodies that
+// are pure functions of their index — the determinism contract of
+// DESIGN.md §9. Runners are stateless and safe for concurrent use.
+type Runner struct {
+	// workers is the worker-count policy: 0 = runtime.GOMAXPROCS(0),
+	// 1 = serial in-place execution, >1 = exactly that many goroutines.
+	workers int
 }
+
+var (
+	parallelRunner = Runner{}
+	serialRunner   = Runner{workers: 1}
+)
+
+// Parallel returns the default executor: up to GOMAXPROCS(0) workers.
+func Parallel() *Runner { return &parallelRunner }
+
+// Serial returns the single-threaded reference executor: every loop runs
+// in index order on the calling goroutine. Fixed-seed protocol output under
+// Serial is byte-identical to any parallel schedule (DESIGN.md §9);
+// core.Params.PhaseSerial selects it for whole runs.
+func Serial() *Runner { return &serialRunner }
+
+// Fixed returns an executor whose For/ForChunked loops use exactly the
+// given number of worker goroutines, even when it exceeds GOMAXPROCS.
+// Race tests use it to get real goroutine interleavings on single-core
+// hosts; Fixed(1) is Serial. The worker count bounds loop fan-out only —
+// Do is exempt (see Do).
+func Fixed(workers int) *Runner {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Runner{workers: workers}
+}
+
+// IsSerial reports whether this runner executes loops on the calling
+// goroutine in index order.
+func (r *Runner) IsSerial() bool { return r != nil && r.workers == 1 }
+
+// width resolves the worker count for a loop of n iterations.
+func (r *Runner) width(n int) int {
+	w := 0
+	if r != nil {
+		w = r.workers
+	}
+	fixed := w > 1
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n && !fixed {
+		w = n
+	}
+	return w
+}
+
+// For runs fn(i) for every i in [0,n) under this runner's policy. It
+// returns after all iterations finish. fn must be safe to call concurrently
+// for distinct i unless the runner is serial.
+func (r *Runner) For(n int, fn func(i int)) { r.ForChunked(n, 0, fn) }
 
 // ForChunked is For with an explicit chunk size; chunk <= 0 selects a chunk
 // size that gives each worker several chunks for load balancing.
-func ForChunked(n, chunk int, fn func(i int)) {
+func (r *Runner) ForChunked(n, chunk int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
+	workers := r.width(n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
@@ -41,20 +104,20 @@ func ForChunked(n, chunk int, fn func(i int)) {
 			chunk = 1
 		}
 	}
-	var next int64
+	var next int
 	var mu sync.Mutex
 	take := func() (lo, hi int, ok bool) {
 		mu.Lock()
 		defer mu.Unlock()
-		if int(next) >= n {
+		if next >= n {
 			return 0, 0, false
 		}
-		lo = int(next)
+		lo = next
 		hi = lo + chunk
 		if hi > n {
 			hi = n
 		}
-		next = int64(hi)
+		next = hi
 		return lo, hi, true
 	}
 	var wg sync.WaitGroup
@@ -76,8 +139,18 @@ func ForChunked(n, chunk int, fn func(i int)) {
 	wg.Wait()
 }
 
-// Do runs the given thunks concurrently and waits for all of them.
-func Do(fns ...func()) {
+// Do runs the given thunks and waits for all of them: in order on a
+// serial runner, otherwise one goroutine per thunk. Do does not apply the
+// runner's worker count — thunks may block on each other (unlike loop
+// iterations), so capping them could deadlock; callers that need bounded
+// fan-out use For over an index range instead.
+func (r *Runner) Do(fns ...func()) {
+	if r.IsSerial() || len(fns) <= 1 {
+		for _, fn := range fns {
+			fn()
+		}
+		return
+	}
 	var wg sync.WaitGroup
 	wg.Add(len(fns))
 	for _, fn := range fns {
@@ -89,9 +162,27 @@ func Do(fns ...func()) {
 	wg.Wait()
 }
 
-// Map applies fn to every index in [0,n) in parallel and collects results.
-func Map[T any](n int, fn func(i int) T) []T {
+// MapOn applies fn to every index in [0,n) under the given runner and
+// collects the results in index order. (A generic method is not legal Go,
+// hence the free function.)
+func MapOn[T any](r *Runner, n int, fn func(i int) T) []T {
 	out := make([]T, n)
-	For(n, func(i int) { out[i] = fn(i) })
+	r.For(n, func(i int) { out[i] = fn(i) })
 	return out
 }
+
+// For runs fn(i) for every i in [0,n) on the default parallel runner,
+// distributing work across up to runtime.GOMAXPROCS(0) goroutines. It
+// returns after all iterations finish. fn must be safe to call concurrently
+// for distinct i.
+func For(n int, fn func(i int)) { Parallel().For(n, fn) }
+
+// ForChunked is For with an explicit chunk size; chunk <= 0 selects a chunk
+// size that gives each worker several chunks for load balancing.
+func ForChunked(n, chunk int, fn func(i int)) { Parallel().ForChunked(n, chunk, fn) }
+
+// Do runs the given thunks concurrently and waits for all of them.
+func Do(fns ...func()) { Parallel().Do(fns...) }
+
+// Map applies fn to every index in [0,n) in parallel and collects results.
+func Map[T any](n int, fn func(i int) T) []T { return MapOn(Parallel(), n, fn) }

@@ -55,6 +55,80 @@ func TestMapOrder(t *testing.T) {
 	}
 }
 
+func TestSerialRunnerOrder(t *testing.T) {
+	var order []int
+	Serial().For(100, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial For visited %d at position %d", v, i)
+		}
+	}
+	if len(order) != 100 {
+		t.Fatalf("serial For ran %d iterations, want 100", len(order))
+	}
+	order = order[:0]
+	Serial().Do(
+		func() { order = append(order, 0) },
+		func() { order = append(order, 1) },
+		func() { order = append(order, 2) },
+	)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial Do ran thunk %d at position %d", v, i)
+		}
+	}
+	if !Serial().IsSerial() || !Fixed(1).IsSerial() {
+		t.Fatal("Serial/Fixed(1) not reported serial")
+	}
+	if Parallel().IsSerial() || (*Runner)(nil).IsSerial() {
+		t.Fatal("parallel runner reported serial")
+	}
+}
+
+func TestFixedRunnerSpawnsWorkers(t *testing.T) {
+	// Fixed(k) must use k goroutines even when k exceeds GOMAXPROCS and the
+	// iteration count: distinct goroutines are observable because a single
+	// goroutine running all iterations would deadlock on the barrier below.
+	const workers = 4
+	var started atomic.Int32
+	release := make(chan struct{})
+	Fixed(workers).ForChunked(workers, 1, func(i int) {
+		if started.Add(1) == workers {
+			close(release)
+		}
+		<-release
+	})
+}
+
+func TestNilRunnerBehavesParallel(t *testing.T) {
+	var r *Runner
+	hits := make([]atomic.Int32, 500)
+	r.For(500, func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("nil runner: index %d visited %d times", i, hits[i].Load())
+		}
+	}
+	out := MapOn(r, 10, func(i int) int { return i + 1 })
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("MapOn[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapOnSchedulesAgree(t *testing.T) {
+	fn := func(i int) int { return i*i - 3*i }
+	serial := MapOn(Serial(), 1000, fn)
+	parallel := MapOn(Parallel(), 1000, fn)
+	fixed := MapOn(Fixed(7), 1000, fn)
+	for i := range serial {
+		if serial[i] != parallel[i] || serial[i] != fixed[i] {
+			t.Fatalf("schedules disagree at %d: %d/%d/%d", i, serial[i], parallel[i], fixed[i])
+		}
+	}
+}
+
 func TestNestedParallelism(t *testing.T) {
 	var total atomic.Int64
 	For(10, func(i int) {

@@ -7,6 +7,15 @@
 // disagree and eliminates candidates that lose the resulting votes. RSelect
 // guarantees the output is within a constant factor of the best candidate's
 // distance; Select additionally exploits a promised diameter bound D.
+//
+// Selection is deliberately the sequential tail of each player's work: a
+// tournament's next duel depends on who survived the previous one, so its
+// loops cannot fan out without changing which objects are probed. Callers
+// parallelize one level up instead — SmallRadius and the final
+// CalculatePreferences step run one independent Select/RSelect per player
+// on the run's executor (DESIGN.md §9). Both functions take the read-only
+// *world.World rather than a *world.Run because they only probe (a
+// player's private act) and never publish protocol state.
 package selection
 
 import (

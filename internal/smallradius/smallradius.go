@@ -108,6 +108,11 @@ func (pr Params) numGroups(d, numObjs int) int {
 // the small-radius assumption receive vectors within O(d) of their truth
 // whp; dishonest players' entries hold the vectors they publish (their
 // strategies' claims), which downstream steps treat as their z-vectors.
+//
+// Within each repetition the per-group ZeroRadius runs and the per-player
+// select-and-concatenate loops fan out on rc's executor; group streams are
+// split per (repetition, group) and player streams per player id, so
+// fixed-seed output is byte-identical under any schedule (DESIGN.md §9).
 func Run(rc *world.Run, objs []int, d, b int, shared *xrand.Stream, pr Params) map[int]bitvec.Vector {
 	n := rc.N()
 	if b < 1 {
@@ -117,7 +122,7 @@ func Run(rc *world.Run, objs []int, d, b int, shared *xrand.Stream, pr Params) m
 
 	// Dishonest players publish claims; compute once.
 	dishonest := rc.DishonestPlayers()
-	claims := par.Map(len(dishonest), func(i int) bitvec.Vector {
+	claims := par.MapOn(rc.Exec(), len(dishonest), func(i int) bitvec.Vector {
 		return rc.ReportVector(dishonest[i], objs)
 	})
 	for i, p := range dishonest {
@@ -167,7 +172,7 @@ func Run(rc *world.Run, objs []int, d, b int, shared *xrand.Stream, pr Params) m
 			ui        []bitvec.Vector // supported candidate vectors
 			outputs   map[int]bitvec.Vector
 		}
-		results := par.Map(s, func(g int) groupResult {
+		results := par.MapOn(rc.Exec(), s, func(g int) groupResult {
 			positions := groupPositions[g]
 			if len(positions) == 0 {
 				return groupResult{}
@@ -210,7 +215,7 @@ func Run(rc *world.Run, objs []int, d, b int, shared *xrand.Stream, pr Params) m
 		})
 
 		// Each honest player selects a vector per group and concatenates.
-		repCandidates := par.Map(len(honest), func(i int) bitvec.Vector {
+		repCandidates := par.MapOn(rc.Exec(), len(honest), func(i int) bitvec.Vector {
 			p := honest[i]
 			full := bitvec.New(len(objs))
 			selRng := repRng.Split(0xC0FFEE, uint64(p))
@@ -249,7 +254,7 @@ func Run(rc *world.Run, objs []int, d, b int, shared *xrand.Stream, pr Params) m
 	}
 
 	// Final per-player selection among the repetition candidates.
-	finals := par.Map(len(honest), func(i int) bitvec.Vector {
+	finals := par.MapOn(rc.Exec(), len(honest), func(i int) bitvec.Vector {
 		p := honest[i]
 		cands := candidates[p]
 		selRng := shared.Split(0xF1A7, uint64(p))

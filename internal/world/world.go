@@ -14,10 +14,10 @@ package world
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"collabscore/internal/bitvec"
+	"collabscore/internal/par"
 )
 
 // Behavior decides what a player reports when the protocol asks it to probe
@@ -48,8 +48,12 @@ type Public struct {
 	// Sample holds the current sample set S (global object ids), when one
 	// has been published. Use SetSample to keep the membership index in sync.
 	Sample []int
-	// sampleSet indexes Sample for O(1) membership tests.
-	sampleSet map[int]bool
+	// sampleSet indexes Sample as a bitset for O(1) membership tests.
+	// Adversary behaviors consult it on every report of the smallradius
+	// phase, so it must be cheap and safe under concurrent reads: the
+	// vector is immutable between SetSample calls (which happen only at
+	// phase barriers), and a bit test beats a map lookup on this path.
+	sampleSet bitvec.Vector
 	// Clusters holds the current clustering (player ids per cluster), when
 	// one has been computed.
 	Clusters [][]int
@@ -62,18 +66,27 @@ type Public struct {
 func (pub *Public) SetSample(sample []int) {
 	pub.Sample = sample
 	if sample == nil {
-		pub.sampleSet = nil
+		pub.sampleSet = bitvec.Vector{}
 		return
 	}
-	pub.sampleSet = make(map[int]bool, len(sample))
+	mx := 0
 	for _, o := range sample {
-		pub.sampleSet[o] = true
+		if o > mx {
+			mx = o
+		}
 	}
+	set := bitvec.New(mx + 1)
+	for _, o := range sample {
+		set.Set(o, true)
+	}
+	pub.sampleSet = set
 }
 
 // InSample reports whether object o belongs to the published sample set.
 // It returns false when no sample is published.
-func (pub *Public) InSample(o int) bool { return pub.sampleSet[o] }
+func (pub *Public) InSample(o int) bool {
+	return o >= 0 && o < pub.sampleSet.Len() && pub.sampleSet.Get(o)
+}
 
 // HasSample reports whether a sample set is currently published.
 func (pub *Public) HasSample() bool { return pub.Sample != nil }
@@ -90,14 +103,37 @@ func (pub *Public) HasSample() bool { return pub.Sample != nil }
 // between parallel phases of the owning run (never concurrently with Report
 // calls that read it), exactly as the World-global Pub had to be before
 // Runs existed.
+//
+// A Run also carries the execution policy for its phase loops: protocol
+// packages schedule their per-player and per-object fan-out on Exec(), so
+// an entire run can be pinned to the single-threaded reference schedule
+// (core.Params.PhaseSerial → NewRunOn(w, par.Serial()); DESIGN.md §9)
+// without threading a flag through every protocol signature.
 type Run struct {
 	*World
 	Pub Public
+	// exec is the phase-loop executor; nil means par.Parallel().
+	exec *par.Runner
 }
 
 // NewRun creates a fresh execution context over w with empty published
-// state.
+// state and the default parallel phase executor.
 func NewRun(w *World) *Run { return &Run{World: w} }
+
+// NewRunOn creates a fresh execution context whose phase loops run under
+// the given executor (nil means parallel). Pass par.Serial() for the
+// deterministic reference schedule, or par.Fixed(k) to force k workers in
+// race tests.
+func NewRunOn(w *World, exec *par.Runner) *Run { return &Run{World: w, exec: exec} }
+
+// Exec returns the executor protocol phases must schedule their loops on.
+// It never returns nil.
+func (rc *Run) Exec() *par.Runner {
+	if rc.exec == nil {
+		return par.Parallel()
+	}
+	return rc.exec
+}
 
 // Report asks player p's behavior for its published value for object o, in
 // the context of this run.
@@ -132,9 +168,29 @@ type World struct {
 // knownBits memoizes what a player has already learned. Once a player has
 // probed an object it knows the answer forever, so re-probing is free: the
 // paper's probe complexity counts distinct objects examined.
+//
+// The memo is a lock-free atomic bitset: Probe is the single hottest
+// operation of every protocol phase, and under phase-level fan-out the same
+// player's probes can be requested from several goroutines at once (e.g.
+// its Select calls for different object groups). A CAS per word guarantees
+// exactly one goroutine charges each (player, object) pair, so probe
+// counters stay schedule-independent without a mutex on the read path.
 type knownBits struct {
-	mu   sync.Mutex
-	mask bitvec.Vector
+	words []atomic.Uint64
+}
+
+// testAndSet marks bit o known and reports whether it was already known.
+func (kb *knownBits) testAndSet(o int) (known bool) {
+	wi, mask := o/64, uint64(1)<<(uint(o)%64)
+	for {
+		old := kb.words[wi].Load()
+		if old&mask != 0 {
+			return true
+		}
+		if kb.words[wi].CompareAndSwap(old, old|mask) {
+			return false
+		}
+	}
 }
 
 // New creates a world from a truth matrix. All players start honest; use
@@ -162,7 +218,7 @@ func New(truth []bitvec.Vector) *World {
 	for p := range w.honest {
 		w.honest[p] = true
 		w.behaviors[p] = Honest{}
-		w.known[p].mask = bitvec.New(m)
+		w.known[p].words = make([]atomic.Uint64, (m+63)/64)
 	}
 	return w
 }
@@ -175,15 +231,13 @@ func (w *World) M() int { return w.m }
 
 // Probe returns the true preference v(p)_o and charges one probe to player
 // p unless p has probed o before (probing teaches the answer permanently,
-// so only distinct objects count). It is safe for concurrent use.
+// so only distinct objects count). It is safe and lock-free under
+// concurrent use: the memo's CAS ensures exactly one caller charges each
+// (player, object) pair, so probe counters are schedule-independent.
 func (w *World) Probe(p, o int) bool {
-	kb := &w.known[p]
-	kb.mu.Lock()
-	if !kb.mask.Get(o) {
-		kb.mask.Set(o, true)
+	if !w.known[p].testAndSet(o) {
 		w.probes[p].Add(1)
 	}
-	kb.mu.Unlock()
 	return w.truth[p].Get(o)
 }
 
@@ -267,12 +321,14 @@ func (w *World) TotalProbes() int64 {
 }
 
 // ResetProbes zeroes all probe counters and forgets all memoized probes.
+// It must not run concurrently with Probe calls (it is a between-runs
+// operation, not a phase operation).
 func (w *World) ResetProbes() {
 	for p := range w.probes {
 		w.probes[p].Store(0)
-		w.known[p].mu.Lock()
-		w.known[p].mask = bitvec.New(w.m)
-		w.known[p].mu.Unlock()
+		for i := range w.known[p].words {
+			w.known[p].words[i].Store(0)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"collabscore/internal/bitvec"
+	"collabscore/internal/par"
 )
 
 func twoByThree() *World {
@@ -179,6 +180,40 @@ func TestConcurrentProbes(t *testing.T) {
 	for p := 0; p < n; p++ {
 		if w.Probes(p) != int64(m) {
 			t.Fatalf("player %d charged %d probes, want %d", p, w.Probes(p), m)
+		}
+	}
+}
+
+func TestRunExec(t *testing.T) {
+	w := twoByThree()
+	if NewRun(w).Exec() == nil || NewRun(w).Exec().IsSerial() {
+		t.Fatal("default run executor must be non-nil and parallel")
+	}
+	if !NewRunOn(w, par.Serial()).Exec().IsSerial() {
+		t.Fatal("NewRunOn(Serial) executor not serial")
+	}
+	if NewRunOn(w, nil).Exec() == nil {
+		t.Fatal("NewRunOn(nil) must fall back to the parallel executor")
+	}
+}
+
+// TestProbeChargesOnceUnderContention hammers the same few (player, object)
+// cells from fixed-width workers: the CAS memo must charge each distinct
+// cell exactly once regardless of interleaving (run under -race).
+func TestProbeChargesOnceUnderContention(t *testing.T) {
+	const n, m, distinct = 2, 256, 64
+	truth := make([]bitvec.Vector, n)
+	for p := range truth {
+		truth[p] = bitvec.New(m)
+	}
+	w := New(truth)
+	par.Fixed(8).For(8*n*distinct, func(i int) {
+		j := i % (n * distinct)
+		w.Probe(j/distinct, (j%distinct)*3)
+	})
+	for p := 0; p < n; p++ {
+		if w.Probes(p) != distinct {
+			t.Fatalf("player %d charged %d probes, want %d", p, w.Probes(p), distinct)
 		}
 	}
 }

@@ -67,6 +67,11 @@ func Scaled() Params { return Params{BaseFactor: 2, BaseObjects: 16, VoteDivisor
 // The result maps player id → output vector indexed like objs. Honest
 // players in qualifying zero-radius clusters receive their true preferences
 // whp; other players receive best-effort vectors.
+//
+// The recursion's two halves and every per-player loop (base-case reports,
+// cross-fill elimination, vector assembly) fan out on rc's executor with
+// per-branch split streams and index-ordered merges, so fixed-seed output
+// is byte-identical under any schedule (DESIGN.md §9).
 func Run(rc *world.Run, P []int, objs []int, bPrime int, shared *xrand.Stream, pr Params) map[int]bitvec.Vector {
 	if bPrime < 1 {
 		bPrime = 1
@@ -108,7 +113,7 @@ func run(rc *world.Run, P []int, objs []int, bPrime int, shared *xrand.Stream, p
 	}
 	if len(P) <= basePlayers || len(objs) <= baseObjects {
 		// Base case: every player reports every object directly.
-		results := par.Map(len(P), func(i int) bitvec.Vector {
+		results := par.MapOn(rc.Exec(), len(P), func(i int) bitvec.Vector {
 			return rc.ReportVector(P[i], objs)
 		})
 		mu.lock()
@@ -129,7 +134,7 @@ func run(rc *world.Run, P []int, objs []int, bPrime int, shared *xrand.Stream, p
 	sub0 := make(map[int]bitvec.Vector, len(p0))
 	sub1 := make(map[int]bitvec.Vector, len(p1))
 	var mu0, mu1 chanLock
-	par.Do(
+	rc.Exec().Do(
 		func() { run(rc, p0, o0, bPrime, nodeRng.Split(0), pr, sub0, &mu0, depth+1) },
 		func() { run(rc, p1, o1, bPrime, nodeRng.Split(1), pr, sub1, &mu1, depth+1) },
 	)
@@ -145,7 +150,7 @@ func run(rc *world.Run, P []int, objs []int, bPrime int, shared *xrand.Stream, p
 		pos[o] = j
 	}
 	assemble := func(P []int, own map[int]bitvec.Vector, ownObjs []int, cross map[int]bitvec.Vector, crossObjs []int) {
-		results := par.Map(len(P), func(i int) bitvec.Vector {
+		results := par.MapOn(rc.Exec(), len(P), func(i int) bitvec.Vector {
 			p := P[i]
 			v := bitvec.New(len(objs))
 			if ov, ok := own[p]; ok {
@@ -254,7 +259,7 @@ func crossFill(rc *world.Run, learners []int, objs []int, pub map[int]bitvec.Vec
 	}
 
 	out := make(map[int]bitvec.Vector, len(learners))
-	results := par.Map(len(learners), func(i int) bitvec.Vector {
+	results := par.MapOn(rc.Exec(), len(learners), func(i int) bitvec.Vector {
 		p := learners[i]
 		if !rc.IsHonest(p) {
 			// A dishonest player publishes its strategy's claims rather
@@ -339,11 +344,4 @@ func firstDisagreement(vs []bitvec.Vector) int {
 		}
 	}
 	return -1
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
