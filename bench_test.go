@@ -20,6 +20,7 @@ import (
 	"testing"
 
 	"collabscore/internal/bitvec"
+	"collabscore/internal/board"
 	"collabscore/internal/experiments"
 	"collabscore/internal/prefgen"
 	"collabscore/internal/tablefmt"
@@ -191,6 +192,46 @@ func buildGraphForBench(z []bitvec.Vector) any {
 		}
 	}
 	return adj{rows: count}
+}
+
+// BenchmarkProbeWord measures the bulk probe path: up to 64 probes settled
+// per op with one CAS and one atomic add (DESIGN.md §10). Compare with
+// BenchmarkProbeThroughput, which pays the per-bit path once per probe.
+func BenchmarkProbeWord(b *testing.B) {
+	rng := xrand.New(4)
+	in := prefgen.Uniform(rng, 4, 1<<16)
+	w := world.New(in.Truth)
+	words := w.ProbeWords()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += w.ProbeWord(i%4, i%words, ^uint64(0))
+	}
+	_ = sink
+}
+
+// BenchmarkFrozenMajorityWord measures the word-level workshare tally: one
+// 64-object majority over 64 voters per op, bit-sliced (DESIGN.md §10).
+func BenchmarkFrozenMajorityWord(b *testing.B) {
+	const n, m = 64, 4096
+	bd := board.New(n, m)
+	rng := xrand.New(5)
+	for p := 0; p < n; p++ {
+		for wi := 0; wi < m/64; wi++ {
+			bd.WriteWord(p, wi, rng.Uint64(), rng.Uint64())
+		}
+	}
+	f := bd.Freeze()
+	players := make([]int, n)
+	for i := range players {
+		players[i] = i
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += f.MajorityWord(i%(m/64), players)
+	}
+	_ = sink
 }
 
 // BenchmarkProbeThroughput measures the concurrent probe path (per-player

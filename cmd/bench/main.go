@@ -1,0 +1,161 @@
+// Command bench runs the repository's benchmark matrix and records the
+// results as a machine-readable JSON artifact, so the performance
+// trajectory of the hot paths is pinned PR over PR (BENCH_PR3.json is the
+// first point; CI regenerates the file on every push and publishes it as a
+// build artifact).
+//
+// It shells out to the standard benchmark runner — `go test -bench` with
+// -benchmem — so the numbers are exactly the ones a developer reproduces
+// by hand, then parses the one-line-per-benchmark output into structured
+// records: ns/op, B/op, allocs/op, and every custom b.ReportMetric column
+// (max_err, honest_leaders, …).
+//
+// Usage:
+//
+//	go run ./cmd/bench [-bench RunByzantine] [-benchtime 1x] [-count 1]
+//	                   [-pkg .] [-out BENCH_PR3.json] [-label pr3]
+//
+// The -out/-label defaults name the current PR's committed snapshot;
+// a later PR recording a new trajectory point passes its own
+// -out BENCH_PR<k>.json -label pr<k> (and updates the CI bench-smoke
+// step) rather than overwriting an older PR's numbers.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the full benchmark name including sub-benchmark path,
+	// without the -GOMAXPROCS suffix (recorded separately as Procs).
+	Name  string `json:"name"`
+	Procs int    `json:"procs"`
+	Iters int64  `json:"iters"`
+	// Metrics holds every per-op column: ns/op, B/op, allocs/op, and any
+	// custom b.ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the JSON document bench writes.
+type Report struct {
+	Label     string   `json:"label"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	CPU       string   `json:"cpu,omitempty"`
+	Bench     string   `json:"bench"`
+	Benchtime string   `json:"benchtime"`
+	Count     int      `json:"count"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	bench := flag.String("bench", "RunByzantine", "benchmark regexp passed to go test -bench")
+	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
+	count := flag.Int("count", 1, "go test -count value")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	out := flag.String("out", "BENCH_PR3.json", "output JSON path")
+	label := flag.String("label", "pr3", "label recorded in the report")
+	flag.Parse()
+
+	args := []string{
+		"test", "-run", "^$",
+		"-bench", *bench,
+		"-benchtime", *benchtime,
+		"-count", strconv.Itoa(*count),
+		"-benchmem",
+		*pkg,
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	fmt.Fprintf(os.Stderr, "bench: go %s\n", strings.Join(args, " "))
+	if err := cmd.Run(); err != nil {
+		os.Stderr.Write(buf.Bytes())
+		fmt.Fprintf(os.Stderr, "bench: go test failed: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(buf.Bytes())
+
+	rep := Report{
+		Label:     *label,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Bench:     *bench,
+		Benchtime: *benchtime,
+		Count:     *count,
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		line = strings.TrimSpace(line)
+		if cpu, ok := strings.CutPrefix(line, "cpu:"); ok {
+			rep.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		if r, ok := parseLine(line); ok {
+			rep.Results = append(rep.Results, r)
+		}
+	}
+	if len(rep.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "bench: no benchmark lines parsed")
+		os.Exit(1)
+	}
+	js, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	js = append(js, '\n')
+	if err := os.WriteFile(*out, js, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %d results to %s\n", len(rep.Results), *out)
+}
+
+// parseLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkFoo/n=4096/serial-8  1  123 ns/op  4 B/op  2 allocs/op  1.0 max_err
+//
+// The first field is the name (with -GOMAXPROCS suffix), the second the
+// iteration count, then (value, unit) pairs.
+func parseLine(line string) (Result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Result{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	name, procs := fields[0], 1
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			name, procs = name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Procs: procs, Iters: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}

@@ -56,6 +56,49 @@ func FromBits(b []int) Vector {
 // Len returns the number of bits in the vector.
 func (v Vector) Len() int { return v.n }
 
+// Words returns the number of 64-bit words backing the vector, ⌈Len/64⌉.
+// Word-level protocol code (bulk probes, board lane tallies) iterates
+// [0, Words()) and addresses bit i as word i/64, bit i%64.
+func (v Vector) Words() int { return len(v.words) }
+
+// Word returns backing word wi. Bits of the final word past Len are
+// always zero. It panics if wi is out of range.
+func (v Vector) Word(wi int) uint64 { return v.words[wi] }
+
+// SetWord assigns backing word wi, masking off bits past Len so the
+// vector's tail invariant (Count/Hamming never see garbage) holds.
+// It panics if wi is out of range.
+func (v Vector) SetWord(wi int, w uint64) {
+	v.words[wi] = w & v.WordMask(wi)
+}
+
+// OrWord ORs the given bits into backing word wi, masking off bits past
+// Len. It panics if wi is out of range.
+func (v Vector) OrWord(wi int, w uint64) {
+	v.words[wi] |= w & v.WordMask(wi)
+}
+
+// WordMask returns the mask of valid (in-range) bits for backing word wi:
+// all ones except in the final word of a vector whose length is not a
+// multiple of 64. It panics if wi is out of range.
+func (v Vector) WordMask(wi int) uint64 {
+	if wi < 0 || wi >= len(v.words) {
+		panic(fmt.Sprintf("bitvec: word %d out of range [0,%d)", wi, len(v.words)))
+	}
+	if wi == len(v.words)-1 && v.n%wordBits != 0 {
+		return (1 << (uint(v.n) % wordBits)) - 1
+	}
+	return ^uint64(0)
+}
+
+// SameStorage reports whether v and w share the same backing words — i.e.
+// mutating one mutates the other. Protocol code that hands one immutable
+// vector to many players (the workshare majority) uses it in tests to pin
+// the sharing; two empty vectors never share.
+func SameStorage(v, w Vector) bool {
+	return len(v.words) > 0 && len(w.words) > 0 && &v.words[0] == &w.words[0]
+}
+
 // Get returns bit i. It panics if i is out of range.
 func (v Vector) Get(i int) bool {
 	v.check(i)
@@ -178,6 +221,23 @@ func (v Vector) maskTail() {
 	if v.n%wordBits != 0 && len(v.words) > 0 {
 		v.words[len(v.words)-1] &= (1 << (uint(v.n) % wordBits)) - 1
 	}
+}
+
+// FirstDiff returns the smallest position where v and w differ, or -1 if
+// the vectors are equal. It is equivalent to inspecting DiffIndices()[0]
+// without allocating the full difference list — the probe-to-eliminate
+// loop of ZeroRadius only ever needs one disagreement at a time.
+// It panics if lengths differ.
+func (v Vector) FirstDiff(w Vector) int {
+	if v.n != w.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", v.n, w.n))
+	}
+	for wi := range v.words {
+		if x := v.words[wi] ^ w.words[wi]; x != 0 {
+			return wi*wordBits + bits.TrailingZeros64(x)
+		}
+	}
+	return -1
 }
 
 // DiffIndices returns the sorted positions where v and w differ. It panics

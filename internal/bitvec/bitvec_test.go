@@ -352,3 +352,108 @@ func TestStringTruncation(t *testing.T) {
 		t.Fatalf("String = %q, want 0010", short.String())
 	}
 }
+
+// TestWordOps covers the word-level accessors the bulk probe and board
+// tally paths are built on: Word/SetWord/OrWord round-trips, tail masking,
+// and WordMask shapes.
+func TestWordOps(t *testing.T) {
+	v := New(130) // three words, 2-bit tail
+	if v.Words() != 3 {
+		t.Fatalf("Words() = %d, want 3", v.Words())
+	}
+	v.SetWord(0, 0xDEADBEEF)
+	if v.Word(0) != 0xDEADBEEF {
+		t.Fatalf("Word(0) = %#x", v.Word(0))
+	}
+	v.SetWord(2, ^uint64(0)) // must mask to the 2 valid tail bits
+	if v.Word(2) != 0b11 {
+		t.Fatalf("tail word = %#x, want 0b11", v.Word(2))
+	}
+	if v.Count() != bitsOn(0xDEADBEEF)+2 {
+		t.Fatalf("Count = %d after SetWord", v.Count())
+	}
+	v.OrWord(0, 0x10)
+	if v.Word(0) != 0xDEADBEEF|0x10 {
+		t.Fatalf("OrWord result = %#x", v.Word(0))
+	}
+	if v.WordMask(0) != ^uint64(0) || v.WordMask(2) != 0b11 {
+		t.Fatalf("WordMask = %#x, %#x", v.WordMask(0), v.WordMask(2))
+	}
+	// Bit-level and word-level views agree.
+	for i := 0; i < v.Len(); i++ {
+		if v.Get(i) != (v.Word(i/64)&(1<<(uint(i)%64)) != 0) {
+			t.Fatalf("bit %d disagrees with its word", i)
+		}
+	}
+	full := New(64)
+	if full.WordMask(0) != ^uint64(0) {
+		t.Fatalf("full word mask = %#x", full.WordMask(0))
+	}
+}
+
+func bitsOn(x uint64) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+// TestFirstDiff pins FirstDiff against DiffIndices on random vectors.
+func TestFirstDiff(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(200)
+		a, b := randVec(r, n), randVec(r, n)
+		want := -1
+		if d := a.DiffIndices(b); len(d) > 0 {
+			want = d[0]
+		}
+		if got := a.FirstDiff(b); got != want {
+			t.Fatalf("FirstDiff = %d, want %d", got, want)
+		}
+	}
+	if New(70).FirstDiff(New(70)) != -1 {
+		t.Fatal("FirstDiff of equal vectors != -1")
+	}
+}
+
+// TestSameStorage: clones never share storage, assignments always do, and
+// empty vectors never report sharing.
+func TestSameStorage(t *testing.T) {
+	v := New(100)
+	if !SameStorage(v, v) {
+		t.Fatal("vector does not share storage with itself")
+	}
+	w := v
+	if !SameStorage(v, w) {
+		t.Fatal("assigned copy does not share storage")
+	}
+	if SameStorage(v, v.Clone()) {
+		t.Fatal("clone shares storage")
+	}
+	if SameStorage(New(0), New(0)) {
+		t.Fatal("empty vectors report sharing")
+	}
+}
+
+// TestWordOpsAllocFree: the word-level accessors on the bulk probe and
+// tally hot paths must never allocate (satellite regression guard).
+func TestWordOpsAllocFree(t *testing.T) {
+	a, b := New(1024), New(1024)
+	b.Set(777, true)
+	var sink uint64
+	var sinkI int
+	if n := testing.AllocsPerRun(100, func() {
+		sink = a.Word(3)
+		a.SetWord(3, sink|0xFF)
+		a.OrWord(4, 0xF0)
+		sink = a.WordMask(15)
+		sinkI = a.FirstDiff(b)
+		sinkI += a.Hamming(b)
+	}); n != 0 {
+		t.Fatalf("word ops allocate %v times per run", n)
+	}
+	_ = sink
+	_ = sinkI
+}

@@ -15,6 +15,7 @@
 package board
 
 import (
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -75,6 +76,11 @@ type paddedCount struct {
 // add increments the stripe selected by key.
 func (c *counter) add(key int) { c.stripes[key&(numStripes-1)].n.Add(1) }
 
+// addN adds n events to the stripe selected by key — the bulk-path
+// counterpart of add: a word-level write or tally accounts all its cells
+// with one atomic instead of one per cell.
+func (c *counter) addN(key int, n int64) { c.stripes[key&(numStripes-1)].n.Add(n) }
+
 // total sums all stripes.
 func (c *counter) total() int64 {
 	var t int64
@@ -127,6 +133,51 @@ func (b *Board) Write(p, o int, v bool) {
 	}
 	ln.mu.Unlock()
 	b.writes.add(p)
+}
+
+// WriteWord publishes player p's values for every object whose bit is set
+// in written, within object word wi (objects wi*64 … wi*64+63); bit j of
+// values is the value for object wi*64+j (bits of values outside written
+// are ignored). Cells keep first-write-wins semantics per object, and the
+// whole word costs one lane lock acquisition and one counter update: the
+// write count charges popcount(written) — one write per distinct cell in
+// the mask, the same as writing those cells through per-object Write
+// calls. (A caller that would have issued duplicate Write calls for one
+// cell and instead collapses them into a mask bit charges the duplicates
+// only once; the workshare does exactly that, so its write counts are
+// lower than the pre-word-level implementation's for the same seed.)
+// Like Write it is safe for concurrent use and panics after Freeze.
+func (b *Board) WriteWord(p, wi int, written, values uint64) {
+	written &= b.lanes[p].written.WordMask(wi)
+	if written == 0 {
+		return
+	}
+	ln := &b.lanes[p]
+	ln.mu.Lock()
+	if b.sealed.Load() {
+		ln.mu.Unlock()
+		panic("board: WriteWord after Freeze")
+	}
+	newBits := written &^ ln.written.Word(wi)
+	ln.written.OrWord(wi, newBits)
+	ln.values.OrWord(wi, values&newBits)
+	ln.mu.Unlock()
+	b.writes.addN(p, int64(bits.OnesCount64(written)))
+}
+
+// WriteVector publishes player p's values for every object whose bit is
+// set in written, across the whole lane; values is read on written's
+// positions only. Both vectors must have length Objects(). It is WriteWord
+// applied to every non-empty word.
+func (b *Board) WriteVector(p int, written, values bitvec.Vector) {
+	if written.Len() != b.m || values.Len() != b.m {
+		panic("board: WriteVector length mismatch")
+	}
+	for wi := 0; wi < written.Words(); wi++ {
+		if w := written.Word(wi); w != 0 {
+			b.WriteWord(p, wi, w, values.Word(wi))
+		}
+	}
 }
 
 // Read returns player p's published value for object o and whether p has
@@ -221,6 +272,135 @@ func (f *Frozen) Votes(o int, players []int) (ones, zeros int) {
 		}
 	}
 	return ones, zeros
+}
+
+// tallyPlanes is the maximum number of bit planes a word tally carries:
+// per-object vote counts are bounded by the player count, so 2^20 voters
+// is far beyond any board this repository builds.
+const tallyPlanes = 20
+
+// wordTally accumulates per-object vote counts for one 64-object word
+// across many player lanes in bit-sliced form: plane k holds bit k of each
+// object's running count. Adding a lane word is O(log count) word
+// operations instead of 64 per-object increments, which is what makes the
+// frozen tally word-level instead of cell-level. The zero value is an
+// empty tally; it lives on the caller's stack (no allocation).
+type wordTally struct {
+	ones  [tallyPlanes]uint64 // bit-sliced count of value-1 votes
+	total [tallyPlanes]uint64 // bit-sliced count of all votes
+	hiOne int                 // highest ones plane touched
+	hiTot int                 // highest total plane touched
+}
+
+// addPlane adds the set bits of x, interpreted as per-object increments,
+// into the bit-sliced counter p, returning the highest plane carried into.
+func addPlane(p *[tallyPlanes]uint64, hi int, x uint64) int {
+	k := 0
+	for carry := x; carry != 0; k++ {
+		p[k], carry = p[k]^carry, p[k]&carry
+	}
+	if k-1 > hi {
+		hi = k - 1
+	}
+	return hi
+}
+
+// add accumulates one lane's word: written marks the objects the lane
+// voted on, vals the value-1 votes among them (vals ⊆ written).
+func (t *wordTally) add(written, vals uint64) {
+	if written == 0 {
+		return
+	}
+	t.hiTot = addPlane(&t.total, t.hiTot, written)
+	if vals != 0 {
+		t.hiOne = addPlane(&t.ones, t.hiOne, vals)
+	}
+}
+
+// counts returns the number of value-1 votes and total votes for object
+// bit b of the tallied word.
+func (t *wordTally) counts(b int) (ones, total int) {
+	for k := t.hiOne; k >= 0; k-- {
+		ones = ones<<1 | int((t.ones[k]>>uint(b))&1)
+	}
+	for k := t.hiTot; k >= 0; k-- {
+		total = total<<1 | int((t.total[k]>>uint(b))&1)
+	}
+	return ones, total
+}
+
+// majority returns the word whose bit b is set iff strictly more than half
+// of the votes for object bit b are ones (no votes → 0, matching the
+// ones > zeros rule of Votes).
+func (t *wordTally) majority() uint64 {
+	var any uint64
+	for k := 0; k <= t.hiTot; k++ {
+		any |= t.total[k]
+	}
+	var maj uint64
+	for x := any; x != 0; x &= x - 1 {
+		b := bits.TrailingZeros64(x)
+		ones, total := t.counts(b)
+		if 2*ones > total {
+			maj |= 1 << uint(b)
+		}
+	}
+	return maj
+}
+
+// VotesWord tallies, for every object of word wi (objects wi*64 …
+// wi*64+63), the published values among the given players, storing the
+// value-1 count in ones[b] and the total published count in total[b] for
+// object bit b. It is the word-level Votes: instead of one Read per
+// (object, player) cell it loads two lane words per player, so a full
+// 64-object tally costs O(players·log players) word operations and
+// allocates nothing. Reads are charged as one per consulted lane word
+// (each player's lane is read once), in a single counter update.
+func (f *Frozen) VotesWord(wi int, players []int, ones, total *[64]int32) {
+	var t wordTally
+	for _, p := range players {
+		ln := &f.b.lanes[p]
+		w := ln.written.Word(wi)
+		t.add(w, ln.values.Word(wi)&w)
+	}
+	f.b.reads.addN(wi, int64(len(players)))
+	for b := 0; b < 64; b++ {
+		o, c := t.counts(b)
+		ones[b], total[b] = int32(o), int32(c)
+	}
+}
+
+// MajorityWord returns, for object word wi, the word whose bit b is set
+// iff strictly more than half of the players that published for object
+// wi*64+b published a 1 — the per-object ones > zeros rule of the
+// workshare tally, computed from whole lane words. Objects nobody
+// published for get 0. Allocation-free; reads are charged as one per
+// consulted lane word in a single counter update — note the consulted
+// set is every player passed in (each lane word is loaded whether or not
+// that player published), not the per-object publishers a cell-level
+// Votes loop would have charged, so read counts measure the word-level
+// protocol's communication, not the cell-level one.
+func (f *Frozen) MajorityWord(wi int, players []int) uint64 {
+	var t wordTally
+	for _, p := range players {
+		ln := &f.b.lanes[p]
+		w := ln.written.Word(wi)
+		t.add(w, ln.values.Word(wi)&w)
+	}
+	f.b.reads.addN(wi, int64(len(players)))
+	return t.majority()
+}
+
+// MajorityInto fills dst (length Objects()) with the per-object majority
+// of the given players' published values, word by word — the whole-board
+// MajorityWord. It allocates nothing.
+func (f *Frozen) MajorityInto(dst bitvec.Vector, players []int) {
+	if dst.Len() != f.b.m {
+		panic("board: MajorityInto length mismatch")
+	}
+	for wi := 0; wi < dst.Words(); wi++ {
+		dst.SetWord(wi, f.MajorityWord(wi, players))
+	}
 }
 
 // WriteCount returns the total number of Write calls (communication cost).

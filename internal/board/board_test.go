@@ -3,6 +3,8 @@ package board
 import (
 	"sync"
 	"testing"
+
+	"collabscore/internal/bitvec"
 )
 
 func TestWriteRead(t *testing.T) {
@@ -223,4 +225,160 @@ func TestDims(t *testing.T) {
 	if b.Players() != 3 || b.Objects() != 7 {
 		t.Fatalf("dims = (%d,%d), want (3,7)", b.Players(), b.Objects())
 	}
+}
+
+// TestWriteWordSemantics: word writes keep per-cell first-write-wins
+// against both earlier word writes and earlier bit writes, mask the tail,
+// and count one write per cell published.
+func TestWriteWordSemantics(t *testing.T) {
+	b := New(2, 70) // two words, 6-bit tail
+	b.Write(0, 1, true)
+	b.WriteWord(0, 0, 0b0110, 0b0000) // cell 1 already written true: must stick
+	if v, ok := b.Read(0, 1); !ok || !v {
+		t.Fatalf("cell (0,1) = (%v,%v), want first write (true,true)", v, ok)
+	}
+	if v, ok := b.Read(0, 2); !ok || v {
+		t.Fatalf("cell (0,2) = (%v,%v), want (false,true)", v, ok)
+	}
+	// Values outside written must be ignored.
+	b.WriteWord(0, 0, 0b1000, ^uint64(0))
+	if v, ok := b.Read(0, 3); !ok || !v {
+		t.Fatalf("cell (0,3) = (%v,%v), want (true,true)", v, ok)
+	}
+	if _, ok := b.Read(0, 4); ok {
+		t.Fatal("cell (0,4) written despite written mask bit clear")
+	}
+	// Tail word: bits past Objects() are masked off.
+	b.WriteWord(1, 1, ^uint64(0), ^uint64(0))
+	for o := 64; o < 70; o++ {
+		if v, ok := b.Read(1, o); !ok || !v {
+			t.Fatalf("tail cell (1,%d) = (%v,%v)", o, v, ok)
+		}
+	}
+	// writes: 1 (bit) + 2 (word cells) + 1 (word cell) + 6 (valid tail cells)
+	if got := b.WriteCount(); got != 10 {
+		t.Fatalf("WriteCount = %d, want 10", got)
+	}
+}
+
+// TestWriteVector covers the whole-lane vector write.
+func TestWriteVector(t *testing.T) {
+	b := New(2, 130)
+	written := make([]bool, 130)
+	values := make([]bool, 130)
+	for o := 0; o < 130; o += 3 {
+		written[o] = true
+		values[o] = o%2 == 0
+	}
+	b.WriteVector(1, bitvec.FromBools(written), bitvec.FromBools(values))
+	for o := 0; o < 130; o++ {
+		v, ok := b.Read(1, o)
+		if ok != written[o] {
+			t.Fatalf("cell (1,%d): ok = %v, want %v", o, ok, written[o])
+		}
+		if ok && v != values[o] {
+			t.Fatalf("cell (1,%d): value = %v, want %v", o, v, values[o])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length-mismatched WriteVector did not panic")
+		}
+	}()
+	b.WriteVector(0, bitvec.FromBools(written[:10]), bitvec.FromBools(values[:10]))
+}
+
+// TestWriteWordAfterFreezePanics mirrors the Write ordering contract.
+func TestWriteWordAfterFreezePanics(t *testing.T) {
+	b := New(1, 64)
+	b.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WriteWord after Freeze did not panic")
+		}
+	}()
+	b.WriteWord(0, 0, 1, 1)
+}
+
+// TestWordTallyMatchesVotes pins the word-level tally against the
+// per-object reference on randomized boards: VotesWord counts,
+// MajorityWord bits and MajorityInto vectors must all agree with Votes.
+func TestWordTallyMatchesVotes(t *testing.T) {
+	const n, m = 37, 200
+	s := uint64(42)
+	next := func() uint64 { s = s*6364136223846793005 + 1442695040888963407; return s >> 33 }
+	b := New(n, m)
+	for p := 0; p < n; p++ {
+		for o := 0; o < m; o++ {
+			switch next() % 3 {
+			case 0:
+				b.Write(p, o, next()&1 == 1)
+			case 1: // leave unwritten
+			case 2:
+				if o%64 == 0 {
+					w := next() | 1
+					b.WriteWord(p, o/64, w, next())
+				}
+			}
+		}
+	}
+	f := b.Freeze()
+	players := make([]int, n)
+	for i := range players {
+		players[i] = i
+	}
+	maj := bitvec.New(m)
+	f.MajorityInto(maj, players)
+	for wi := 0; wi < (m+63)/64; wi++ {
+		var ones, total [64]int32
+		f.VotesWord(wi, players, &ones, &total)
+		mw := f.MajorityWord(wi, players)
+		for bpos := 0; bpos < 64; bpos++ {
+			o := wi*64 + bpos
+			if o >= m {
+				if ones[bpos] != 0 || total[bpos] != 0 {
+					t.Fatalf("tail object %d has counts", o)
+				}
+				continue
+			}
+			wantOnes, wantZeros := f.Votes(o, players)
+			if int(ones[bpos]) != wantOnes || int(total[bpos]) != wantOnes+wantZeros {
+				t.Fatalf("object %d: VotesWord = (%d,%d), Votes = (%d,%d)",
+					o, ones[bpos], total[bpos], wantOnes, wantOnes+wantZeros)
+			}
+			wantMaj := wantOnes > wantZeros
+			if gotMaj := mw&(1<<uint(bpos)) != 0; gotMaj != wantMaj {
+				t.Fatalf("object %d: MajorityWord bit = %v, Votes majority = %v", o, gotMaj, wantMaj)
+			}
+			if maj.Get(o) != wantMaj {
+				t.Fatalf("object %d: MajorityInto bit = %v, want %v", o, maj.Get(o), wantMaj)
+			}
+		}
+	}
+}
+
+// TestMajorityWordAllocFree: the frozen word tally must not allocate
+// (satellite regression guard).
+func TestMajorityWordAllocFree(t *testing.T) {
+	const n, m = 64, 1024
+	b := New(n, m)
+	for p := 0; p < n; p++ {
+		for wi := 0; wi < (m+63)/64; wi++ {
+			b.WriteWord(p, wi, ^uint64(0), uint64(p)*0x9E3779B97F4A7C15)
+		}
+	}
+	f := b.Freeze()
+	players := make([]int, n)
+	for i := range players {
+		players[i] = i
+	}
+	maj := bitvec.New(m)
+	var sink uint64
+	if a := testing.AllocsPerRun(100, func() {
+		sink += f.MajorityWord(3, players)
+		f.MajorityInto(maj, players)
+	}); a != 0 {
+		t.Fatalf("word tally allocates %v times per run", a)
+	}
+	_ = sink
 }

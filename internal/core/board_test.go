@@ -58,19 +58,29 @@ func TestFullSRIterationHasNoBoardTraffic(t *testing.T) {
 	}
 }
 
-// TestDedup covers the prober-deduplication helper.
-func TestDedup(t *testing.T) {
-	got := dedup([]int{3, 1, 3, 2, 1, 3})
+// TestDedupInPlace covers the prober-deduplication helper: distinct values
+// in first-seen order, compacted into the input's own storage.
+func TestDedupInPlace(t *testing.T) {
+	in := []int{3, 1, 3, 2, 1, 3}
+	got := dedupInPlace(in)
 	want := []int{3, 1, 2}
 	if len(got) != len(want) {
-		t.Fatalf("dedup = %v", got)
+		t.Fatalf("dedupInPlace = %v", got)
 	}
 	for i := range want {
 		if got[i] != want[i] {
-			t.Fatalf("dedup = %v, want %v", got, want)
+			t.Fatalf("dedupInPlace = %v, want %v", got, want)
 		}
 	}
-	if out := dedup(nil); len(out) != 0 {
-		t.Fatal("dedup(nil) not empty")
+	if &got[0] != &in[0] {
+		t.Fatal("dedupInPlace did not compact in place")
+	}
+	if out := dedupInPlace(nil); len(out) != 0 {
+		t.Fatal("dedupInPlace(nil) not empty")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		dedupInPlace(in[:3])
+	}); n != 0 {
+		t.Fatalf("dedupInPlace allocates %v times per run", n)
 	}
 }

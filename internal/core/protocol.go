@@ -192,68 +192,120 @@ func runIteration(rc *world.Run, allObjs []int, d int, shared *xrand.Stream, pr 
 // in no cluster receive zero vectors, which the final RSelect discards.
 //
 // It runs as two fan-out phases separated by a board barrier (DESIGN.md
-// §7): a publish phase over all (cluster, object) cells — each cell picks
-// its probers with shared coins split per (cluster, object) and writes
-// their reports to the probers' own lanes — then, after Freeze seals the
-// board into an immutable view, a lock-free tally phase. Prober choice,
-// published values (first-write-wins) and majorities are pure functions of
-// the split streams, so the output is identical under any schedule.
+// §7), both over (cluster, word-block) cells — 64 objects per cell — on
+// the word-level data path (DESIGN.md §10). The publish phase picks each
+// object's probers with shared coins split per (cluster, object) from
+// stack-value streams, dedups them with an in-place scan, accumulates each
+// prober's 64-object assignment mask in a per-worker scratch arena, and
+// flushes one report word (bulk probes for honest probers) and one board
+// word write per (prober, block) — a dishonest prober still cannot touch
+// other lanes. After Freeze seals the board, the tally phase computes each
+// cluster's per-object majorities a word at a time (Frozen.MajorityWord)
+// and every member shares the cluster's one immutable majority vector —
+// candidates are never mutated downstream, so the per-member clone would
+// be pure allocation. Prober choice, published values (first-write-wins)
+// and majorities are pure functions of the split streams, so the output is
+// identical under any schedule; scratch arenas hold no cross-cell state.
 func workShare(rc *world.Run, bd *board.Board, cl *cluster.Clustering, shared *xrand.Stream, pr Params) []bitvec.Vector {
 	n, m := rc.N(), rc.M()
 	red := pr.Redundancy(n)
 	exec := rc.Exec()
 	out := make([]bitvec.Vector, n)
+	zero := bitvec.New(m)
 	for p := range out {
-		out[p] = bitvec.New(m) // default for unassigned players
+		out[p] = zero // shared default for unassigned players (never mutated)
 	}
 	numCl := len(cl.Clusters)
-	clusterRngs := make([]*xrand.Stream, numCl)
-	for j := 0; j < numCl; j++ {
-		clusterRngs[j] = shared.Split(uint64(j))
+	if numCl == 0 || m == 0 {
+		return out
+	}
+	maxMembers := 0
+	for _, members := range cl.Clusters {
+		if len(members) > maxMembers {
+			maxMembers = len(members)
+		}
+	}
+	clusterStreams := make([]xrand.Stream, numCl)
+	for j := range clusterStreams {
+		clusterStreams[j] = shared.SplitValue(uint64(j))
 	}
 
-	// Publish phase, parallel over every (cluster, object) cell.
-	probers := make([][][]int, numCl) // probers[j][o] = assigned prober ids
-	for j := range probers {
-		probers[j] = make([][]int, m)
+	// Publish phase, parallel over every (cluster, word-block) cell.
+	words := (m + 63) / 64
+	cells := numCl * words
+	scratches := make([]wsScratch, exec.Workers(cells))
+	for i := range scratches {
+		scratches[i].init(red, maxMembers)
 	}
-	exec.For(numCl*m, func(cell int) {
-		j, o := cell/m, cell%m
+	exec.ForWorker(cells, func(wk, cell int) {
+		sc := &scratches[wk]
+		j, wb := cell/words, cell%words
 		members := cl.Clusters[j]
-		rng := clusterRngs[j].Split(uint64(o))
-		chosen := make([]int, 0, red)
-		for i := 0; i < red; i++ {
-			chosen = append(chosen, members[rng.Intn(len(members))])
+		base := wb * 64
+		hi := base + 64
+		if hi > m {
+			hi = m
 		}
-		// Each assigned prober writes its report to its own board lane (a
-		// dishonest prober cannot touch other lanes).
-		for _, q := range chosen {
-			bd.Write(q, o, rc.Report(q, o))
+		for o := base; o < hi; o++ {
+			rng := clusterStreams[j].SplitValue(uint64(o))
+			chosen := sc.chosen[:red]
+			for i := range chosen {
+				chosen[i] = rng.Intn(len(members))
+			}
+			bit := uint64(1) << uint(o-base)
+			for _, mi := range dedupInPlace(chosen) {
+				if sc.written[mi] == 0 {
+					sc.touched = append(sc.touched, mi)
+				}
+				sc.written[mi] |= bit
+			}
 		}
-		probers[j][o] = chosen
+		for _, mi := range sc.touched {
+			q := members[mi]
+			wmask := sc.written[mi]
+			bd.WriteWord(q, wb, wmask, rc.ReportWord(q, wb, wmask))
+			sc.written[mi] = 0
+		}
+		sc.touched = sc.touched[:0]
 	})
 
 	// Barrier: seal the board. The tally below reads the immutable view
-	// without locks.
+	// without locks, one majority word per (cluster, word-block) cell;
+	// distinct cells write distinct words of distinct vectors. Only lanes
+	// with a written bit at an object vote there, and within a fresh
+	// per-iteration board those are exactly the object's dedup'd probers.
 	frozen := bd.Freeze()
+	majs := make([]bitvec.Vector, numCl)
+	for j := range majs {
+		majs[j] = bitvec.New(m)
+	}
+	exec.For(cells, func(cell int) {
+		j, wb := cell/words, cell%words
+		majs[j].SetWord(wb, frozen.MajorityWord(wb, cl.Clusters[j]))
+	})
 	for j, members := range cl.Clusters {
-		// Duplicate assignments collapse to one published vote per
-		// (player, object) cell, matching the board's semantics.
-		bits := par.MapOn(exec, m, func(o int) bool {
-			ones, zeros := frozen.Votes(o, dedup(probers[j][o]))
-			return ones > zeros
-		})
-		maj := bitvec.New(m)
-		for o, b := range bits {
-			if b {
-				maj.Set(o, true)
-			}
-		}
 		for _, p := range members {
-			out[p] = maj.Clone()
+			out[p] = majs[j]
 		}
 	}
 	return out
+}
+
+// wsScratch is one worker's reusable buffers for the workshare publish
+// loop: the per-object prober choices, each touched member's accumulated
+// 64-object assignment mask, and the list of touched member indices. A
+// worker resets its arena at the end of every cell, so no state crosses
+// cells and results stay schedule-independent (par.Runner.ForWorker).
+type wsScratch struct {
+	chosen  []int    // red prober choices (member indices) for one object
+	written []uint64 // written[mi] = member mi's assignment mask, this block
+	touched []int    // member indices with written != 0, in first-touch order
+}
+
+func (sc *wsScratch) init(red, maxMembers int) {
+	sc.chosen = make([]int, red)
+	sc.written = make([]uint64, maxMembers)
+	sc.touched = make([]int, 0, maxMembers)
 }
 
 // finalSelect runs RSelect per honest player over its candidate vectors
@@ -282,17 +334,15 @@ func finalSelect(w *world.World, exec *par.Runner, shared *xrand.Stream, candida
 }
 
 // RunTrivial implements the B = Ω(n/log n) easy case: every player probes
-// every object (§6.1).
+// every object (§6.1), a full word at a time.
 func RunTrivial(w *world.World) *Result {
 	n, m := w.N(), w.M()
 	out := make([]bitvec.Vector, n)
 	par.For(n, func(p int) {
 		v := bitvec.New(m)
 		if w.IsHonest(p) {
-			for o := 0; o < m; o++ {
-				if w.Probe(p, o) {
-					v.Set(o, true)
-				}
+			for wi := 0; wi < w.ProbeWords(); wi++ {
+				v.SetWord(wi, w.ProbeWord(p, wi, ^uint64(0)))
 			}
 		}
 		out[p] = v
@@ -413,16 +463,24 @@ func identity(m int) []int {
 	return out
 }
 
-// dedup returns the distinct values of xs, preserving first-seen order.
-func dedup(xs []int) []int {
-	seen := make(map[int]struct{}, len(xs))
-	out := xs[:0:0]
+// dedupInPlace compacts xs to its distinct values, preserving first-seen
+// order, and returns the compacted prefix of xs — no allocation. The
+// quadratic scan beats any map for the workshare's Redundancy-sized
+// slices (≈ 1.5·ln n elements), which is the only place this runs.
+func dedupInPlace(xs []int) []int {
+	k := 0
 	for _, x := range xs {
-		if _, dup := seen[x]; dup {
-			continue
+		dup := false
+		for j := 0; j < k; j++ {
+			if xs[j] == x {
+				dup = true
+				break
+			}
 		}
-		seen[x] = struct{}{}
-		out = append(out, x)
+		if !dup {
+			xs[k] = x
+			k++
+		}
 	}
-	return out
+	return xs[:k]
 }

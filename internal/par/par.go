@@ -80,6 +80,20 @@ func (r *Runner) width(n int) int {
 	return w
 }
 
+// Workers returns the number of distinct worker ids a ForWorker loop of n
+// iterations will use under this runner's policy — the size callers give
+// their scratch-arena slices. It always returns at least 1.
+func (r *Runner) Workers(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	w := r.width(n)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // For runs fn(i) for every i in [0,n) under this runner's policy. It
 // returns after all iterations finish. fn must be safe to call concurrently
 // for distinct i unless the runner is serial.
@@ -88,13 +102,29 @@ func (r *Runner) For(n int, fn func(i int)) { r.ForChunked(n, 0, fn) }
 // ForChunked is For with an explicit chunk size; chunk <= 0 selects a chunk
 // size that gives each worker several chunks for load balancing.
 func (r *Runner) ForChunked(n, chunk int, fn func(i int)) {
+	r.forWorkerChunked(n, chunk, func(_, i int) { fn(i) })
+}
+
+// ForWorker runs fn(worker, i) for every i in [0,n), where worker is the
+// stable id in [0, Workers(n)) of the goroutine executing iteration i. The
+// id lets allocation-free loop bodies index per-worker scratch arenas
+// (buffers reused across the iterations one worker executes); the caller
+// owns the arenas, sized by Workers(n), and the loop body must leave its
+// arena reset before returning from each iteration, because which worker
+// runs which iteration is schedule-dependent. Results must therefore never
+// depend on the worker id — only scratch storage may.
+func (r *Runner) ForWorker(n int, fn func(worker, i int)) {
+	r.forWorkerChunked(n, 0, fn)
+}
+
+func (r *Runner) forWorkerChunked(n, chunk int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
 	workers := r.width(n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -123,7 +153,7 @@ func (r *Runner) ForChunked(n, chunk int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				lo, hi, ok := take()
@@ -131,10 +161,10 @@ func (r *Runner) ForChunked(n, chunk int, fn func(i int)) {
 					return
 				}
 				for i := lo; i < hi; i++ {
-					fn(i)
+					fn(worker, i)
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

@@ -140,3 +140,71 @@ func TestNestedParallelism(t *testing.T) {
 		t.Fatalf("nested For ran %d iterations, want 100", total.Load())
 	}
 }
+
+// TestForWorkerCoversAllIndices: every index runs exactly once and every
+// reported worker id is within [0, Workers(n)), for parallel, serial and
+// fixed runners.
+func TestForWorkerCoversAllIndices(t *testing.T) {
+	runners := map[string]*Runner{
+		"parallel": Parallel(),
+		"serial":   Serial(),
+		"fixed4":   Fixed(4),
+	}
+	for name, r := range runners {
+		for _, n := range []int{0, 1, 7, 1000} {
+			hits := make([]atomic.Int32, n)
+			bound := r.Workers(n)
+			var badWorker atomic.Int32
+			badWorker.Store(-1)
+			r.ForWorker(n, func(w, i int) {
+				if w < 0 || w >= bound {
+					badWorker.Store(int32(w))
+				}
+				hits[i].Add(1)
+			})
+			if w := badWorker.Load(); w != -1 {
+				t.Fatalf("%s n=%d: worker id %d outside [0,%d)", name, n, w, bound)
+			}
+			for i := range hits {
+				if hits[i].Load() != 1 {
+					t.Fatalf("%s n=%d: index %d visited %d times", name, n, i, hits[i].Load())
+				}
+			}
+		}
+	}
+}
+
+// TestForWorkerScratchArenas exercises the scratch-arena pattern ForWorker
+// exists for: per-worker accumulators sized by Workers(n) must absorb all
+// iterations without racing (run under -race).
+func TestForWorkerScratchArenas(t *testing.T) {
+	const n = 5000
+	for _, r := range []*Runner{Parallel(), Serial(), Fixed(8)} {
+		sums := make([]int64, r.Workers(n))
+		r.ForWorker(n, func(w, i int) { sums[w] += int64(i) })
+		var total int64
+		for _, s := range sums {
+			total += s
+		}
+		if want := int64(n) * (n - 1) / 2; total != want {
+			t.Fatalf("scratch totals sum to %d, want %d", total, want)
+		}
+	}
+}
+
+// TestSerialForWorkerIsOrdered: the serial runner must run iterations in
+// index order on worker 0 — the reference schedule contract.
+func TestSerialForWorkerIsOrdered(t *testing.T) {
+	var seen []int
+	Serial().ForWorker(100, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("serial worker id %d", w)
+		}
+		seen = append(seen, i)
+	})
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("serial order broken at %d: %d", i, v)
+		}
+	}
+}

@@ -20,6 +20,7 @@ package selection
 
 import (
 	"math"
+	"math/bits"
 
 	"collabscore/internal/bitvec"
 	"collabscore/internal/world"
@@ -117,21 +118,10 @@ func RSelect(w *world.World, p int, objs []int, candidates []bitvec.Vector, rng 
 // duel probes up to budget objects where a and b differ and returns
 // 0 if b should be eliminated, 1 if a should be eliminated, -1 to keep both.
 func duel(w *world.World, p int, objs []int, a, b bitvec.Vector, rng *xrand.Stream, budget int, frac float64) int {
-	diff := a.DiffIndices(b)
-	if len(diff) == 0 {
+	agreeA, total := duelProbes(w, p, objs, a, b, rng, budget)
+	if total == 0 {
 		return -1
 	}
-	probeIdx := diff
-	if len(diff) > budget {
-		probeIdx = rng.SampleFrom(diff, budget)
-	}
-	agreeA := 0
-	for _, j := range probeIdx {
-		if w.Probe(p, objs[j]) == a.Get(j) {
-			agreeA++
-		}
-	}
-	total := len(probeIdx)
 	if float64(agreeA) >= frac*float64(total) {
 		return 0
 	}
@@ -139,6 +129,90 @@ func duel(w *world.World, p int, objs []int, a, b bitvec.Vector, rng *xrand.Stre
 		return 1
 	}
 	return -1
+}
+
+// maxPairBudget is the size of the on-stack rank buffer. Budgets are
+// Θ(log n), so real configurations fit (it would take n ≈ e^21 players to
+// exceed it at the paper's SampleFactor 6); a configured budget beyond it
+// is honored in full via a heap buffer rather than silently truncated.
+const maxPairBudget = 128
+
+// duelProbes probes up to budget objects on which a and b differ — all of
+// them when there are at most budget, otherwise a uniform distinct sample —
+// and returns how many probed objects agreed with a, plus the number
+// probed. The differing positions stream directly from the XOR of the
+// candidates' words and the sample ranks live in a fixed stack buffer
+// (budgets beyond maxPairBudget spill to a heap buffer and are honored in
+// full), so a duel normally allocates nothing; materializing the full
+// difference list (often
+// a large fraction of the object set) to then probe Θ(log n) entries was
+// the selection tournaments' dominant allocation. The rank sample is
+// Floyd's algorithm with the same draws xrand.Stream.Sample makes, so the
+// probed set is bit-for-bit the one the list-based implementation chose.
+func duelProbes(w *world.World, p int, objs []int, a, b bitvec.Vector, rng *xrand.Stream, budget int) (agreeA, total int) {
+	d := a.Hamming(b)
+	if d == 0 {
+		return 0, 0
+	}
+	nw := a.Words()
+	if d <= budget {
+		// Probe every differing position.
+		for wi := 0; wi < nw; wi++ {
+			for x := a.Word(wi) ^ b.Word(wi); x != 0; x &= x - 1 {
+				j := wi*64 + bits.TrailingZeros64(x)
+				if w.Probe(p, objs[j]) == a.Get(j) {
+					agreeA++
+				}
+			}
+		}
+		return agreeA, d
+	}
+	// Floyd's sample of budget distinct ranks in [0,d), identical to
+	// xrand.Stream.Sample(d, budget) draw for draw.
+	var buf [maxPairBudget]int
+	ranks := buf[:]
+	if budget > maxPairBudget {
+		ranks = make([]int, budget)
+	}
+	cnt := 0
+	for j := d - budget; j < d; j++ {
+		t := rng.Intn(j + 1)
+		for i := 0; i < cnt; i++ {
+			if ranks[i] == t {
+				t = j
+				break
+			}
+		}
+		ranks[cnt] = t
+		cnt++
+	}
+	// Insertion sort: probe in ascending rank (= ascending position) order,
+	// matching the sorted sample of the list-based implementation.
+	for i := 1; i < cnt; i++ {
+		for k := i; k > 0 && ranks[k] < ranks[k-1]; k-- {
+			ranks[k], ranks[k-1] = ranks[k-1], ranks[k]
+		}
+	}
+	// Walk the XOR words once, selecting the positions with the sampled
+	// ranks among the set bits.
+	ri, seen := 0, 0
+	for wi := 0; wi < nw && ri < cnt; wi++ {
+		x := a.Word(wi) ^ b.Word(wi)
+		c := bits.OnesCount64(x)
+		for ri < cnt && ranks[ri]-seen < c {
+			y := x
+			for k := ranks[ri] - seen; k > 0; k-- {
+				y &= y - 1
+			}
+			j := wi*64 + bits.TrailingZeros64(y)
+			if w.Probe(p, objs[j]) == a.Get(j) {
+				agreeA++
+			}
+			ri++
+		}
+		seen += c
+	}
+	return agreeA, cnt
 }
 
 // Select is the diameter-bounded selection protocol used by SmallRadius:
@@ -184,21 +258,11 @@ func Select(w *world.World, p int, objs []int, candidates []bitvec.Vector, d int
 // duelMajority probes up to budget differing objects and returns 0 if a
 // wins the majority, 1 if b does (ties to the incumbent a).
 func duelMajority(w *world.World, p int, objs []int, a, b bitvec.Vector, rng *xrand.Stream, budget int) int {
-	diff := a.DiffIndices(b)
-	if len(diff) == 0 {
+	agreeA, total := duelProbes(w, p, objs, a, b, rng, budget)
+	if total == 0 {
 		return 0
 	}
-	probeIdx := diff
-	if len(diff) > budget {
-		probeIdx = rng.SampleFrom(diff, budget)
-	}
-	agreeA := 0
-	for _, j := range probeIdx {
-		if w.Probe(p, objs[j]) == a.Get(j) {
-			agreeA++
-		}
-	}
-	if 2*agreeA >= len(probeIdx) {
+	if 2*agreeA >= total {
 		return 0
 	}
 	return 1

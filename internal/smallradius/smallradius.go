@@ -169,6 +169,7 @@ func Run(rc *world.Run, objs []int, d, b int, shared *xrand.Stream, pr Params) m
 		// Per-group ZeroRadius over all players, in parallel across groups.
 		type groupResult struct {
 			positions []int
+			objs      []int           // global ids, computed once per group
 			ui        []bitvec.Vector // supported candidate vectors
 			outputs   map[int]bitvec.Vector
 		}
@@ -211,14 +212,17 @@ func Run(rc *world.Run, objs []int, d, b int, shared *xrand.Stream, pr Params) m
 			for _, k := range keys {
 				ui = append(ui, byKey[k])
 			}
-			return groupResult{positions: positions, ui: ui, outputs: zr}
+			return groupResult{positions: positions, objs: groupObjs, ui: ui, outputs: zr}
 		})
 
 		// Each honest player selects a vector per group and concatenates.
+		// The group object lists were computed once above (rebuilding them
+		// per (player, group) is pure allocation), and the per-player
+		// selection stream stays on the stack.
 		repCandidates := par.MapOn(rc.Exec(), len(honest), func(i int) bitvec.Vector {
 			p := honest[i]
 			full := bitvec.New(len(objs))
-			selRng := repRng.Split(0xC0FFEE, uint64(p))
+			selRng := repRng.SplitValue(0xC0FFEE, uint64(p))
 			for g := range results {
 				res := &results[g]
 				if len(res.positions) == 0 {
@@ -227,11 +231,7 @@ func Run(rc *world.Run, objs []int, d, b int, shared *xrand.Stream, pr Params) m
 				var chosen bitvec.Vector
 				switch {
 				case len(res.ui) > 0:
-					groupObjs := make([]int, len(res.positions))
-					for k, j := range res.positions {
-						groupObjs[k] = objs[j]
-					}
-					idx := selection.Select(rc.World, p, groupObjs, res.ui, dGroup, selRng, pr.Sel)
+					idx := selection.Select(rc.World, p, res.objs, res.ui, dGroup, &selRng, pr.Sel)
 					chosen = res.ui[idx]
 				case res.outputs[p].Len() > 0:
 					// No supported candidate (assumption violated for this
@@ -257,8 +257,8 @@ func Run(rc *world.Run, objs []int, d, b int, shared *xrand.Stream, pr Params) m
 	finals := par.MapOn(rc.Exec(), len(honest), func(i int) bitvec.Vector {
 		p := honest[i]
 		cands := candidates[p]
-		selRng := shared.Split(0xF1A7, uint64(p))
-		idx := selection.Select(rc.World, p, objs, cands, d, selRng, pr.Sel)
+		selRng := shared.SplitValue(0xF1A7, uint64(p))
+		idx := selection.Select(rc.World, p, objs, cands, d, &selRng, pr.Sel)
 		if idx < 0 {
 			return bitvec.New(len(objs))
 		}

@@ -14,6 +14,7 @@ package world
 
 import (
 	"fmt"
+	"math/bits"
 	"sync/atomic"
 
 	"collabscore/internal/bitvec"
@@ -141,8 +142,13 @@ func (rc *Run) Report(p, o int) bool { return rc.behaviors[p].Report(rc, p, o) }
 
 // ReportVector returns player p's reports for the given objects as a vector
 // indexed like objs (bit j corresponds to objs[j]). For honest players this
-// probes every listed object.
+// probes every listed object — on the word-level bulk path (ProbeVector),
+// which charges identically to per-object probing. Dishonest players are
+// asked per object, since their behaviors decide each report.
 func (rc *Run) ReportVector(p int, objs []int) bitvec.Vector {
+	if rc.honest[p] {
+		return rc.ProbeVector(p, objs)
+	}
 	v := bitvec.New(len(objs))
 	for j, o := range objs {
 		if rc.Report(p, o) {
@@ -150,6 +156,26 @@ func (rc *Run) ReportVector(p int, objs []int) bitvec.Vector {
 		}
 	}
 	return v
+}
+
+// ReportWord returns player p's reports for the objects whose bits are set
+// in mask within object word wi, as a word aligned with mask. Honest
+// players ride ProbeWord (two atomics for the whole word); dishonest
+// players are asked per object through their behavior, in ascending object
+// order.
+func (rc *Run) ReportWord(p, wi int, mask uint64) uint64 {
+	if rc.honest[p] {
+		return rc.ProbeWord(p, wi, mask)
+	}
+	var vals uint64
+	base := wi * 64
+	for t := mask; t != 0; t &= t - 1 {
+		b := bits.TrailingZeros64(t)
+		if rc.Report(p, base+b) {
+			vals |= 1 << uint(b)
+		}
+	}
+	return vals
 }
 
 // World is the simulation substrate. The truth matrix, roles, and behaviors
@@ -189,6 +215,24 @@ func (kb *knownBits) testAndSet(o int) (known bool) {
 		}
 		if kb.words[wi].CompareAndSwap(old, old|mask) {
 			return false
+		}
+	}
+}
+
+// orWord marks every bit of mask known in word wi and returns the bits
+// that were newly learned (mask minus what was already known). One CAS
+// settles up to 64 (player, object) pairs at once; under concurrent
+// schedules each bit is still reported as new by exactly one caller, so
+// bulk probe charging stays schedule-independent.
+func (kb *knownBits) orWord(wi int, mask uint64) (newBits uint64) {
+	for {
+		old := kb.words[wi].Load()
+		nw := old | mask
+		if nw == old {
+			return 0
+		}
+		if kb.words[wi].CompareAndSwap(old, nw) {
+			return nw &^ old
 		}
 	}
 }
@@ -239,6 +283,63 @@ func (w *World) Probe(p, o int) bool {
 		w.probes[p].Add(1)
 	}
 	return w.truth[p].Get(o)
+}
+
+// ProbeWords returns the number of 64-bit words spanning the object set:
+// the word index range valid for ProbeWord. Object o lives in word o/64,
+// bit o%64.
+func (w *World) ProbeWords() int { return (w.m + 63) / 64 }
+
+// ProbeWord probes, as player p, every object whose bit is set in mask
+// within object word wi (object ids wi*64 … wi*64+63), and returns the
+// true preference bits for exactly those objects. Bits of mask past the
+// last object are ignored. It is the word-level Probe: one CAS marks all
+// the mask's objects known and one atomic add charges popcount of the
+// newly learned bits, so a full word costs the same two atomics a single
+// bit used to — with per-player totals identical to bit-at-a-time Probe
+// under every schedule (each (player, object) pair is charged exactly
+// once, by whichever caller's CAS learns it first).
+func (w *World) ProbeWord(p, wi int, mask uint64) uint64 {
+	mask &= w.truth[p].WordMask(wi)
+	if nb := w.known[p].orWord(wi, mask); nb != 0 {
+		w.probes[p].Add(int64(bits.OnesCount64(nb)))
+	}
+	return w.truth[p].Word(wi) & mask
+}
+
+// ProbeVector probes, as player p, every object in objs and returns the
+// true preferences as a vector indexed like objs (bit j is the truth for
+// objs[j]). Runs of objects sharing a 64-bit word — the common case, since
+// protocol object lists are sorted — collapse into single ProbeWord calls,
+// and the only allocation is the returned vector. Probe charging is
+// identical to calling Probe per object.
+func (w *World) ProbeVector(p int, objs []int) bitvec.Vector {
+	out := bitvec.New(len(objs))
+	curW := -1
+	var curMask uint64
+	for _, o := range objs {
+		if o < 0 || o >= w.m {
+			panic(fmt.Sprintf("world: object %d out of range [0,%d)", o, w.m))
+		}
+		wi := o / 64
+		if wi != curW {
+			if curMask != 0 {
+				w.ProbeWord(p, curW, curMask)
+			}
+			curW, curMask = wi, 0
+		}
+		curMask |= 1 << (uint(o) % 64)
+	}
+	if curMask != 0 {
+		w.ProbeWord(p, curW, curMask)
+	}
+	truth := w.truth[p]
+	for j, o := range objs {
+		if truth.Get(o) {
+			out.Set(j, true)
+		}
+	}
+	return out
 }
 
 // PeekTruth returns v(p)_o without charging a probe. It exists for the

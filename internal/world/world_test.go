@@ -263,3 +263,153 @@ func TestTruthVectorIsCopy(t *testing.T) {
 		t.Fatal("TruthVector shares storage with world truth")
 	}
 }
+
+// randTruth builds an n×m truth matrix from a cheap deterministic hash.
+func randTruth(n, m int, seed uint64) []bitvec.Vector {
+	truth := make([]bitvec.Vector, n)
+	s := seed
+	for p := range truth {
+		v := bitvec.New(m)
+		for o := 0; o < m; o++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			if s>>60&1 == 1 {
+				v.Set(o, true)
+			}
+		}
+		truth[p] = v
+	}
+	return truth
+}
+
+// TestProbeWordMatchesProbe: the word-level probe must return the same
+// truth bits and charge the same per-player totals as bit-at-a-time Probe,
+// including across overlapping masks and the word-boundary tail.
+func TestProbeWordMatchesProbe(t *testing.T) {
+	const n, m = 4, 130
+	wordW := New(randTruth(n, m, 7))
+	bitW := New(randTruth(n, m, 7))
+	masks := []struct {
+		wi   int
+		mask uint64
+	}{
+		{0, 0xF0F0F0F0F0F0F0F0},
+		{0, 0x00000000FFFFFFFF}, // overlaps the first mask
+		{1, ^uint64(0)},
+		{2, ^uint64(0)}, // tail word: only 2 bits are valid
+		{2, 0b01},       // already-known tail bit: charges nothing
+	}
+	for p := 0; p < n; p++ {
+		for _, mk := range masks {
+			got := wordW.ProbeWord(p, mk.wi, mk.mask)
+			var want uint64
+			base := mk.wi * 64
+			for b := 0; b < 64; b++ {
+				o := base + b
+				if mk.mask&(1<<uint(b)) == 0 || o >= m {
+					continue
+				}
+				if bitW.Probe(p, o) {
+					want |= 1 << uint(b)
+				}
+			}
+			if got != want {
+				t.Fatalf("p=%d word %d mask %#x: ProbeWord = %#x, want %#x", p, mk.wi, mk.mask, got, want)
+			}
+			if wordW.Probes(p) != bitW.Probes(p) {
+				t.Fatalf("p=%d after word %d: charges %d (word) vs %d (bit)", p, mk.wi, wordW.Probes(p), bitW.Probes(p))
+			}
+		}
+	}
+}
+
+// TestProbeWordConcurrentCharging: under real goroutine interleavings with
+// overlapping word masks, every (player, object) pair must be charged
+// exactly once — the schedule-independence half of the bulk-probe contract.
+func TestProbeWordConcurrentCharging(t *testing.T) {
+	const n, m = 2, 1024
+	w := New(randTruth(n, m, 13))
+	// 8 workers repeatedly probe overlapping words bit-wise and word-wise.
+	par.Fixed(8).For(8*w.ProbeWords(), func(i int) {
+		wi := i % w.ProbeWords()
+		switch i % 3 {
+		case 0:
+			w.ProbeWord(0, wi, ^uint64(0))
+		case 1:
+			w.ProbeWord(0, wi, 0xAAAAAAAAAAAAAAAA)
+		default:
+			for b := 0; b < 64 && wi*64+b < m; b += 7 {
+				w.Probe(0, wi*64+b)
+			}
+		}
+	})
+	if got := w.Probes(0); got != m {
+		t.Fatalf("player 0 charged %d probes, want exactly %d", got, m)
+	}
+	if got := w.Probes(1); got != 0 {
+		t.Fatalf("player 1 charged %d probes, want 0", got)
+	}
+}
+
+// TestProbeVectorMatchesReportVector: the bulk vector probe must agree
+// with per-object probing on scattered, unsorted object lists, and charge
+// identically.
+func TestProbeVectorMatchesReportVector(t *testing.T) {
+	const n, m = 3, 300
+	bulkW := New(randTruth(n, m, 21))
+	bitW := New(randTruth(n, m, 21))
+	objs := []int{5, 6, 7, 64, 65, 130, 2, 299, 131, 64} // repeats and jumps
+	for p := 0; p < n; p++ {
+		got := bulkW.ProbeVector(p, objs)
+		want := bitvec.New(len(objs))
+		for j, o := range objs {
+			if bitW.Probe(p, o) {
+				want.Set(j, true)
+			}
+		}
+		if !got.Equal(want) {
+			t.Fatalf("p=%d: ProbeVector = %v, want %v", p, got, want)
+		}
+		if bulkW.Probes(p) != bitW.Probes(p) {
+			t.Fatalf("p=%d: charges %d (bulk) vs %d (bit)", p, bulkW.Probes(p), bitW.Probes(p))
+		}
+	}
+}
+
+// TestProbeWordAllocFree: the bulk-probe hot path must not allocate
+// (satellite regression guard).
+func TestProbeWordAllocFree(t *testing.T) {
+	w := New(randTruth(2, 4096, 3))
+	var sink uint64
+	wi := 0
+	if n := testing.AllocsPerRun(200, func() {
+		sink += w.ProbeWord(0, wi%w.ProbeWords(), ^uint64(0))
+		wi++
+	}); n != 0 {
+		t.Fatalf("ProbeWord allocates %v times per run", n)
+	}
+	_ = sink
+}
+
+// TestReportWordHonestAndDishonest: honest players ride the bulk path;
+// dishonest reports still flow through their behavior per object.
+func TestReportWordHonestAndDishonest(t *testing.T) {
+	w := New(randTruth(2, 100, 5))
+	w.SetBehavior(1, flipBehavior{})
+	rc := NewRun(w)
+	gotHonest := rc.ReportWord(0, 0, ^uint64(0))
+	if want := w.truth[0].Word(0); gotHonest != want {
+		t.Fatalf("honest ReportWord = %#x, want truth %#x", gotHonest, want)
+	}
+	gotLiar := rc.ReportWord(1, 0, ^uint64(0))
+	if want := ^w.truth[1].Word(0) & w.truth[1].WordMask(0); gotLiar != want {
+		t.Fatalf("dishonest ReportWord = %#x, want flipped %#x", gotLiar, want)
+	}
+	if w.Probes(1) != 0 {
+		t.Fatalf("liar charged %d probes", w.Probes(1))
+	}
+}
+
+// flipBehavior reports the opposite of the truth without probing.
+type flipBehavior struct{}
+
+func (flipBehavior) Report(rc *Run, p, o int) bool { return !rc.PeekTruth(p, o) }

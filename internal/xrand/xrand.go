@@ -48,11 +48,26 @@ func New(seed uint64) *Stream {
 // Splitting with the same tags always yields the same child, so subsystems
 // can re-derive their streams without coordination.
 func (s *Stream) Split(tags ...uint64) *Stream {
+	c := s.SplitValue(tags...)
+	return &c
+}
+
+// SplitValue is Split returning the child by value instead of by pointer.
+// Splitting is a pure read of the parent's state, so concurrent SplitValue
+// calls on one parent are safe; the returned Stream lives wherever the
+// caller puts it, which in the protocol hot loops is the stack — the
+// per-(cluster, object) prober-choice streams of the workshare must not
+// become per-cell heap objects. The child is identical to Split's for the
+// same tags.
+func (s *Stream) SplitValue(tags ...uint64) Stream {
 	st := s.state
 	for _, t := range tags {
 		st = mix(st, t)
 	}
-	return New(mix(st, 0x5deece66d))
+	c := Stream{state: mix(st, 0x5deece66d)}
+	// Warm up exactly as New does, so Split and SplitValue agree.
+	splitmix64(&c.state)
+	return c
 }
 
 func mix(a, b uint64) uint64 {

@@ -301,3 +301,48 @@ func TestShuffle(t *testing.T) {
 		t.Fatal("Shuffle changed elements")
 	}
 }
+
+// TestSplitValueMatchesSplit: the value-type split must derive exactly the
+// stream Split does for the same tags — protocol code mixes the two freely
+// (heap streams at phase granularity, stack streams per hot-loop cell).
+func TestSplitValueMatchesSplit(t *testing.T) {
+	parent := New(1234)
+	cases := [][]uint64{{}, {0}, {7}, {1, 2, 3}, {0xC0FFEE, 42}}
+	for _, tags := range cases {
+		byPtr := parent.Split(tags...)
+		byVal := parent.SplitValue(tags...)
+		for i := 0; i < 50; i++ {
+			if byPtr.Uint64() != byVal.Uint64() {
+				t.Fatalf("tags %v: SplitValue diverges from Split at draw %d", tags, i)
+			}
+		}
+	}
+}
+
+// TestSplitValueIsPureRead: splitting must not advance the parent.
+func TestSplitValueIsPureRead(t *testing.T) {
+	a, b := New(9), New(9)
+	a.SplitValue(1, 2)
+	a.SplitValue(3)
+	for i := 0; i < 20; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("SplitValue advanced the parent stream")
+		}
+	}
+}
+
+// TestSplitValueAllocFree guards the workshare's per-(cluster, object)
+// stream derivation: a stack-local child stream must cost zero heap
+// allocations (satellite regression guard).
+func TestSplitValueAllocFree(t *testing.T) {
+	parent := New(77)
+	var sink uint64
+	if n := testing.AllocsPerRun(100, func() {
+		rng := parent.SplitValue(1, 2)
+		sink += rng.Uint64()
+		sink += uint64(rng.Intn(17))
+	}); n != 0 {
+		t.Fatalf("SplitValue path allocates %v times per run", n)
+	}
+	_ = sink
+}

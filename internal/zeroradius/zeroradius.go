@@ -294,6 +294,8 @@ func eliminate(rc *world.Run, p int, objs []int, cands []bitvec.Vector) bitvec.V
 	if len(cands) == 0 {
 		return bitvec.New(len(objs))
 	}
+	// One survivor buffer filtered in place per probe — the per-iteration
+	// `next` slice was an allocation per elimination probe per learner.
 	survivors := make([]bitvec.Vector, len(cands))
 	copy(survivors, cands)
 	probed := make(map[int]bool, 8) // position → probed truth
@@ -304,20 +306,24 @@ func eliminate(rc *world.Run, p int, objs []int, cands []bitvec.Vector) bitvec.V
 		}
 		truth := rc.Probe(p, objs[j])
 		probed[j] = truth
-		next := make([]bitvec.Vector, 0, len(survivors))
+		k := 0
 		for _, c := range survivors {
 			if c.Get(j) == truth {
-				next = append(next, c)
+				survivors[k] = c
+				k++
 			}
 		}
-		if len(next) == 0 {
+		if k == 0 {
 			// Own deviation from every candidate at j: keep the survivors
-			// minus one arbitrary loser to guarantee progress.
-			next = survivors[:len(survivors)-1]
+			// minus one arbitrary loser to guarantee progress. (No matches
+			// means no in-place writes happened, so the prefix is intact.)
+			k = len(survivors) - 1
 		}
-		survivors = next
+		survivors = survivors[:k]
 	}
-	// Pick the survivor that agrees best with everything probed.
+	// Pick the survivor that agrees best with everything probed. The
+	// winner is returned as-is: candidate vectors are shared, immutable
+	// inputs, and every downstream consumer only reads them.
 	best, bestScore := survivors[0], -1
 	for _, c := range survivors {
 		score := 0
@@ -330,17 +336,19 @@ func eliminate(rc *world.Run, p int, objs []int, cands []bitvec.Vector) bitvec.V
 			best, bestScore = c, score
 		}
 	}
-	return best.Clone()
+	return best
 }
 
 // firstDisagreement returns an index where at least two of the vectors
-// differ, or -1 if all vectors are identical.
+// differ, or -1 if all vectors are identical. FirstDiff scans words and
+// allocates nothing — this runs once per elimination probe per learner,
+// and materializing every difference (DiffIndices) just to take the first
+// was the elimination loop's main allocation.
 func firstDisagreement(vs []bitvec.Vector) int {
 	base := vs[0]
 	for _, v := range vs[1:] {
-		d := base.DiffIndices(v)
-		if len(d) > 0 {
-			return d[0]
+		if d := base.FirstDiff(v); d >= 0 {
+			return d
 		}
 	}
 	return -1
