@@ -1,4 +1,4 @@
-package collabscore
+package collabscore_test
 
 // The benchmark harness regenerates every reproduction artifact (the
 // paper's formal claims E1–E12 — the paper is theoretical and publishes
@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"strconv"
 	"testing"
+
+	"collabscore"
 
 	"collabscore/internal/bitvec"
 	"collabscore/internal/board"
@@ -254,7 +256,7 @@ func BenchmarkProbeThroughput(b *testing.B) {
 // single correct diameter guess (the E8 configuration).
 func BenchmarkFullProtocol(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sim := NewSimulation(Config{Players: 512, Budget: 8, Seed: uint64(i), FixedDiameter: 32})
+		sim := collabscore.NewSimulation(collabscore.Config{Players: 512, Budget: 8, Seed: uint64(i), FixedDiameter: 32})
 		sim.PlantClusters(64, 32)
 		rep := sim.Run()
 		if i == b.N-1 {
@@ -268,9 +270,9 @@ func BenchmarkFullProtocol(b *testing.B) {
 // tolerance-level corruption.
 func BenchmarkFullByzantine(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sim := NewSimulation(Config{Players: 512, Budget: 8, Seed: uint64(i), FixedDiameter: 32})
+		sim := collabscore.NewSimulation(collabscore.Config{Players: 512, Budget: 8, Seed: uint64(i), FixedDiameter: 32})
 		sim.PlantClusters(64, 32)
-		sim.Corrupt(sim.Tolerance(), RandomLiar)
+		sim.Corrupt(sim.Tolerance(), collabscore.RandomLiar)
 		rep := sim.RunByzantine()
 		if i == b.N-1 {
 			b.ReportMetric(float64(rep.MaxError), "max_err")
@@ -300,9 +302,9 @@ func BenchmarkRunByzantine(b *testing.B) {
 	}
 	run := func(b *testing.B, n, k int, byzSerial, phaseSerial bool) {
 		for i := 0; i < b.N; i++ {
-			sim := NewSimulation(Config{Players: n, Budget: 8, Seed: uint64(i), FixedDiameter: n / 32})
+			sim := collabscore.NewSimulation(collabscore.Config{Players: n, Budget: 8, Seed: uint64(i), FixedDiameter: n / 32})
 			sim.PlantClusters(n/8, n/32)
-			sim.Corrupt(sim.Tolerance(), ClusterHijackers)
+			sim.Corrupt(sim.Tolerance(), collabscore.ClusterHijackers)
 			sim.Params().ByzIterations = k
 			sim.Params().ByzSerial = byzSerial
 			sim.Params().PhaseSerial = phaseSerial
@@ -338,7 +340,7 @@ func BenchmarkScalingN(b *testing.B) {
 	for _, n := range []int{512, 1024, 2048} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				sim := NewSimulation(Config{Players: n, Budget: 8, Seed: uint64(i), FixedDiameter: n / 32})
+				sim := collabscore.NewSimulation(collabscore.Config{Players: n, Budget: 8, Seed: uint64(i), FixedDiameter: n / 32})
 				sim.PlantClusters(n/8, n/32)
 				rep := sim.Run()
 				if i == b.N-1 {

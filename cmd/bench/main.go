@@ -13,7 +13,7 @@
 // Usage:
 //
 //	go run ./cmd/bench [-bench RunByzantine] [-benchtime 1x] [-count 1]
-//	                   [-pkg .] [-out BENCH_PR3.json] [-label pr3]
+//	                   [-pkg .] [-out BENCH_PR4.json] [-label pr4]
 //
 // The -out/-label defaults name the current PR's committed snapshot;
 // a later PR recording a new trajectory point passes its own
@@ -64,8 +64,8 @@ func main() {
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
 	count := flag.Int("count", 1, "go test -count value")
 	pkg := flag.String("pkg", ".", "package to benchmark")
-	out := flag.String("out", "BENCH_PR3.json", "output JSON path")
-	label := flag.String("label", "pr3", "label recorded in the report")
+	out := flag.String("out", "BENCH_PR4.json", "output JSON path")
+	label := flag.String("label", "pr4", "label recorded in the report")
 	flag.Parse()
 
 	args := []string{

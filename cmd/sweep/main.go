@@ -1,0 +1,169 @@
+// Command sweep runs scenario grids through the pooled sweep engine
+// (internal/sweep; DESIGN.md §11): declarative axes expand into
+// deterministic per-point seeds, points run across a worker pool with
+// per-worker reused allocations, results stream to a JSONL file as points
+// complete, and an interrupted sweep resumes from its partial output.
+//
+// The grid comes from a JSON spec file (-grid, the internal/sweep.Spec
+// schema) or from axis flags (comma-separated values):
+//
+//	sweep -n 512,1024 -cluster 64 -d 16,32 -fixd \
+//	      -f 0,21 -strategies colluders,cluster-hijackers \
+//	      -protocols byzantine -trials 3 -seed 2010 \
+//	      -workers 4 -out sweep.jsonl
+//
+//	sweep -grid grid.json -out sweep.jsonl -resume   # continue after a kill
+//
+// Each completed point appends one JSON line to -out; rerunning with
+// -resume skips every point already recorded (a torn final line from a
+// mid-write kill is discarded) and runs exactly the missing ones. A
+// summary aggregated over the whole grid prints at the end.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"collabscore/internal/sweep"
+)
+
+func main() {
+	var (
+		grid    = flag.String("grid", "", "JSON grid spec file (internal/sweep.Spec); overrides axis flags")
+		ns      = flag.String("n", "", "players axis, comma-separated")
+		ms      = flag.String("m", "", "objects axis (0 = players), comma-separated")
+		bs      = flag.String("b", "", "budget axis (0 = 8), comma-separated")
+		cluster = flag.String("cluster", "", "planted cluster size axis, comma-separated")
+		zipf    = flag.String("zipf", "", "Zipf cluster-count axis, comma-separated")
+		alphas  = flag.String("alpha", "", "Zipf exponent axis, comma-separated")
+		ds      = flag.String("d", "", "planted diameter axis, comma-separated")
+		fs      = flag.String("f", "", "dishonest-count axis, comma-separated")
+		strats  = flag.String("strategies", "", "dishonest strategy names, comma-separated")
+		protos  = flag.String("protocols", "", "protocol variants (run, byzantine, baseline, probe-all, random-guess), comma-separated")
+		trials  = flag.Int("trials", 1, "independent trials per coordinate")
+		seed    = flag.Uint64("seed", 2010, "root seed")
+		fixd    = flag.Bool("fixd", false, "fix the doubling loop to each point's planted diameter")
+		paper   = flag.Bool("paper", false, "use the paper's literal constants")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		out     = flag.String("out", "sweep.jsonl", "JSONL output file")
+		resume  = flag.Bool("resume", false, "skip points already recorded in -out")
+		opt     = flag.Bool("opt", false, "compute each planted point's exact optimum error (O(n²m) per point)")
+		quiet   = flag.Bool("q", false, "suppress per-point progress lines")
+		expand  = flag.Bool("expand", false, "print the expanded grid as JSON and exit without running")
+	)
+	flag.Parse()
+
+	var spec sweep.Spec
+	if *grid != "" {
+		raw, err := os.ReadFile(*grid)
+		if err != nil {
+			fatal("reading grid spec: %v", err)
+		}
+		dec := json.NewDecoder(strings.NewReader(string(raw)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			fatal("parsing grid spec %s: %v", *grid, err)
+		}
+	} else {
+		spec = sweep.Spec{
+			Seed:           *seed,
+			Trials:         *trials,
+			Players:        intList(*ns),
+			Objects:        intList(*ms),
+			Budgets:        intList(*bs),
+			ClusterSizes:   intList(*cluster),
+			ZipfClusters:   intList(*zipf),
+			ZipfAlphas:     floatList(*alphas),
+			Diameters:      intList(*ds),
+			Dishonest:      intList(*fs),
+			Strategies:     strList(*strats),
+			Protocols:      strList(*protos),
+			FixDiameter:    *fixd,
+			PaperConstants: *paper,
+		}
+		if len(spec.Players) == 0 {
+			flag.Usage()
+			fatal("need -grid or -n")
+		}
+	}
+
+	points, err := sweep.Expand(spec)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if *expand {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(points); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d grid points → %s\n", len(points), *out)
+
+	opts := sweep.Options{Workers: *workers, ComputeOpt: *opt}
+	if !*quiet {
+		opts.Progress = func(completed, scheduled int, rec sweep.Record) {
+			fmt.Fprintf(os.Stderr, "sweep: [%d/%d] %s: max_err=%d max_probes=%d\n",
+				completed, scheduled, rec.Key, rec.MaxError, rec.MaxProbes)
+		}
+	}
+	recs, err := sweep.RunFile(points, *out, *resume, opts)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	summary := sweep.Aggregate(recs)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(summary); err != nil {
+		fatal("%v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func intList(s string) []int {
+	var out []int
+	for _, tok := range strList(s) {
+		v, err := strconv.Atoi(tok)
+		if err != nil {
+			fatal("bad integer %q", tok)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func floatList(s string) []float64 {
+	var out []float64
+	for _, tok := range strList(s) {
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			fatal("bad float %q", tok)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func strList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}

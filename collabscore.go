@@ -112,29 +112,35 @@ type Simulation struct {
 	instance *prefgen.Instance
 	w        *world.World
 	params   core.Params
+	// pool, when non-nil, supplies reused allocations (truth buffers,
+	// world, bulletin boards) for this simulation; see Pool.
+	pool *Pool
 }
 
 // NewSimulation creates a simulation with uniform random preferences (no
 // planted structure). Call PlantClusters or PlantZipf to add structure
 // before running. It panics on nonsensical configs.
 func NewSimulation(cfg Config) *Simulation {
-	if cfg.Players < 1 {
-		panic("collabscore: Players must be ≥ 1")
+	return Scenario{Config: cfg}.simulation(nil)
+}
+
+// pg returns the prefgen buffer generators draw from: the pool's when this
+// simulation is pooled, otherwise nil (a nil *prefgen.Buffer allocates
+// fresh — the historical behavior — and draws the same coins).
+func (s *Simulation) pg() *prefgen.Buffer {
+	if s.pool == nil {
+		return nil
 	}
-	if cfg.Objects == 0 {
-		cfg.Objects = cfg.Players
-	}
-	if cfg.Budget == 0 {
-		cfg.Budget = 8
-	}
-	s := &Simulation{cfg: cfg, rng: xrand.New(cfg.Seed)}
-	s.instance = prefgen.Uniform(s.rng.Split(1), cfg.Players, cfg.Objects)
-	s.rebuild()
-	return s
+	return &s.pool.pg
 }
 
 func (s *Simulation) rebuild() {
-	s.w = world.New(s.instance.Truth)
+	if s.pool != nil {
+		s.w = world.Renew(s.pool.w, s.instance.Truth)
+		s.pool.w = s.w
+	} else {
+		s.w = world.New(s.instance.Truth)
+	}
 	if s.cfg.PaperConstants {
 		s.params = core.Paper(s.cfg.Players, s.cfg.Budget)
 	} else {
@@ -144,13 +150,16 @@ func (s *Simulation) rebuild() {
 		s.params.MinD = s.cfg.FixedDiameter
 		s.params.MaxD = s.cfg.FixedDiameter
 	}
+	if s.pool != nil {
+		s.params.Mem = s.pool.mem
+	}
 }
 
 // PlantClusters replaces the preference matrix with planted clusters of the
 // given size and Hamming diameter (0 = identical preferences). Any
 // corruption installed earlier is discarded.
 func (s *Simulation) PlantClusters(clusterSize, diameter int) *Simulation {
-	s.instance = prefgen.DiameterClusters(s.rng.Split(2), s.cfg.Players, s.cfg.Objects, clusterSize, diameter)
+	s.instance = s.pg().DiameterClusters(s.rng.Split(2), s.cfg.Players, s.cfg.Objects, clusterSize, diameter)
 	s.rebuild()
 	return s
 }
@@ -158,7 +167,7 @@ func (s *Simulation) PlantClusters(clusterSize, diameter int) *Simulation {
 // PlantZipf replaces the preference matrix with numClusters planted
 // clusters whose sizes follow a Zipf law with the given exponent.
 func (s *Simulation) PlantZipf(numClusters int, alpha float64, diameter int) *Simulation {
-	s.instance = prefgen.ZipfClusters(s.rng.Split(3), s.cfg.Players, s.cfg.Objects, numClusters, alpha, diameter)
+	s.instance = s.pg().ZipfClusters(s.rng.Split(3), s.cfg.Players, s.cfg.Objects, numClusters, alpha, diameter)
 	s.rebuild()
 	return s
 }
@@ -243,6 +252,9 @@ type Report struct {
 	MaxProbes int64
 	// MeanProbes is the average probe count over honest players.
 	MeanProbes float64
+	// TotalProbes is the total probe count over all players, honest and
+	// dishonest (the system-wide work the sweep aggregations sum).
+	TotalProbes int64
 	// OptDiameter is the planted reference error level (max planted cluster
 	// diameter), when planted structure exists; -1 otherwise.
 	OptDiameter int
@@ -291,6 +303,7 @@ func (s *Simulation) report(res *core.Result) *Report {
 		MeanError:     es.Mean,
 		MaxProbes:     ps.Max,
 		MeanProbes:    ps.Mean,
+		TotalProbes:   ps.Total,
 		OptDiameter:   s.instance.PlantedDiameter,
 		HonestLeaders: res.HonestLeaders,
 		Repetitions:   res.Repetitions,

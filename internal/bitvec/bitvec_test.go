@@ -457,3 +457,55 @@ func TestWordOpsAllocFree(t *testing.T) {
 	_ = sink
 	_ = sinkI
 }
+
+func TestZeroCopyFromRenew(t *testing.T) {
+	v := New(130)
+	for _, i := range []int{0, 64, 99, 129} {
+		v.Set(i, true)
+	}
+	w := New(130)
+	w.CopyFrom(v)
+	if !w.Equal(v) {
+		t.Fatal("CopyFrom did not copy")
+	}
+	w.Set(5, true)
+	if v.Get(5) {
+		t.Fatal("CopyFrom shares storage")
+	}
+	v.Zero()
+	if v.Count() != 0 {
+		t.Fatalf("Zero left %d bits set", v.Count())
+	}
+
+	// Renew at equal-or-smaller word footprint reuses storage and zeroes.
+	big := New(256)
+	for i := 0; i < 256; i += 3 {
+		big.Set(i, true)
+	}
+	reused := big.Renew(100)
+	if reused.Len() != 100 || reused.Count() != 0 {
+		t.Fatalf("Renew(100) = len %d count %d", reused.Len(), reused.Count())
+	}
+	reused.Set(0, true)
+	if big.Word(0) != 1 {
+		t.Fatal("Renew did not reuse the backing words")
+	}
+	// Renew past capacity allocates fresh.
+	grown := reused.Renew(1024)
+	if grown.Len() != 1024 || grown.Count() != 0 {
+		t.Fatalf("Renew(1024) = len %d count %d", grown.Len(), grown.Count())
+	}
+	grown.Set(700, true)
+	if reused.Count() != 1 || !reused.Get(0) {
+		t.Fatal("growing Renew should not alias the old storage")
+	}
+}
+
+func TestCopyFromLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(10).CopyFrom(New(11))
+}

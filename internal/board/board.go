@@ -410,14 +410,17 @@ func (b *Board) WriteCount() int64 { return b.writes.total() }
 func (b *Board) ReadCount() int64 { return b.reads.total() }
 
 // Reset clears all lanes and counters and unseals the board, reusing the
-// allocated storage. Any Frozen views taken before Reset must be discarded.
+// allocated storage: lanes are zeroed in place, so a reset costs no
+// allocations (board pooling across protocol runs depends on this). Any
+// Frozen views taken before Reset must be discarded — they would read the
+// new phase's lanes, not a snapshot of the old one.
 func (b *Board) Reset() {
 	b.sealed.Store(false)
 	for i := range b.lanes {
 		ln := &b.lanes[i]
 		ln.mu.Lock()
-		ln.written = bitvec.New(b.m)
-		ln.values = bitvec.New(b.m)
+		ln.written.Zero()
+		ln.values.Zero()
 		ln.mu.Unlock()
 	}
 	b.writes.reset()

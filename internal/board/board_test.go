@@ -382,3 +382,35 @@ func TestMajorityWordAllocFree(t *testing.T) {
 	}
 	_ = sink
 }
+
+// TestResetReusesStorage: Reset clears lanes in place — no allocations —
+// so boards can be pooled across protocol runs (core.Mem), and a reset
+// board behaves exactly like a new one.
+func TestResetReusesStorage(t *testing.T) {
+	b := New(4, 130)
+	b.Write(1, 5, true)
+	b.WriteWord(2, 1, 0xF0, 0x50)
+	f := b.Freeze()
+	if _, ok := f.Read(1, 5); !ok {
+		t.Fatal("write lost before reset")
+	}
+
+	allocs := testing.AllocsPerRun(10, func() { b.Reset() })
+	if allocs != 0 {
+		t.Fatalf("Reset allocates %v times; board pooling depends on 0", allocs)
+	}
+
+	if b.WriteCount() != 0 || b.ReadCount() != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+	if _, ok := b.Read(1, 5); ok {
+		t.Fatal("Reset did not clear lanes")
+	}
+	// Unsealed again: writes work and tally like a fresh board.
+	b.Write(0, 7, true)
+	fz := b.Freeze()
+	ones, zeros := fz.Votes(7, []int{0, 1, 2, 3})
+	if ones != 1 || zeros != 0 {
+		t.Fatalf("votes after reset = %d/%d", ones, zeros)
+	}
+}

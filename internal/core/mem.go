@@ -1,0 +1,67 @@
+package core
+
+import (
+	"sync"
+
+	"collabscore/internal/board"
+)
+
+// Mem is a reusable-allocation pool for protocol runs: it recycles the
+// bulletin boards the workshare phase builds once per diameter guess per
+// repetition, which after the word-level data path (DESIGN.md §10) are the
+// largest remaining per-run allocation (n lanes × 2 vectors × m bits).
+//
+// Boards are keyed by shape; Freeze state, lane contents, and traffic
+// counters are fully cleared by board.Reset on release, so a pooled run is
+// byte-identical to an unpooled one — Mem changes where board storage comes
+// from, never what the protocol writes to it. A Mem is safe for concurrent
+// use (the Byzantine repetitions of one run borrow boards concurrently),
+// but its point is per-worker reuse: the sweep engine gives each worker its
+// own Mem so grid points amortize board storage across simulations instead
+// of rebuilding it every point.
+//
+// A nil *Mem disables pooling: acquire falls back to board.New and release
+// drops the board, which is the historical allocation behavior.
+type Mem struct {
+	mu     sync.Mutex
+	boards map[[2]int][]*board.Board
+}
+
+// NewMem returns an empty pool.
+func NewMem() *Mem { return &Mem{} }
+
+// acquire returns a reset board for n players and m objects, reusing a
+// pooled one of the same shape when available.
+func (mm *Mem) acquire(n, m int) *board.Board {
+	if mm == nil {
+		return board.New(n, m)
+	}
+	key := [2]int{n, m}
+	mm.mu.Lock()
+	free := mm.boards[key]
+	if len(free) == 0 {
+		mm.mu.Unlock()
+		return board.New(n, m)
+	}
+	bd := free[len(free)-1]
+	mm.boards[key] = free[:len(free)-1]
+	mm.mu.Unlock()
+	return bd
+}
+
+// release returns a board to the pool after the phase that used it is done
+// with it (including reading its traffic counters). The caller must hold no
+// Frozen views of the board past this call.
+func (mm *Mem) release(bd *board.Board) {
+	if mm == nil || bd == nil {
+		return
+	}
+	bd.Reset()
+	key := [2]int{bd.Players(), bd.Objects()}
+	mm.mu.Lock()
+	if mm.boards == nil {
+		mm.boards = make(map[[2]int][]*board.Board)
+	}
+	mm.boards[key] = append(mm.boards[key], bd)
+	mm.mu.Unlock()
+}

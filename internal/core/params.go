@@ -77,6 +77,20 @@ type Params struct {
 	// TestPhaseParallelMatchesSerial pins it). Set both ByzSerial and
 	// PhaseSerial for a fully single-threaded run.
 	PhaseSerial bool
+	// PhaseWorkers, when positive and PhaseSerial is unset, pins the phase
+	// loops to exactly that many worker goroutines (par.Fixed) instead of
+	// the GOMAXPROCS default. Race and property tests use it to force real
+	// goroutine interleavings on single-core hosts; output is byte-identical
+	// to every other schedule (DESIGN.md §9).
+	PhaseWorkers int
+
+	// Mem, when non-nil, supplies pooled per-run allocations (the
+	// workshare bulletin boards) to the protocol. Pooling changes where
+	// storage comes from, never what is computed: fixed-seed output and
+	// every counter are byte-identical with and without a Mem. The sweep
+	// engine threads one Mem per worker so grid points reuse board storage
+	// across simulations.
+	Mem *Mem
 
 	SR       smallradius.Params
 	Sel      selection.Params

@@ -80,6 +80,9 @@ func phaseExec(pr Params) *par.Runner {
 	if pr.PhaseSerial {
 		return par.Serial()
 	}
+	if pr.PhaseWorkers > 0 {
+		return par.Fixed(pr.PhaseWorkers)
+	}
 	return par.Parallel()
 }
 
@@ -175,11 +178,12 @@ func runIteration(rc *world.Run, allObjs []int, d int, shared *xrand.Stream, pr 
 	// every cluster member tallies the published votes.
 	rc.Pub.Phase = "workshare"
 	start = time.Now()
-	bd := board.New(n, m)
+	bd := pr.Mem.acquire(n, m)
 	out := workShare(rc, bd, cl, shared.Split(0x5C), pr)
 	stats.WorkshareTime = time.Since(start)
 	stats.BoardWrites = bd.WriteCount()
 	stats.BoardReads = bd.ReadCount()
+	pr.Mem.release(bd)
 	rc.Pub.SetSample(nil)
 	rc.Pub.Clusters = nil
 	return out, stats

@@ -4,7 +4,6 @@ import (
 	"math"
 
 	"collabscore/internal/adversary"
-	"collabscore/internal/baseline"
 	"collabscore/internal/budgets"
 	"collabscore/internal/core"
 	"collabscore/internal/election"
@@ -12,15 +11,53 @@ import (
 	"collabscore/internal/multival"
 	"collabscore/internal/prefgen"
 	"collabscore/internal/sim"
+	"collabscore/internal/sweep"
 	"collabscore/internal/tablefmt"
 	"collabscore/internal/world"
 	"collabscore/internal/xrand"
 )
 
+// expandGrid expands one sweep spec, panicking on spec errors (experiment
+// grids are static; a bad one is a programming error).
+func expandGrid(sp sweep.Spec) []sweep.Point {
+	pts, err := sweep.Expand(sp)
+	if err != nil {
+		panic(err)
+	}
+	return pts
+}
+
+// runGrid executes grid points through the pooled sweep engine.
+func runGrid(pts []sweep.Point, opt sweep.Options) []sweep.Record {
+	recs, err := sweep.Run(pts, opt)
+	if err != nil {
+		panic(err)
+	}
+	return recs
+}
+
+// filterRecs returns the records satisfying pred, in order.
+func filterRecs(recs []sweep.Record, pred func(sweep.Record) bool) []sweep.Record {
+	var out []sweep.Record
+	for _, rec := range recs {
+		if pred(rec) {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// protoRecs filters the records of one protocol variant.
+func protoRecs(recs []sweep.Record, proto string) []sweep.Record {
+	return filterRecs(recs, func(r sweep.Record) bool { return r.Protocol == proto })
+}
+
 // runE7 sweeps n at fixed B and fixed planted diameter ratio, comparing the
 // protocol's probe complexity (at the correct single guess) to the prior-art
 // baseline and to probe-everything. The paper's claim: O(B·polylog n) vs
-// O(B²·polylog n) vs n.
+// O(B²·polylog n) vs n. The grid — one spec per n since cluster size and
+// diameter track n, the protocol axis giving core and baseline the same
+// planted worlds — runs through the pooled sweep engine.
 func runE7(cfg Config) *tablefmt.Table {
 	t := header("E7 Lemmas 10–11 probe complexity", cfg,
 		"n", "core max probes", "baseline max probes", "probe-all", "core/probe-all", "core max err", "D")
@@ -28,37 +65,37 @@ func runE7(cfg Config) *tablefmt.Table {
 	if cfg.Quick {
 		ns = []int{512, 1024}
 	}
+	var lists [][]sweep.Point
 	for _, n := range ns {
-		d := n / 32 // keep the diameter a fixed fraction of n
-		agg := sim.RunSequential(cfg.Trials, cfg.Seed+uint64(n), func(trial int, rng *xrand.Stream) map[string]float64 {
-			in := prefgen.DiameterClusters(rng.Split(1), n, n, n/cfg.B, d)
-
-			w := world.New(in.Truth)
-			pr := core.Scaled(n, cfg.B)
-			pr.MinD, pr.MaxD = d, d
-			res := core.Run(w, rng.Split(2), pr)
-			coreProbes := float64(metrics.Probes(w).Max)
-			coreErr := float64(metrics.Error(w, res.Output).Max)
-
-			wb := world.New(in.Truth)
-			bpr := baseline.AASPScaled(n, cfg.B)
-			bpr.MinD, bpr.MaxD = d, d
-			baseline.AASP(wb, rng.Split(3), bpr)
-			basProbes := float64(metrics.Probes(wb).Max)
-
-			return map[string]float64{
-				"core": coreProbes, "bas": basProbes, "err": coreErr,
-			}
-		})
-		t.AddRow(n, agg["core"].Mean, agg["bas"].Mean, n, agg["core"].Mean/float64(n),
-			agg["err"].Mean, d)
+		lists = append(lists, expandGrid(sweep.Spec{
+			Seed: cfg.Seed, Trials: cfg.Trials,
+			Players: []int{n}, Budgets: []int{cfg.B},
+			ClusterSizes: []int{n / cfg.B}, Diameters: []int{n / 32}, FixDiameter: true,
+			Protocols: []string{"run", "baseline"},
+		}))
+	}
+	grid, err := sweep.Merge(lists...)
+	if err != nil {
+		panic(err)
+	}
+	recs := runGrid(grid, sweep.Options{})
+	runRecs, basRecs := protoRecs(recs, "run"), protoRecs(recs, "baseline")
+	for _, n := range ns {
+		core := filterRecs(runRecs, func(r sweep.Record) bool { return r.Players == n })
+		bas := filterRecs(basRecs, func(r sweep.Record) bool { return r.Players == n })
+		coreProbes := sweep.MeanOf(core, func(r sweep.Record) float64 { return float64(r.MaxProbes) })
+		basProbes := sweep.MeanOf(bas, func(r sweep.Record) float64 { return float64(r.MaxProbes) })
+		coreErr := sweep.MeanOf(core, func(r sweep.Record) float64 { return float64(r.MaxError) })
+		t.AddRow(n, coreProbes, basProbes, n, coreProbes/float64(n), coreErr, n/32)
 	}
 	return t
 }
 
 // runE8 sweeps the planted diameter D at fixed n, B and reports the honest
 // error of the full protocol against the planted optimum: the
-// constant-factor approximation of Lemma 12 / Definition 1.
+// constant-factor approximation of Lemma 12 / Definition 1. One declarative
+// grid with a diameter axis; the engine computes the exact per-point
+// optimum (Options.ComputeOpt).
 func runE8(cfg Config) *tablefmt.Table {
 	t := header("E8 Lemma 12 honest accuracy", cfg,
 		"planted D", "exact opt", "max err", "mean err", "approx ratio", "max probes")
@@ -67,69 +104,71 @@ func runE8(cfg Config) *tablefmt.Table {
 	if cfg.Quick {
 		ds = []int{32}
 	}
+	recs := runGrid(expandGrid(sweep.Spec{
+		Seed: cfg.Seed, Trials: cfg.Trials,
+		Players: []int{n}, Budgets: []int{cfg.B},
+		ClusterSizes: []int{n / cfg.B}, Diameters: ds, FixDiameter: true,
+		Protocols: []string{"run"},
+	}), sweep.Options{ComputeOpt: true})
 	for _, d := range ds {
-		agg := sim.RunSequential(cfg.Trials, cfg.Seed+uint64(d), func(trial int, rng *xrand.Stream) map[string]float64 {
-			in := prefgen.DiameterClusters(rng.Split(1), n, n, n/cfg.B, d)
-			opt := float64(metrics.MaxInt(baseline.OptErrors(in)))
-			w := world.New(in.Truth)
-			pr := core.Scaled(n, cfg.B)
-			pr.MinD, pr.MaxD = d, d
-			res := core.Run(w, rng.Split(2), pr)
-			es := metrics.Error(w, res.Output)
-			return map[string]float64{
-				"opt": opt, "max": float64(es.Max), "mean": es.Mean,
-				"ratio":  metrics.ApproxRatio(float64(es.Max), opt),
-				"probes": float64(metrics.Probes(w).Max),
-			}
-		})
-		t.AddRow(d, agg["opt"].Mean, agg["max"].Mean, agg["mean"].Mean,
-			agg["ratio"].Mean, agg["probes"].Mean)
+		d := d
+		rs := filterRecs(recs, func(r sweep.Record) bool { return r.Diameter == d })
+		t.AddRow(d,
+			sweep.MeanOf(rs, func(r sweep.Record) float64 { return float64(r.OptError) }),
+			sweep.MeanOf(rs, func(r sweep.Record) float64 { return float64(r.MaxError) }),
+			sweep.MeanOf(rs, func(r sweep.Record) float64 { return r.MeanError }),
+			sweep.MeanOf(rs, func(r sweep.Record) float64 {
+				return metrics.ApproxRatio(float64(r.MaxError), float64(r.OptError))
+			}),
+			sweep.MeanOf(rs, func(r sweep.Record) float64 { return float64(r.MaxProbes) }))
 	}
 	return t
 }
 
-// e9Strategies enumerates the attack strategies for E9.
-func e9Strategies(n int) map[string]func(p int) world.Behavior {
-	return map[string]func(p int) world.Behavior{
-		"random-liar": func(p int) world.Behavior { return adversary.RandomLiar{Seed: 0xE9} },
-		"colluders":   func(p int) world.Behavior { return adversary.NewColluder(0xE9, n) },
-		"hijackers":   func(p int) world.Behavior { return adversary.ClusterHijacker{Victim: (p + 1) % n} },
-		"strange-obj": func(p int) world.Behavior { return adversary.StrangeObjectAttacker{Seed: 0xE9} },
-	}
-}
-
 // runE9 sweeps the dishonest count f from 0 past the paper's tolerance
 // n/(3B) for each attack strategy: the headline Byzantine-robustness table
-// (Theorem 14). Below tolerance the error must match the honest run.
+// (Theorem 14). Below tolerance the error must match the honest run. The
+// grid's dishonest × strategy axes share planted worlds point to point
+// (sweep seed derivation excludes the corruption axes), so each row
+// isolates the attack's effect; the honest row (f = 0) is the shared
+// control the engine runs once.
 func runE9(cfg Config) *tablefmt.Table {
 	t := header("E9 Theorem 14 Byzantine tolerance", cfg,
 		"strategy", "f", "f/tolerance", "max err", "mean err", "honest leaders")
 	n := cfg.N
-	d := 32
+	const d = 32
 	tol := core.Scaled(n, cfg.B).MaxDishonest(n)
 	fracs := []float64{0, 0.5, 1, 2}
 	if cfg.Quick {
 		fracs = []float64{1}
 	}
-	names := []string{"random-liar", "colluders", "hijackers", "strange-obj"}
-	for _, name := range names {
+	var fs []int
+	for _, frac := range fracs {
+		fs = append(fs, int(frac*float64(tol)))
+	}
+	strategies := []string{"random-liar", "colluders", "cluster-hijackers", "strange-object"}
+	recs := runGrid(expandGrid(sweep.Spec{
+		Seed: cfg.Seed, Trials: cfg.Trials,
+		Players: []int{n}, Budgets: []int{cfg.B},
+		ClusterSizes: []int{n / cfg.B}, Diameters: []int{d}, FixDiameter: true,
+		Dishonest: fs, Strategies: strategies,
+		Protocols: []string{"byzantine"},
+	}), sweep.Options{})
+	row := func(name string, frac float64, rs []sweep.Record) {
+		t.AddRow(name, int(frac*float64(tol)), frac,
+			sweep.MeanOf(rs, func(r sweep.Record) float64 { return float64(r.MaxError) }),
+			sweep.MeanOf(rs, func(r sweep.Record) float64 { return r.MeanError }),
+			sweep.MeanOf(rs, func(r sweep.Record) float64 { return float64(r.HonestLeaders) }))
+	}
+	for _, name := range strategies {
 		for _, frac := range fracs {
 			f := int(frac * float64(tol))
-			mk := e9Strategies(n)[name]
-			agg := sim.RunSequential(cfg.Trials, cfg.Seed+uint64(f)+uint64(len(name)), func(trial int, rng *xrand.Stream) map[string]float64 {
-				in := prefgen.DiameterClusters(rng.Split(1), n, n, n/cfg.B, d)
-				w := world.New(in.Truth)
-				adversary.Corrupt(w, f, rng.Split(7).Perm(n), mk)
-				pr := core.Scaled(n, cfg.B)
-				pr.MinD, pr.MaxD = d, d
-				res := core.RunByzantine(w, rng.Split(2), nil, pr)
-				es := metrics.Error(w, res.Output)
-				return map[string]float64{
-					"max": float64(es.Max), "mean": es.Mean,
-					"leaders": float64(res.HonestLeaders),
-				}
+			// The f = 0 control carries no strategy; it anchors every
+			// strategy's series.
+			rs := filterRecs(recs, func(r sweep.Record) bool {
+				return r.Dishonest == f && (f == 0 || r.Strategy == name)
 			})
-			t.AddRow(name, f, frac, agg["max"].Mean, agg["mean"].Mean, agg["leaders"].Mean)
+			row(name, frac, rs)
 		}
 	}
 	return t
@@ -137,7 +176,8 @@ func runE9(cfg Config) *tablefmt.Table {
 
 // runE10 sweeps B comparing the protocol against the Alon et al. baseline:
 // probes (B vs B² shape) and achieved approximation of the planted optimum
-// (constant vs B-factor shape).
+// (constant vs B-factor shape). One spec per B (cluster size tracks B),
+// merged into a single engine run.
 func runE10(cfg Config) *tablefmt.Table {
 	t := header("E10 comparison vs prior art [2,3]", cfg,
 		"B", "core probes", "AASP probes", "probe ratio", "core err", "AASP err", "planted D")
@@ -147,30 +187,29 @@ func runE10(cfg Config) *tablefmt.Table {
 		bs = []int{8}
 	}
 	const d = 32
+	var lists [][]sweep.Point
 	for _, b := range bs {
-		agg := sim.RunSequential(cfg.Trials, cfg.Seed+uint64(b), func(trial int, rng *xrand.Stream) map[string]float64 {
-			in := prefgen.DiameterClusters(rng.Split(1), n, n, n/b, d)
-
-			w := world.New(in.Truth)
-			pr := core.Scaled(n, b)
-			pr.MinD, pr.MaxD = d, d
-			res := core.Run(w, rng.Split(2), pr)
-			coreErr := float64(metrics.Error(w, res.Output).Max)
-			coreProbes := float64(metrics.Probes(w).Max)
-
-			wb := world.New(in.Truth)
-			bpr := baseline.AASPScaled(n, b)
-			bpr.MinD, bpr.MaxD = d, d
-			bout := baseline.AASP(wb, rng.Split(3), bpr)
-			basErr := float64(metrics.Error(wb, bout).Max)
-			basProbes := float64(metrics.Probes(wb).Max)
-
-			return map[string]float64{
-				"cp": coreProbes, "bp": basProbes, "ce": coreErr, "be": basErr,
-			}
-		})
-		t.AddRow(b, agg["cp"].Mean, agg["bp"].Mean, agg["bp"].Mean/math.Max(agg["cp"].Mean, 1),
-			agg["ce"].Mean, agg["be"].Mean, d)
+		lists = append(lists, expandGrid(sweep.Spec{
+			Seed: cfg.Seed, Trials: cfg.Trials,
+			Players: []int{n}, Budgets: []int{b},
+			ClusterSizes: []int{n / b}, Diameters: []int{d}, FixDiameter: true,
+			Protocols: []string{"run", "baseline"},
+		}))
+	}
+	grid, err := sweep.Merge(lists...)
+	if err != nil {
+		panic(err)
+	}
+	recs := runGrid(grid, sweep.Options{})
+	runRecs, basRecs := protoRecs(recs, "run"), protoRecs(recs, "baseline")
+	for _, b := range bs {
+		core := filterRecs(runRecs, func(r sweep.Record) bool { return r.Budget == b })
+		bas := filterRecs(basRecs, func(r sweep.Record) bool { return r.Budget == b })
+		cp := sweep.MeanOf(core, func(r sweep.Record) float64 { return float64(r.MaxProbes) })
+		bp := sweep.MeanOf(bas, func(r sweep.Record) float64 { return float64(r.MaxProbes) })
+		ce := sweep.MeanOf(core, func(r sweep.Record) float64 { return float64(r.MaxError) })
+		be := sweep.MeanOf(bas, func(r sweep.Record) float64 { return float64(r.MaxError) })
+		t.AddRow(b, cp, bp, bp/math.Max(cp, 1), ce, be, d)
 	}
 	return t
 }

@@ -15,11 +15,11 @@ import (
 
 // ErrorStats summarizes prediction error over honest players.
 type ErrorStats struct {
-	Max    int // the paper's rate of error
-	Mean   float64
-	Median int
-	P95    int
-	N      int // number of honest players measured
+	Max    int     `json:"max"` // the paper's rate of error
+	Mean   float64 `json:"mean"`
+	Median int     `json:"median"`
+	P95    int     `json:"p95"`
+	N      int     `json:"n"` // number of honest players measured
 }
 
 // Errors returns the per-honest-player Hamming errors |w(p) − v(p)|,

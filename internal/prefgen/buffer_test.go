@@ -1,0 +1,74 @@
+package prefgen
+
+import (
+	"testing"
+
+	"collabscore/internal/xrand"
+)
+
+// instanceEqual compares the observable content of two instances.
+func instanceEqual(a, b *Instance) bool {
+	if a.N() != b.N() || a.M() != b.M() || a.PlantedDiameter != b.PlantedDiameter {
+		return false
+	}
+	for p := range a.Truth {
+		if !a.Truth[p].Equal(b.Truth[p]) || a.ClusterOf[p] != b.ClusterOf[p] {
+			return false
+		}
+	}
+	if len(a.Centers) != len(b.Centers) {
+		return false
+	}
+	for c := range a.Centers {
+		if !a.Centers[c].Equal(b.Centers[c]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBufferMatchesFresh: every pooled generator produces instances
+// bit-identical to the package-level (allocating) generator for the same
+// stream, across repeated reuse and shape changes in both directions.
+func TestBufferMatchesFresh(t *testing.T) {
+	var buf Buffer
+	shapes := []struct{ n, m int }{{32, 64}, {32, 64}, {48, 32}, {16, 16}, {48, 32}}
+	for i, sh := range shapes {
+		seed := uint64(100 + i)
+		fresh := Uniform(xrand.New(seed), sh.n, sh.m)
+		pooled := buf.Uniform(xrand.New(seed), sh.n, sh.m)
+		if !instanceEqual(fresh, pooled) {
+			t.Fatalf("shape %d: pooled Uniform differs from fresh", i)
+		}
+
+		fresh = DiameterClusters(xrand.New(seed), sh.n, sh.m, sh.n/4, 4)
+		pooled = buf.DiameterClusters(xrand.New(seed), sh.n, sh.m, sh.n/4, 4)
+		if !instanceEqual(fresh, pooled) {
+			t.Fatalf("shape %d: pooled DiameterClusters differs from fresh", i)
+		}
+
+		fresh = ZipfClusters(xrand.New(seed), sh.n, sh.m, 3, 1.3, 4)
+		pooled = buf.ZipfClusters(xrand.New(seed), sh.n, sh.m, 3, 1.3, 4)
+		if !instanceEqual(fresh, pooled) {
+			t.Fatalf("shape %d: pooled ZipfClusters differs from fresh", i)
+		}
+	}
+}
+
+// TestBufferReusesStorage: at a stable shape, the buffer stops allocating
+// truth vectors — successive instances share backing storage.
+func TestBufferReusesStorage(t *testing.T) {
+	var buf Buffer
+	first := buf.DiameterClusters(xrand.New(1), 32, 64, 8, 4)
+	firstTruth := first.Truth[0]
+	second := buf.DiameterClusters(xrand.New(2), 32, 64, 8, 4)
+	if &first.Truth[0] != &second.Truth[0] {
+		// Same backing slice must be handed out again.
+		t.Fatal("buffer reallocated the truth slice at a stable shape")
+	}
+	// The old instance's vectors were reused in place: firstTruth now holds
+	// the second instance's bits (documented invalidation).
+	if !firstTruth.Equal(second.Truth[0]) {
+		t.Fatal("buffer did not reuse vector storage in place")
+	}
+}

@@ -71,16 +71,79 @@ func (in *Instance) MaxPlantedClusterDiameter() int {
 	return mx
 }
 
+// Buffer is a reusable allocation arena for instance generation. Its
+// generator methods (Uniform, DiameterClusters, ZipfClusters) draw exactly
+// the same random streams as the package-level functions — for a given rng
+// the generated instance is bit-identical — but build the result in pooled
+// storage instead of fresh allocations, so a worker sweeping thousands of
+// grid points pays the O(n·m) truth-matrix allocation once.
+//
+// Each generator call invalidates the Instance returned by the previous
+// call on the same Buffer (the truth vectors are reused in place). A Buffer
+// is not safe for concurrent use: pool one per worker. The zero value is
+// ready to use, and a nil *Buffer falls back to fresh allocation on every
+// call, which is how the package-level generators are implemented.
+type Buffer struct {
+	truth     []bitvec.Vector
+	centers   []bitvec.Vector
+	clusterOf []int
+	inst      Instance
+}
+
+// instance returns an Instance with n zeroed truth vectors of length m,
+// numCenters zeroed center vectors, and a ClusterOf slice of length n,
+// drawn from the buffer's pools (or freshly allocated for a nil receiver).
+func (b *Buffer) instance(n, m, numCenters int) *Instance {
+	if b == nil {
+		in := &Instance{
+			Truth:     zeroVecs(nil, n, m),
+			ClusterOf: make([]int, n),
+		}
+		if numCenters > 0 {
+			in.Centers = zeroVecs(nil, numCenters, m)
+		}
+		return in
+	}
+	b.truth = zeroVecs(b.truth, n, m)
+	b.centers = zeroVecs(b.centers, numCenters, m)
+	if cap(b.clusterOf) < n {
+		b.clusterOf = make([]int, n)
+	}
+	b.inst = Instance{
+		Truth:     b.truth,
+		ClusterOf: b.clusterOf[:n],
+		Centers:   b.centers,
+	}
+	return &b.inst
+}
+
+// zeroVecs resizes vs to k zeroed vectors of length m, reusing both the
+// slice and each vector's backing words when capacities allow.
+func zeroVecs(vs []bitvec.Vector, k, m int) []bitvec.Vector {
+	if cap(vs) < k {
+		grown := make([]bitvec.Vector, k)
+		copy(grown, vs[:cap(vs)]) // keep old vectors' storage for Renew
+		vs = grown
+	}
+	vs = vs[:k]
+	for i := range vs {
+		vs[i] = vs[i].Renew(m)
+	}
+	return vs
+}
+
 // Uniform generates n players with independent uniform preference vectors
 // over m objects. No structure is planted.
 func Uniform(rng *xrand.Stream, n, m int) *Instance {
-	in := &Instance{
-		Truth:           make([]bitvec.Vector, n),
-		ClusterOf:       make([]int, n),
-		PlantedDiameter: -1,
-	}
+	return (*Buffer)(nil).Uniform(rng, n, m)
+}
+
+// Uniform is the pooled Uniform; see Buffer.
+func (b *Buffer) Uniform(rng *xrand.Stream, n, m int) *Instance {
+	in := b.instance(n, m, 0)
+	in.PlantedDiameter = -1
 	for p := 0; p < n; p++ {
-		in.Truth[p] = randomVector(rng, m)
+		fillRandom(rng, in.Truth[p])
 		in.ClusterOf[p] = -1
 	}
 	return in
@@ -88,12 +151,18 @@ func Uniform(rng *xrand.Stream, n, m int) *Instance {
 
 func randomVector(rng *xrand.Stream, m int) bitvec.Vector {
 	v := bitvec.New(m)
-	for i := 0; i < m; i++ {
+	fillRandom(rng, v)
+	return v
+}
+
+// fillRandom sets each bit of the zeroed vector v by a fair coin flip,
+// drawing exactly the coins randomVector draws.
+func fillRandom(rng *xrand.Stream, v bitvec.Vector) {
+	for i := 0; i < v.Len(); i++ {
 		if rng.Bool() {
 			v.Set(i, true)
 		}
 	}
-	return v
 }
 
 // IdenticalClusters partitions n players into clusters of exactly size
@@ -110,6 +179,11 @@ func IdenticalClusters(rng *xrand.Stream, n, m, clusterSize int) *Instance {
 // diameter = 0 yields identical clusters. Players are assigned to clusters
 // in a random permutation so cluster membership is uncorrelated with id.
 func DiameterClusters(rng *xrand.Stream, n, m, clusterSize, diameter int) *Instance {
+	return (*Buffer)(nil).DiameterClusters(rng, n, m, clusterSize, diameter)
+}
+
+// DiameterClusters is the pooled DiameterClusters; see Buffer.
+func (b *Buffer) DiameterClusters(rng *xrand.Stream, n, m, clusterSize, diameter int) *Instance {
 	if clusterSize <= 0 || clusterSize > n {
 		panic(fmt.Sprintf("prefgen: bad cluster size %d for n=%d", clusterSize, n))
 	}
@@ -117,14 +191,10 @@ func DiameterClusters(rng *xrand.Stream, n, m, clusterSize, diameter int) *Insta
 	if numClusters == 0 {
 		numClusters = 1
 	}
-	in := &Instance{
-		Truth:           make([]bitvec.Vector, n),
-		ClusterOf:       make([]int, n),
-		Centers:         make([]bitvec.Vector, numClusters),
-		PlantedDiameter: diameter,
-	}
+	in := b.instance(n, m, numClusters)
+	in.PlantedDiameter = diameter
 	for c := range in.Centers {
-		in.Centers[c] = randomVector(rng, m)
+		fillRandom(rng, in.Centers[c])
 	}
 	perm := rng.Perm(n)
 	for rank, p := range perm {
@@ -133,7 +203,8 @@ func DiameterClusters(rng *xrand.Stream, n, m, clusterSize, diameter int) *Insta
 			c = numClusters - 1 // remainder joins the last cluster
 		}
 		in.ClusterOf[p] = c
-		v := in.Centers[c].Clone()
+		v := in.Truth[p]
+		v.CopyFrom(in.Centers[c])
 		if diameter > 0 {
 			radius := diameter / 2
 			flips := rng.Intn(radius + 1)
@@ -141,7 +212,6 @@ func DiameterClusters(rng *xrand.Stream, n, m, clusterSize, diameter int) *Insta
 				v.Flip(i)
 			}
 		}
-		in.Truth[p] = v
 	}
 	return in
 }
@@ -151,23 +221,25 @@ func DiameterClusters(rng *xrand.Stream, n, m, clusterSize, diameter int) *Insta
 // diameter at most diameter. This models the skewed taste populations of
 // recommender workloads.
 func ZipfClusters(rng *xrand.Stream, n, m, numClusters int, alpha float64, diameter int) *Instance {
+	return (*Buffer)(nil).ZipfClusters(rng, n, m, numClusters, alpha, diameter)
+}
+
+// ZipfClusters is the pooled ZipfClusters; see Buffer.
+func (b *Buffer) ZipfClusters(rng *xrand.Stream, n, m, numClusters int, alpha float64, diameter int) *Instance {
 	if numClusters <= 0 {
 		panic("prefgen: numClusters must be positive")
 	}
-	in := &Instance{
-		Truth:           make([]bitvec.Vector, n),
-		ClusterOf:       make([]int, n),
-		Centers:         make([]bitvec.Vector, numClusters),
-		PlantedDiameter: diameter,
-	}
+	in := b.instance(n, m, numClusters)
+	in.PlantedDiameter = diameter
 	for c := range in.Centers {
-		in.Centers[c] = randomVector(rng, m)
+		fillRandom(rng, in.Centers[c])
 	}
 	z := xrand.NewZipf(rng, numClusters, alpha)
 	for p := 0; p < n; p++ {
 		c := z.Draw()
 		in.ClusterOf[p] = c
-		v := in.Centers[c].Clone()
+		v := in.Truth[p]
+		v.CopyFrom(in.Centers[c])
 		if diameter > 0 {
 			radius := diameter / 2
 			flips := rng.Intn(radius + 1)
@@ -175,7 +247,6 @@ func ZipfClusters(rng *xrand.Stream, n, m, numClusters int, alpha float64, diame
 				v.Flip(i)
 			}
 		}
-		in.Truth[p] = v
 	}
 	return in
 }

@@ -1,0 +1,129 @@
+package sweep
+
+import (
+	"io"
+	"sync"
+
+	"collabscore"
+	"collabscore/internal/baseline"
+	"collabscore/internal/metrics"
+	"collabscore/internal/par"
+)
+
+// Options configures a sweep run.
+type Options struct {
+	// Workers bounds the worker pool; ≤ 0 means up to GOMAXPROCS. Each
+	// worker owns one collabscore.Pool, so truth matrices, probe memos and
+	// bulletin boards are reused across the points that worker executes
+	// instead of rebuilt per point.
+	Workers int
+	// Sink, when non-nil, receives one JSONL line per completed point, as
+	// points complete (schedule order; records themselves are order-
+	// independent). Writes are serialized by the engine.
+	Sink io.Writer
+	// Done holds keys of points to skip — the resume set (RunFile fills it
+	// from the output file's intact records).
+	Done map[string]struct{}
+	// ComputeOpt computes each planted point's exact optimum error
+	// (Record.OptError) before running it. O(n²·m/64) per point — leave it
+	// off for large throughput sweeps.
+	ComputeOpt bool
+	// Progress, when non-nil, is called after each completed point with the
+	// number of points completed so far this run, the number scheduled, and
+	// the point's record. Calls are serialized.
+	Progress func(completed, scheduled int, rec Record)
+}
+
+// Run executes every point not in opt.Done across the worker pool and
+// returns the fresh records in point order. Results are deterministic per
+// point (see the package comment); only completion order varies with the
+// schedule. Panics from protocol code propagate; the only error paths are
+// malformed points (unknown strategy/protocol names on points that did not
+// come from Expand) and sink write failures.
+func Run(points []Point, opt Options) ([]Record, error) {
+	pending := make([]int, 0, len(points))
+	for i, pt := range points {
+		if _, done := opt.Done[pt.Key()]; !done {
+			pending = append(pending, i)
+		}
+	}
+	if len(pending) == 0 {
+		return nil, nil
+	}
+
+	var runner *par.Runner
+	if opt.Workers > 0 {
+		runner = par.Fixed(opt.Workers)
+	} else {
+		runner = par.Parallel()
+	}
+	pools := make([]*collabscore.Pool, runner.Workers(len(pending)))
+	for i := range pools {
+		pools[i] = collabscore.NewPool()
+	}
+
+	recs := make([]Record, len(pending))
+	errs := make([]error, len(pending))
+	var mu sync.Mutex
+	var sinkErr error
+	completed := 0
+	runner.ForWorker(len(pending), func(wk, i int) {
+		// A failed sink (disk full, closed file) makes every further
+		// record unrecordable — stop burning CPU on points whose results
+		// would be discarded and let the caller resume after fixing it.
+		mu.Lock()
+		abort := sinkErr != nil
+		mu.Unlock()
+		if abort {
+			return
+		}
+		rec, err := runPoint(pools[wk], points[pending[i]], opt.ComputeOpt)
+		recs[i], errs[i] = rec, err
+		if err != nil {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if opt.Sink != nil && sinkErr == nil {
+			sinkErr = writeRecord(opt.Sink, rec)
+		}
+		completed++
+		if opt.Progress != nil {
+			opt.Progress(completed, len(pending), rec)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return recs, sinkErr
+}
+
+// runPoint executes one grid point on the worker's pool.
+func runPoint(pl *collabscore.Pool, pt Point, computeOpt bool) (Record, error) {
+	sc, err := pt.Scenario()
+	if err != nil {
+		return Record{}, err
+	}
+	sim := sc.Build(pl)
+	optErr := -1
+	if computeOpt && sim.Instance().PlantedDiameter >= 0 {
+		optErr = metrics.MaxInt(baseline.OptErrors(sim.Instance()))
+	}
+	rep := sc.Execute(sim)
+	return Record{
+		Point:         pt,
+		Key:           pt.Key(),
+		MaxError:      rep.MaxError,
+		MeanError:     rep.MeanError,
+		MaxProbes:     rep.MaxProbes,
+		MeanProbes:    rep.MeanProbes,
+		TotalProbes:   rep.TotalProbes,
+		OptError:      optErr,
+		HonestLeaders: rep.HonestLeaders,
+		Repetitions:   rep.Repetitions,
+		CommWrites:    rep.CommWrites,
+		CommReads:     rep.CommReads,
+	}, nil
+}

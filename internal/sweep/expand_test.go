@@ -1,0 +1,227 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestExpandDefaults(t *testing.T) {
+	pts, err := Expand(Spec{Seed: 1, Players: []int{64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("default spec expanded to %d points, want 1", len(pts))
+	}
+	pt := pts[0]
+	if pt.Objects != 64 || pt.Budget != 8 || pt.Plant.Kind != "uniform" ||
+		pt.Dishonest != 0 || pt.Strategy != "" || pt.Protocol != "byzantine" || pt.Trial != 0 {
+		t.Fatalf("unexpected default point: %+v", pt)
+	}
+	if _, err := pt.Scenario(); err != nil {
+		t.Fatalf("default point scenario: %v", err)
+	}
+}
+
+func TestExpandGridShape(t *testing.T) {
+	pts, err := Expand(Spec{
+		Seed:         7,
+		Trials:       2,
+		Players:      []int{64, 128},
+		Budgets:      []int{4, 8},
+		ClusterSizes: []int{16},
+		Diameters:    []int{4, 8},
+		Dishonest:    []int{0, 2},
+		Strategies:   []string{"colluders", "random-liar"},
+		Protocols:    []string{"run", "byzantine"},
+		FixDiameter:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// players(2) × budgets(2) × diameters(2) × [f=0: 1 strategy-slot,
+	// f=2: 2 strategies] × protocols(2) × trials(2).
+	want := 2 * 2 * 2 * (1 + 2) * 2 * 2
+	if len(pts) != want {
+		t.Fatalf("expanded to %d points, want %d", len(pts), want)
+	}
+	keys := make(map[string]struct{}, len(pts))
+	for i, pt := range pts {
+		if pt.Index != i {
+			t.Fatalf("point %d has index %d", i, pt.Index)
+		}
+		k := pt.Key()
+		if _, dup := keys[k]; dup {
+			t.Fatalf("duplicate key %s", k)
+		}
+		keys[k] = struct{}{}
+		if pt.Dishonest == 0 && pt.Strategy != "" {
+			t.Fatalf("honest point %s carries strategy %q", k, pt.Strategy)
+		}
+		if !pt.FixDiameter || pt.Diameter == 0 {
+			t.Fatalf("point %s lost the diameter axis", k)
+		}
+	}
+}
+
+// TestExpandSeedsIgnoreComparisonAxes: points differing only in dishonest
+// count, strategy, or protocol share a seed (paired comparisons over the
+// identical world); points differing in any instance-defining coordinate
+// get independent seeds.
+func TestExpandSeedsIgnoreComparisonAxes(t *testing.T) {
+	pts, err := Expand(Spec{
+		Seed:         3,
+		Players:      []int{64},
+		ClusterSizes: []int{16},
+		Diameters:    []int{4},
+		Dishonest:    []int{0, 4},
+		Strategies:   []string{"colluders", "flip-all"},
+		Protocols:    []string{"run", "byzantine"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := pts[0].Seed
+	for _, pt := range pts {
+		if pt.Seed != seed {
+			t.Fatalf("point %s has seed %d, want shared %d", pt.Key(), pt.Seed, seed)
+		}
+	}
+	pts2, err := Expand(Spec{Seed: 3, Players: []int{64}, ClusterSizes: []int{16}, Diameters: []int{8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts2[0].Seed == seed {
+		t.Fatal("different diameter should derive a different seed")
+	}
+}
+
+// TestExpandSeedsOrderInvariant: reordering axis value lists permutes the
+// points but changes no (key → seed) association.
+func TestExpandSeedsOrderInvariant(t *testing.T) {
+	a, err := Expand(Spec{
+		Seed: 5, Trials: 2,
+		Players: []int{64, 128}, ClusterSizes: []int{8, 16}, Diameters: []int{2, 4},
+		Dishonest: []int{0, 3}, Protocols: []string{"run", "byzantine"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Expand(Spec{
+		Seed: 5, Trials: 2,
+		Players: []int{128, 64}, ClusterSizes: []int{16, 8}, Diameters: []int{4, 2},
+		Dishonest: []int{3, 0}, Protocols: []string{"byzantine", "run"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("reordered axes changed point count: %d vs %d", len(a), len(b))
+	}
+	seeds := make(map[string]uint64, len(a))
+	for _, pt := range a {
+		seeds[pt.Key()] = pt.Seed
+	}
+	for _, pt := range b {
+		want, ok := seeds[pt.Key()]
+		if !ok {
+			t.Fatalf("reordered axes produced new point %s", pt.Key())
+		}
+		if pt.Seed != want {
+			t.Fatalf("point %s seed depends on axis order: %d vs %d", pt.Key(), pt.Seed, want)
+		}
+	}
+}
+
+func TestExpandSkipsInvalidCombos(t *testing.T) {
+	pts, err := Expand(Spec{
+		Seed:         1,
+		Players:      []int{8, 64},
+		ClusterSizes: []int{16},
+		Dishonest:    []int{0, 32},
+		Protocols:    []string{"run"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		if pt.Plant.ClusterSize > pt.Players {
+			t.Fatalf("kept unplantable point %s", pt.Key())
+		}
+		if pt.Dishonest > pt.Players {
+			t.Fatalf("kept over-corrupted point %s", pt.Key())
+		}
+	}
+	// n=8 skips both cluster-size 16 and f=32; n=64 keeps both.
+	if len(pts) != 2 {
+		t.Fatalf("expanded to %d points, want 2", len(pts))
+	}
+}
+
+func TestExpandDeduplicatesResolvedAxes(t *testing.T) {
+	pts, err := Expand(Spec{
+		Seed:    1,
+		Players: []int{64, 64},
+		Objects: []int{0, 64},
+		Budgets: []int{0, 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("resolved-duplicate axes expanded to %d points, want 1", len(pts))
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	bad := []Spec{
+		{Seed: 1},                    // no players
+		{Seed: 1, Players: []int{0}}, // players < 1
+		{Seed: 1, Players: []int{8}, ClusterSizes: []int{0}},                           // cluster size < 1
+		{Seed: 1, Players: []int{8}, Strategies: []string{"nope"}},                     // unknown strategy
+		{Seed: 1, Players: []int{8}, Protocols: []string{"nope"}},                      // unknown protocol
+		{Seed: 1, Players: []int{8}, Dishonest: []int{-1}},                             // negative corruption
+		{Seed: 1, Players: []int{8}, Diameters: []int{-2}},                             // negative diameter
+		{Seed: 1, Players: []int{8}, ZipfClusters: []int{2}, ZipfAlphas: []float64{0}}, // bad alpha
+	}
+	for i, sp := range bad {
+		if _, err := Expand(sp); err == nil {
+			t.Fatalf("spec %d: expected error", i)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, _ := Expand(Spec{Seed: 1, Players: []int{64}, Protocols: []string{"run"}})
+	b, _ := Expand(Spec{Seed: 1, Players: []int{128}, Protocols: []string{"run"}})
+	merged, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 2 || merged[0].Index != 0 || merged[1].Index != 1 {
+		t.Fatalf("bad merge: %+v", merged)
+	}
+	if _, err := Merge(a, a); err == nil {
+		t.Fatal("Merge accepted duplicate grids")
+	}
+}
+
+func TestExpandDeterministic(t *testing.T) {
+	sp := Spec{
+		Seed: 9, Trials: 2,
+		Players: []int{64, 96}, ClusterSizes: []int{8}, ZipfClusters: []int{3},
+		Diameters: []int{2, 4}, Dishonest: []int{0, 2},
+		Protocols: []string{"run", "byzantine"}, FixDiameter: true,
+	}
+	a, err := Expand(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Expand(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Expand is not deterministic")
+	}
+}

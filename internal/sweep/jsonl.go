@@ -1,0 +1,201 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Record is one completed grid point: the point's coordinates plus the
+// deterministic measurements of its report. Records are streamed to the
+// sink as one JSON object per line (JSONL); every field is a pure function
+// of the point's seed and coordinates, so a record is byte-comparable
+// across runs, workers, pooled and unpooled execution, and resumes.
+type Record struct {
+	Point
+	// Key is the point's canonical identity (Point.Key) — the resume key.
+	Key string `json:"key"`
+
+	MaxError   int     `json:"max_error"`
+	MeanError  float64 `json:"mean_error"`
+	MaxProbes  int64   `json:"max_probes"`
+	MeanProbes float64 `json:"mean_probes"`
+	// TotalProbes sums probes over all players, honest and dishonest.
+	TotalProbes int64 `json:"total_probes"`
+	// OptError is the exact planted optimum (max over players of the
+	// distance to their cluster's best representable vector), or -1 when
+	// not computed (Options.ComputeOpt) or no structure was planted.
+	OptError int `json:"opt_error"`
+	// HonestLeaders/Repetitions report the Byzantine wrapper's elections
+	// (both 0 for non-Byzantine protocols).
+	HonestLeaders int `json:"honest_leaders"`
+	Repetitions   int `json:"repetitions"`
+	// CommWrites/CommReads are the bulletin-board traffic totals.
+	CommWrites int64 `json:"comm_writes"`
+	CommReads  int64 `json:"comm_reads"`
+}
+
+// writeRecord appends one JSONL line to w. The line is marshaled first and
+// written with a single Write call, so concurrent writers serialized by the
+// engine's mutex produce whole lines (a crash can truncate only the tail).
+func writeRecord(w io.Writer, rec Record) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadRecords parses a JSONL results file, tolerating a truncated tail (the
+// kill-mid-sweep case): it returns the records of every intact line and the
+// byte offset just past the last intact line. A line is intact when it is
+// newline-terminated and unmarshals to a record with a non-empty key;
+// parsing stops at the first line that is not, and the remainder of the
+// stream is reported in truncated bytes via the offset (callers resume by
+// truncating the file there and appending).
+func ReadRecords(r io.Reader) (recs []Record, intact int64, err error) {
+	br := bufio.NewReader(r)
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return recs, intact, rerr
+		}
+		complete := len(line) > 0 && line[len(line)-1] == '\n'
+		if complete {
+			var rec Record
+			if json.Unmarshal(line, &rec) == nil && rec.Key != "" {
+				recs = append(recs, rec)
+				intact += int64(len(line))
+				if rerr == io.EOF {
+					return recs, intact, nil
+				}
+				continue
+			}
+		}
+		// Truncated or corrupt line: stop here; everything before is good.
+		return recs, intact, nil
+	}
+}
+
+// CompletedKeys returns the set of point keys present in recs.
+func CompletedKeys(recs []Record) map[string]struct{} {
+	out := make(map[string]struct{}, len(recs))
+	for _, rec := range recs {
+		out[rec.Key] = struct{}{}
+	}
+	return out
+}
+
+// RunFile executes the grid with results streamed to the JSONL file at
+// path. With resume set, points already recorded intact in the file are
+// skipped and exactly the missing ones run; without it the file is
+// truncated and the whole grid runs. A previous record only counts as
+// completing a point when it matches what this run would produce: its key
+// AND seed equal the expanded point's (a record from a different root
+// seed, or from a grid the file no longer describes, is another sweep's
+// number), and its opt_error presence matches this run's
+// Options.ComputeOpt (resuming a no-opt file with -opt, or vice versa,
+// must recompute rather than mix). Stale records are dropped by rewriting
+// the file with the valid ones before appending; a torn final line from a
+// mid-write kill is discarded the same way. RunFile returns one record
+// per grid point in point order — previously recorded points contribute
+// their stored records, so the result is record-equal to an uninterrupted
+// sweep with the same options.
+func RunFile(points []Point, path string, resume bool, opt Options) ([]Record, error) {
+	type want struct {
+		seed    uint64
+		withOpt bool
+	}
+	wants := make(map[string]want, len(points))
+	for _, pt := range points {
+		wants[pt.Key()] = want{
+			seed: pt.Seed,
+			// Uniform plantings have no optimum to compute (OptError -1
+			// either way); planted points carry one iff ComputeOpt is on.
+			withOpt: opt.ComputeOpt && pt.Plant.Kind != "uniform",
+		}
+	}
+
+	var valid []Record
+	rewrite := !resume
+	if resume {
+		f, err := os.Open(path)
+		switch {
+		case err == nil:
+			prev, intact, rerr := ReadRecords(f)
+			size, _ := f.Seek(0, 2)
+			f.Close()
+			if rerr != nil {
+				return nil, fmt.Errorf("sweep: reading %s: %w", path, rerr)
+			}
+			for _, rec := range prev {
+				w, ok := wants[rec.Key]
+				if ok && w.seed == rec.Seed && w.withOpt == (rec.OptError >= 0) {
+					valid = append(valid, rec)
+				}
+			}
+			switch {
+			case len(valid) != len(prev):
+				rewrite = true // stale records: rebuild the file from the valid ones
+			case intact < size:
+				if err := os.Truncate(path, intact); err != nil {
+					return nil, fmt.Errorf("sweep: truncating %s to last intact record: %w", path, err)
+				}
+			}
+		case os.IsNotExist(err):
+			// Nothing to resume from; run the full grid.
+		default:
+			return nil, err
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY
+	if rewrite {
+		flags |= os.O_TRUNC
+	} else {
+		flags |= os.O_APPEND
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if rewrite {
+		for _, rec := range valid {
+			if err := writeRecord(f, rec); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	opt.Sink = f
+	opt.Done = CompletedKeys(valid)
+	fresh, err := Run(points, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+
+	byKey := make(map[string]Record, len(valid)+len(fresh))
+	for _, rec := range valid {
+		byKey[rec.Key] = rec
+	}
+	for _, rec := range fresh {
+		byKey[rec.Key] = rec
+	}
+	out := make([]Record, 0, len(points))
+	for _, pt := range points {
+		rec, ok := byKey[pt.Key()]
+		if !ok {
+			return nil, fmt.Errorf("sweep: point %s has no record after run", pt.Key())
+		}
+		rec.Index = pt.Index
+		out = append(out, rec)
+	}
+	return out, nil
+}

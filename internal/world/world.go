@@ -267,6 +267,36 @@ func New(truth []bitvec.Vector) *World {
 	return w
 }
 
+// Renew re-initializes a world for a new truth matrix, reusing w's
+// allocations (role slices, probe counters, probe memos) when the shape
+// matches; a nil w or a shape change falls back to New. All players start
+// honest and all counters start at zero, exactly as New leaves them, so
+//
+//	w = world.Renew(w, truth)
+//
+// is observationally identical to world.New(truth) — it is the pooled
+// constructor the sweep engine's per-worker arenas use to avoid rebuilding
+// O(n·m/64) memo storage on every grid point. The previous truth matrix and
+// any outstanding Runs over the old world must no longer be in use.
+func Renew(w *World, truth []bitvec.Vector) *World {
+	if w == nil || len(truth) != w.n || len(truth) == 0 || truth[0].Len() != w.m {
+		return New(truth)
+	}
+	m := w.m
+	for p, v := range truth {
+		if v.Len() != m {
+			panic(fmt.Sprintf("world: truth row %d has length %d, want %d", p, v.Len(), m))
+		}
+	}
+	w.truth = truth
+	for p := range w.honest {
+		w.honest[p] = true
+		w.behaviors[p] = Honest{}
+	}
+	w.ResetProbes()
+	return w
+}
+
 // N returns the number of players.
 func (w *World) N() int { return w.n }
 

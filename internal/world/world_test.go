@@ -413,3 +413,70 @@ func TestReportWordHonestAndDishonest(t *testing.T) {
 type flipBehavior struct{}
 
 func (flipBehavior) Report(rc *Run, p, o int) bool { return !rc.PeekTruth(p, o) }
+
+// rows builds an n×m truth matrix whose bits derive from seed.
+func rows(n, m int, seed uint64) []bitvec.Vector {
+	out := make([]bitvec.Vector, n)
+	for p := range out {
+		v := bitvec.New(m)
+		for o := 0; o < m; o++ {
+			if (uint64(p)*31+uint64(o)*7+seed)%3 == 0 {
+				v.Set(o, true)
+			}
+		}
+		out[p] = v
+	}
+	return out
+}
+
+// TestRenewMatchesNew: a renewed world is observationally identical to a
+// fresh one — roles, counters, memos all reset — while reusing storage at
+// a stable shape, and falling back to allocation on shape changes.
+func TestRenewMatchesNew(t *testing.T) {
+	truthA := rows(8, 16, 3)
+	truthB := rows(8, 16, 4)
+
+	w := New(truthA)
+	w.SetBehavior(2, ZeroSpam{})
+	w.Probe(1, 5)
+	w.Probe(1, 5)
+	if w.Probes(1) != 1 {
+		t.Fatalf("probes = %d", w.Probes(1))
+	}
+
+	renewed := Renew(w, truthB)
+	if renewed != w {
+		t.Fatal("same-shape Renew should reuse the World")
+	}
+	for p := 0; p < renewed.N(); p++ {
+		if !renewed.IsHonest(p) {
+			t.Fatalf("player %d still dishonest after Renew", p)
+		}
+		if renewed.Probes(p) != 0 {
+			t.Fatalf("player %d keeps %d probes after Renew", p, renewed.Probes(p))
+		}
+	}
+	// The memo was cleared: re-probing charges again.
+	renewed.Probe(1, 5)
+	if renewed.Probes(1) != 1 {
+		t.Fatalf("memo survived Renew: probes = %d", renewed.Probes(1))
+	}
+	if renewed.PeekTruth(0, 0) != truthB[0].Get(0) {
+		t.Fatal("Renew did not install the new truth")
+	}
+
+	// Shape change falls back to New.
+	grown := Renew(renewed, rows(10, 16, 5))
+	if grown == renewed {
+		t.Fatal("shape-changing Renew must allocate a fresh World")
+	}
+	if Renew(nil, truthA) == nil {
+		t.Fatal("nil Renew must allocate")
+	}
+}
+
+// ZeroSpam-equivalent test behavior for Renew (world_test is package world;
+// keep the dependency local).
+type ZeroSpam struct{}
+
+func (ZeroSpam) Report(_ *Run, _, _ int) bool { return false }

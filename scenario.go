@@ -1,0 +1,204 @@
+package collabscore
+
+// This file exposes the scenario point-runner: a declarative description of
+// one fully specified simulation (population, planted structure, corruption,
+// protocol variant) plus a Pool that runs successive scenarios on reused
+// allocations. The internal sweep engine (internal/sweep) expands scenario
+// grids and drives one Pool per worker; see DESIGN.md §11.
+
+import (
+	"fmt"
+
+	"collabscore/internal/core"
+	"collabscore/internal/prefgen"
+	"collabscore/internal/world"
+	"collabscore/internal/xrand"
+)
+
+// Protocol names the runner a Scenario executes. The zero value is ProtoRun.
+type Protocol int
+
+// Available protocol variants; each corresponds to a Simulation Run method.
+const (
+	// ProtoRun executes CalculatePreferences with trusted shared
+	// randomness (Simulation.Run).
+	ProtoRun Protocol = iota
+	// ProtoByzantine executes the full §7 protocol (Simulation.RunByzantine).
+	ProtoByzantine
+	// ProtoBaseline executes the Alon et al. prior-art baseline
+	// (Simulation.RunBaseline).
+	ProtoBaseline
+	// ProtoProbeAll executes the probe-everything baseline
+	// (Simulation.RunProbeAll).
+	ProtoProbeAll
+	// ProtoRandomGuess executes the zero-probe baseline
+	// (Simulation.RunRandomGuess).
+	ProtoRandomGuess
+)
+
+// String returns the protocol name used by grid specs and JSONL records.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoRun:
+		return "run"
+	case ProtoByzantine:
+		return "byzantine"
+	case ProtoBaseline:
+		return "baseline"
+	case ProtoProbeAll:
+		return "probe-all"
+	case ProtoRandomGuess:
+		return "random-guess"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
+
+// ParseProtocol is the inverse of Protocol.String.
+func ParseProtocol(s string) (Protocol, error) {
+	for _, p := range []Protocol{ProtoRun, ProtoByzantine, ProtoBaseline, ProtoProbeAll, ProtoRandomGuess} {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("collabscore: unknown protocol %q", s)
+}
+
+// ParseStrategy is the inverse of Strategy.String.
+func ParseStrategy(s string) (Strategy, error) {
+	for _, st := range []Strategy{RandomLiar, FlipAll, Colluders, ClusterHijackers, StrangeObjectAttackers, ZeroSpammers} {
+		if st.String() == s {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("collabscore: unknown strategy %q", s)
+}
+
+// Scenario fully describes one grid point: a Config plus planted structure,
+// corruption, and the protocol variant to run. Running a Scenario is
+// exactly equivalent to the fluent construction —
+//
+//	sim := NewSimulation(sc.Config)
+//	sim.PlantClusters(sc.ClusterSize, sc.Diameter) // when ClusterSize > 0
+//	sim.Corrupt(sc.Dishonest, sc.Strategy)         // when Dishonest > 0
+//	rep := sim.RunByzantine()                      // per sc.Protocol
+//
+// — same seed, same report, byte for byte. The declarative form exists so
+// scenario grids can be expanded, scheduled, serialized, and resumed by the
+// sweep engine, and so a Pool can run points on reused allocations.
+type Scenario struct {
+	Config
+
+	// ClusterSize/Diameter plant diameter-bounded clusters (PlantClusters)
+	// when ClusterSize > 0.
+	ClusterSize int
+	Diameter    int
+
+	// ZipfClusters/ZipfAlpha plant Zipf-sized clusters of diameter Diameter
+	// (PlantZipf) when ZipfClusters > 0 and ClusterSize == 0.
+	ZipfClusters int
+	ZipfAlpha    float64
+
+	// Dishonest players follow Strategy; 0 leaves everyone honest.
+	Dishonest int
+	Strategy  Strategy
+
+	// Protocol selects the runner; the zero value is ProtoRun.
+	Protocol Protocol
+}
+
+// simulation builds the scenario's Simulation, on pooled state when pl is
+// non-nil. The RNG splits are identical to the fluent construction: Split
+// is a pure read of the root stream, so skipping the uniform instance that
+// NewSimulation would generate before planting changes no coins.
+func (sc Scenario) simulation(pl *Pool) *Simulation {
+	cfg := sc.Config
+	if cfg.Players < 1 {
+		panic("collabscore: Players must be ≥ 1")
+	}
+	if cfg.Objects == 0 {
+		cfg.Objects = cfg.Players
+	}
+	if cfg.Budget == 0 {
+		cfg.Budget = 8
+	}
+	s := &Simulation{cfg: cfg, rng: xrand.New(cfg.Seed), pool: pl}
+	switch {
+	case sc.ClusterSize > 0:
+		s.instance = s.pg().DiameterClusters(s.rng.Split(2), cfg.Players, cfg.Objects, sc.ClusterSize, sc.Diameter)
+	case sc.ZipfClusters > 0:
+		s.instance = s.pg().ZipfClusters(s.rng.Split(3), cfg.Players, cfg.Objects, sc.ZipfClusters, sc.ZipfAlpha, sc.Diameter)
+	default:
+		s.instance = s.pg().Uniform(s.rng.Split(1), cfg.Players, cfg.Objects)
+	}
+	s.rebuild()
+	if sc.Dishonest > 0 {
+		s.Corrupt(sc.Dishonest, sc.Strategy)
+	}
+	return s
+}
+
+// execute runs the scenario's protocol on the prepared simulation.
+func (sc Scenario) execute(s *Simulation) *Report {
+	switch sc.Protocol {
+	case ProtoRun:
+		return s.Run()
+	case ProtoByzantine:
+		return s.RunByzantine()
+	case ProtoBaseline:
+		return s.RunBaseline()
+	case ProtoProbeAll:
+		return s.RunProbeAll()
+	case ProtoRandomGuess:
+		return s.RunRandomGuess()
+	default:
+		panic(fmt.Sprintf("collabscore: unknown protocol %v", sc.Protocol))
+	}
+}
+
+// Run executes the scenario from scratch and returns its report. It is the
+// reference path: Pool.Run produces the identical report on reused
+// allocations.
+func (sc Scenario) Run() *Report { return sc.execute(sc.simulation(nil)) }
+
+// Build constructs the scenario's configured Simulation — planted and
+// corrupted, protocol not yet run — fresh when pl is nil, pooled otherwise.
+// Most callers want Run or Pool.Run; the sweep engine uses Build/Execute to
+// measure the planted instance before running the protocol.
+func (sc Scenario) Build(pl *Pool) *Simulation { return sc.simulation(pl) }
+
+// Execute runs the scenario's protocol variant on a Simulation built by
+// Build.
+func (sc Scenario) Execute(s *Simulation) *Report { return sc.execute(s) }
+
+// Pool runs successive scenarios on reused allocations: the truth matrix
+// buffers (prefgen.Buffer), the world's probe memos and counters
+// (world.Renew), and the workshare bulletin boards (core.Mem) are recycled
+// across points instead of rebuilt each time, which is what makes
+// thousand-point scenario grids cheap. Reports are byte-identical to
+// Scenario.Run for the same scenario — pooling changes where memory comes
+// from, never what is computed (TestPoolMatchesFresh pins this).
+//
+// A Pool is NOT safe for concurrent use; the sweep engine gives each worker
+// its own. Each Run invalidates the previous Run's Simulation, World, and
+// Instance on the same Pool (their storage is reused); the returned Reports
+// stay valid.
+type Pool struct {
+	pg  prefgen.Buffer
+	w   *world.World
+	mem *core.Mem
+}
+
+// NewPool returns an empty pool; allocations are adopted from the points it
+// runs.
+func NewPool() *Pool { return &Pool{mem: core.NewMem()} }
+
+// Run executes the scenario on the pool's reused allocations.
+func (pl *Pool) Run(sc Scenario) *Report { return sc.execute(sc.simulation(pl)) }
+
+// NewSimulation creates a pooled simulation: like the package-level
+// NewSimulation (identical output for identical calls), but drawing its
+// allocations from the pool. The previous pooled simulation is invalidated.
+func (pl *Pool) NewSimulation(cfg Config) *Simulation {
+	return Scenario{Config: cfg}.simulation(pl)
+}

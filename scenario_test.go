@@ -1,0 +1,123 @@
+package collabscore
+
+import (
+	"reflect"
+	"testing"
+)
+
+// scenarioMatrix is a shape-diverse scenario list: different n, m, budgets,
+// plantings, corruption levels, strategies and protocol variants, so pooled
+// reuse is exercised across shape changes in both directions.
+func scenarioMatrix() []Scenario {
+	return []Scenario{
+		{Config: Config{Players: 128, Seed: 1, FixedDiameter: 8}, ClusterSize: 16, Diameter: 8, Protocol: ProtoRun},
+		{Config: Config{Players: 128, Seed: 2, FixedDiameter: 8}, ClusterSize: 16, Diameter: 8, Dishonest: 5, Strategy: Colluders, Protocol: ProtoByzantine},
+		{Config: Config{Players: 64, Objects: 128, Seed: 3}, Protocol: ProtoProbeAll},
+		{Config: Config{Players: 96, Seed: 4, FixedDiameter: 4}, ZipfClusters: 4, ZipfAlpha: 1.2, Diameter: 4, Protocol: ProtoRun},
+		{Config: Config{Players: 128, Seed: 5, FixedDiameter: 8}, ClusterSize: 16, Diameter: 8, Dishonest: 5, Strategy: ClusterHijackers, Protocol: ProtoByzantine},
+		{Config: Config{Players: 128, Seed: 1, FixedDiameter: 8}, ClusterSize: 16, Diameter: 8, Protocol: ProtoBaseline},
+		{Config: Config{Players: 64, Seed: 6}, Protocol: ProtoRandomGuess},
+		// Same shape twice in a row: the full-reuse path.
+		{Config: Config{Players: 128, Seed: 7, FixedDiameter: 8}, ClusterSize: 32, Diameter: 8, Dishonest: 4, Strategy: StrangeObjectAttackers, Protocol: ProtoByzantine},
+		{Config: Config{Players: 128, Seed: 8, FixedDiameter: 8}, ClusterSize: 32, Diameter: 8, Dishonest: 4, Strategy: RandomLiar, Protocol: ProtoByzantine},
+	}
+}
+
+// TestScenarioMatchesFluent pins the declarative path to the fluent one:
+// running a Scenario is byte-identical to building the same simulation by
+// hand with NewSimulation / PlantClusters / Corrupt / Run*.
+func TestScenarioMatchesFluent(t *testing.T) {
+	sc := Scenario{
+		Config:      Config{Players: 128, Seed: 42, FixedDiameter: 8},
+		ClusterSize: 16, Diameter: 8,
+		Dishonest: 5, Strategy: Colluders,
+		Protocol: ProtoByzantine,
+	}
+	got := sc.Run()
+
+	sim := NewSimulation(sc.Config)
+	sim.PlantClusters(16, 8)
+	sim.Corrupt(5, Colluders)
+	want := sim.RunByzantine()
+
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("scenario report differs from fluent construction:\n got %+v\nwant %+v", got, want)
+	}
+
+	// And the honest-randomness variant.
+	sc.Dishonest, sc.Protocol = 0, ProtoRun
+	got = sc.Run()
+	sim = NewSimulation(sc.Config)
+	sim.PlantClusters(16, 8)
+	want = sim.Run()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("honest scenario report differs from fluent construction")
+	}
+}
+
+// TestPoolMatchesFresh pins the pooled point-runner's contract: a Pool
+// running a shape-diverse scenario sequence produces reports byte-identical
+// to running every scenario from scratch — pooling reuses storage, it never
+// changes results.
+func TestPoolMatchesFresh(t *testing.T) {
+	pool := NewPool()
+	for i, sc := range scenarioMatrix() {
+		want := sc.Run()
+		got := pool.Run(sc)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("scenario %d (%v on n=%d): pooled report differs from fresh\n got %+v\nwant %+v",
+				i, sc.Protocol, sc.Players, got, want)
+		}
+	}
+	// A second pass over the same pool: reuse after every shape has been
+	// seen once must still be exact.
+	for i, sc := range scenarioMatrix() {
+		want := sc.Run()
+		got := pool.Run(sc)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("scenario %d second pass: pooled report differs from fresh", i)
+		}
+	}
+}
+
+// TestPoolNewSimulationMatches pins Pool.NewSimulation to the package-level
+// constructor through the fluent API.
+func TestPoolNewSimulationMatches(t *testing.T) {
+	pool := NewPool()
+	cfg := Config{Players: 96, Seed: 9, FixedDiameter: 8}
+
+	sim := pool.NewSimulation(cfg)
+	sim.PlantClusters(12, 8)
+	got := sim.Run()
+
+	ref := NewSimulation(cfg)
+	ref.PlantClusters(12, 8)
+	want := ref.Run()
+
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("pooled NewSimulation report differs from fresh")
+	}
+}
+
+// TestParseRoundTrips pins the string forms grid specs and JSONL records
+// use.
+func TestParseRoundTrips(t *testing.T) {
+	for _, p := range []Protocol{ProtoRun, ProtoByzantine, ProtoBaseline, ProtoProbeAll, ProtoRandomGuess} {
+		got, err := ParseProtocol(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParseProtocol(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParseProtocol("nope"); err == nil {
+		t.Fatal("ParseProtocol accepted an unknown name")
+	}
+	for _, s := range []Strategy{RandomLiar, FlipAll, Colluders, ClusterHijackers, StrangeObjectAttackers, ZeroSpammers} {
+		got, err := ParseStrategy(s.String())
+		if err != nil || got != s {
+			t.Fatalf("ParseStrategy(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseStrategy("nope"); err == nil {
+		t.Fatal("ParseStrategy accepted an unknown name")
+	}
+}

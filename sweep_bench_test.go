@@ -1,0 +1,95 @@
+package collabscore_test
+
+// Sweep-engine throughput benchmarks: how fast a scenario grid runs, and
+// what the pooled point-runner saves over per-point fresh allocation. The
+// grid is fixed (32 points at n = 128, mixed honest/corrupt, run +
+// byzantine), so ns/op is the wall-clock of the whole grid:
+//
+//   - fresh-serial     — every point standalone (Scenario.Run), one at a
+//     time: the baseline the engine must beat.
+//   - pooled-serial    — the engine with one worker: isolates the
+//     allocation-reuse win (truth buffers, probe memos, boards).
+//   - pooled-parallel  — the engine at GOMAXPROCS workers: adds the
+//     scheduling win on multi-core hosts.
+//
+// All three produce byte-identical record sets (pinned by
+// sweep.TestEngineMatchesStandalone and TestPoolMatchesFresh); only the
+// time and allocation columns may differ. cmd/bench records the matrix as
+// BENCH_PR4.json.
+
+import (
+	"testing"
+
+	"collabscore/internal/sweep"
+)
+
+// benchGrid is the benchmark's fixed 32-point grid.
+func benchGrid(b *testing.B) []sweep.Point {
+	b.Helper()
+	pts, err := sweep.Expand(sweep.Spec{
+		Seed:         2010,
+		Trials:       8,
+		Players:      []int{128},
+		ClusterSizes: []int{16},
+		Diameters:    []int{16},
+		FixDiameter:  true,
+		Dishonest:    []int{0, 5},
+		Strategies:   []string{"colluders"},
+		Protocols:    []string{"run", "byzantine"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(pts) != 32 {
+		b.Fatalf("benchmark grid has %d points, want 32", len(pts))
+	}
+	return pts
+}
+
+func BenchmarkSweep(b *testing.B) {
+	pts := benchGrid(b)
+	points := float64(len(pts))
+
+	b.Run("fresh-serial", func(b *testing.B) {
+		var maxErr int
+		for i := 0; i < b.N; i++ {
+			for _, pt := range pts {
+				sc, err := pt.Scenario()
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep := sc.Run()
+				if rep.MaxError > maxErr {
+					maxErr = rep.MaxError
+				}
+			}
+		}
+		b.ReportMetric(points*float64(b.N)/b.Elapsed().Seconds(), "points/sec")
+		b.ReportMetric(float64(maxErr), "max_err")
+	})
+
+	for _, eng := range []struct {
+		name    string
+		workers int
+	}{
+		{"pooled-serial", 1},
+		{"pooled-parallel", 0},
+	} {
+		b.Run(eng.name, func(b *testing.B) {
+			var maxErr int
+			for i := 0; i < b.N; i++ {
+				recs, err := sweep.Run(pts, sweep.Options{Workers: eng.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, rec := range recs {
+					if rec.MaxError > maxErr {
+						maxErr = rec.MaxError
+					}
+				}
+			}
+			b.ReportMetric(points*float64(b.N)/b.Elapsed().Seconds(), "points/sec")
+			b.ReportMetric(float64(maxErr), "max_err")
+		})
+	}
+}
