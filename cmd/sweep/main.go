@@ -12,6 +12,14 @@
 //	      -protocols byzantine -trials 3 -seed 2010 \
 //	      -workers 4 -out sweep.jsonl
 //
+//	sweep -n 512 -cluster 64 -d 32 -fixd -protocols ratings \
+//	      -scales 2,5,10 -f 0,21 -strategies exaggerators \
+//	      -out ratings.jsonl                            # §8 rating-scale grid
+//
+//	sweep -n 512 -cluster 64 -d 32 -fixd -protocols budgets \
+//	      -captiers 16:256:0.25,16:256:0.5,default \
+//	      -out budgets.jsonl                            # §8 capacity-tier grid
+//
 //	sweep -grid grid.json -out sweep.jsonl -resume   # continue after a kill
 //
 // Each completed point appends one JSON line to -out; rerunning with
@@ -43,7 +51,9 @@ func main() {
 		ds      = flag.String("d", "", "planted diameter axis, comma-separated")
 		fs      = flag.String("f", "", "dishonest-count axis, comma-separated")
 		strats  = flag.String("strategies", "", "dishonest strategy names, comma-separated")
-		protos  = flag.String("protocols", "", "protocol variants (run, byzantine, baseline, probe-all, random-guess), comma-separated")
+		protos  = flag.String("protocols", "", "protocol variants (run, byzantine, baseline, probe-all, random-guess, ratings, budgets), comma-separated")
+		scales  = flag.String("scales", "", "rating-scale axis for the ratings protocol (0 = 5), comma-separated")
+		tiers   = flag.String("captiers", "", "capacity-tier axis for the budgets protocol, small:big:frac entries comma-separated")
 		trials  = flag.Int("trials", 1, "independent trials per coordinate")
 		seed    = flag.Uint64("seed", 2010, "root seed")
 		fixd    = flag.Bool("fixd", false, "fix the doubling loop to each point's planted diameter")
@@ -82,6 +92,8 @@ func main() {
 			Dishonest:      intList(*fs),
 			Strategies:     strList(*strats),
 			Protocols:      strList(*protos),
+			Scales:         intList(*scales),
+			CapacityTiers:  tierList(*tiers),
 			FixDiameter:    *fixd,
 			PaperConstants: *paper,
 		}
@@ -150,6 +162,18 @@ func floatList(s string) []float64 {
 			fatal("bad float %q", tok)
 		}
 		out = append(out, v)
+	}
+	return out
+}
+
+func tierList(s string) []sweep.CapTier {
+	var out []sweep.CapTier
+	for _, tok := range strList(s) {
+		ct, err := sweep.ParseCapTier(tok)
+		if err != nil {
+			fatal("%v", err)
+		}
+		out = append(out, ct)
 	}
 	return out
 }

@@ -81,6 +81,13 @@ const (
 	StrangeObjectAttackers
 	// ZeroSpammers always report 0.
 	ZeroSpammers
+	// Exaggerators push every rating to the nearest extreme of the scale —
+	// the §8 rating-scale attack median aggregation absorbs. Rating
+	// protocols only.
+	Exaggerators
+	// HarshShifters report truth shifted down by half the scale (clamped),
+	// a systematically harsh dishonest reviewer. Rating protocols only.
+	HarshShifters
 )
 
 // String returns the strategy name.
@@ -98,9 +105,36 @@ func (s Strategy) String() string {
 		return "strange-object"
 	case ZeroSpammers:
 		return "zero-spam"
+	case Exaggerators:
+		return "exaggerators"
+	case HarshShifters:
+		return "harsh-shifters"
 	default:
 		return fmt.Sprintf("strategy(%d)", int(s))
 	}
+}
+
+// RatingCapable reports whether the strategy has a rating-scale behavior
+// (§8): such strategies can corrupt RatingSimulation players and appear on
+// rating-protocol sweep points. RandomLiar, FlipAll and ZeroSpammers carry
+// their natural rating analogues (consistent random ratings, scale − truth,
+// always 0); Exaggerators and HarshShifters are rating-native.
+func (s Strategy) RatingCapable() bool {
+	switch s {
+	case RandomLiar, FlipAll, ZeroSpammers, Exaggerators, HarshShifters:
+		return true
+	}
+	return false
+}
+
+// BinaryCapable reports whether the strategy has a binary-world behavior
+// (usable with Simulation.Corrupt and the binary protocols).
+func (s Strategy) BinaryCapable() bool {
+	switch s {
+	case Exaggerators, HarshShifters:
+		return false
+	}
+	return true
 }
 
 // Simulation is a configured world ready to run the protocol. Create one
@@ -194,6 +228,9 @@ func (s *Simulation) Corrupt(k int, strat Strategy) *Simulation {
 	case ZeroSpammers:
 		mk = func(p int) world.Behavior { return adversary.ZeroSpam{} }
 	default:
+		if !strat.BinaryCapable() {
+			panic(fmt.Sprintf("collabscore: strategy %v is rating-scale only (use RatingSimulation.Corrupt)", strat))
+		}
 		panic(fmt.Sprintf("collabscore: unknown strategy %v", strat))
 	}
 	adversary.Corrupt(s.w, k, perm, mk)

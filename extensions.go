@@ -2,11 +2,17 @@ package collabscore
 
 // This file exposes the §8 extensions — non-binary rating scales and
 // heterogeneous probe budgets — through the public API, wrapping the
-// internal/multival and internal/budgets implementations.
+// internal/multival and internal/budgets implementations. Since PR 5 both
+// run on the same vectorized engine as the binary protocol (bit-plane
+// ratings, CAS probe memos, par.Runner schedules, pooled construction; see
+// DESIGN.md §12), and both are sweepable: Scenario/Pool run them through
+// ProtoRatings and ProtoBudgets, so grids can quantify over rating scales
+// and capacity tiers like any other axis.
 
 import (
 	"fmt"
 
+	"collabscore/internal/bitvec"
 	"collabscore/internal/budgets"
 	"collabscore/internal/metrics"
 	"collabscore/internal/multival"
@@ -18,7 +24,8 @@ import (
 // Clusters form once their total capacity covers the shared probing work,
 // and probing assignments are drawn proportionally to capacity, so each
 // player's expected load tracks what it volunteered. The capacity slice
-// must have one entry per player.
+// must have one entry per player. The run inherits the simulation's phase
+// schedule (Params().PhaseSerial/PhaseWorkers).
 func (s *Simulation) RunWithCapacities(capacities []int) *Report {
 	if len(capacities) != s.cfg.Players {
 		panic(fmt.Sprintf("collabscore: %d capacities for %d players", len(capacities), s.cfg.Players))
@@ -26,6 +33,8 @@ func (s *Simulation) RunWithCapacities(capacities []int) *Report {
 	s.w.ResetProbes()
 	pr := budgets.Scaled(s.cfg.Players, capacities)
 	pr.MinD, pr.MaxD = s.params.MinD, s.params.MaxD
+	pr.PhaseSerial = s.params.PhaseSerial
+	pr.PhaseWorkers = s.params.PhaseWorkers
 	res := budgets.Run(s.w, s.rng.Split(14), pr)
 	es := metrics.Error(s.w, res.Output)
 	ps := metrics.Probes(s.w)
@@ -34,6 +43,7 @@ func (s *Simulation) RunWithCapacities(capacities []int) *Report {
 		MeanError:   es.Mean,
 		MaxProbes:   ps.Max,
 		MeanProbes:  ps.Mean,
+		TotalProbes: ps.Total,
 		OptDiameter: s.instance.PlantedDiameter,
 		Outputs:     res.Output,
 	}
@@ -51,7 +61,8 @@ type RatingConfig struct {
 	// Players and Objects mirror Config; Objects 0 defaults to Players.
 	Players int
 	Objects int
-	// Scale is the maximum rating (ratings live in 0..Scale).
+	// Scale is the maximum rating (ratings live in 0..Scale); 0 defaults
+	// to 5.
 	Scale int
 	// Budget is the parameter B (clusters of ~Players/Budget users).
 	Budget int
@@ -63,7 +74,10 @@ type RatingConfig struct {
 
 // RatingSimulation is the non-binary counterpart of Simulation: users rate
 // objects on an integer scale, similarity is L1, and cluster aggregation
-// uses medians (robust to extremist manipulation).
+// uses medians (robust to extremist manipulation). It runs on the same
+// vectorized engine as the binary protocol: ratings are bit-sliced into
+// ⌈log₂(Scale+1)⌉ bit-planes and the probe memo charges through the same
+// lock-free CAS path (DESIGN.md §12).
 type RatingSimulation struct {
 	cfg RatingConfig
 	rng *xrand.Stream
@@ -71,22 +85,16 @@ type RatingSimulation struct {
 	pr  multival.Params
 }
 
-// RaterStrategy names a dishonest rating behavior.
-type RaterStrategy int
-
-// Available dishonest rating strategies.
-const (
-	// RandomRater reports consistent random ratings.
-	RandomRater RaterStrategy = iota
-	// Exaggerators push every rating to the nearest extreme of the scale.
-	Exaggerators
-	// HarshShifters report truth shifted down by half the scale (clamped).
-	HarshShifters
-)
-
 // NewRatingSimulation creates a rating-scale simulation with planted taste
 // clusters of the given size and L1 diameter.
 func NewRatingSimulation(cfg RatingConfig, clusterSize, diameter int) *RatingSimulation {
+	return newRatingSimulation(cfg, clusterSize, diameter, nil)
+}
+
+// newRatingSimulation is the pool-aware constructor: pl non-nil draws the
+// truth planes and world from the pool's rating arena. The coins drawn are
+// identical either way, so pooled construction is bit-identical to fresh.
+func newRatingSimulation(cfg RatingConfig, clusterSize, diameter int, pl *Pool) *RatingSimulation {
 	if cfg.Players < 1 {
 		panic("collabscore: Players must be ≥ 1")
 	}
@@ -100,34 +108,50 @@ func NewRatingSimulation(cfg RatingConfig, clusterSize, diameter int) *RatingSim
 		cfg.Scale = 5
 	}
 	rng := xrand.New(cfg.Seed)
-	truth, _ := multival.Generate(rng.Split(1), cfg.Players, cfg.Objects, clusterSize, diameter, cfg.Scale)
+	var buf *multival.Buffer
+	if pl != nil {
+		buf = &pl.rpg
+	}
+	truth, _ := buf.Generate(rng.Split(1), cfg.Players, cfg.Objects, clusterSize, diameter, cfg.Scale)
 	pr := multival.Scaled(cfg.Players, cfg.Budget)
 	if cfg.FixedDiameter > 0 {
 		pr.MinD, pr.MaxD = cfg.FixedDiameter, cfg.FixedDiameter
 	}
-	return &RatingSimulation{
-		cfg: cfg,
-		rng: rng,
-		w:   multival.NewWorld(truth, cfg.Scale),
-		pr:  pr,
+	var w *multival.World
+	if pl != nil {
+		w = multival.Renew(pl.rw, truth, cfg.Scale)
+		pl.rw = w
+	} else {
+		w = multival.NewWorld(truth, cfg.Scale)
 	}
+	return &RatingSimulation{cfg: cfg, rng: rng, w: w, pr: pr}
 }
 
-// Corrupt makes k randomly chosen raters dishonest with the given strategy.
-func (rs *RatingSimulation) Corrupt(k int, strat RaterStrategy) *RatingSimulation {
+// Corrupt makes k randomly chosen raters dishonest with the given
+// strategy's rating-scale behavior. Only rating-capable strategies apply
+// (Strategy.RatingCapable): RandomLiar reports consistent random ratings,
+// FlipAll mirrors the scale (scale − truth), ZeroSpammers always rate 0,
+// Exaggerators rate at the extremes, HarshShifters shift truth down by
+// half the scale.
+func (rs *RatingSimulation) Corrupt(k int, strat Strategy) *RatingSimulation {
+	var b multival.Behavior
+	switch strat {
+	case RandomLiar:
+		b = multival.RandomRater{Seed: rs.cfg.Seed ^ 0xAA}
+	case FlipAll:
+		b = multival.Inverter{}
+	case ZeroSpammers:
+		b = multival.Shifter{Delta: -rs.cfg.Scale}
+	case Exaggerators:
+		b = multival.Exaggerator{}
+	case HarshShifters:
+		b = multival.Shifter{Delta: -(rs.cfg.Scale + 1) / 2}
+	default:
+		panic(fmt.Sprintf("collabscore: strategy %v has no rating-scale behavior", strat))
+	}
 	perm := rs.rng.Split(2).Perm(rs.cfg.Players)
 	for i := 0; i < k && i < len(perm); i++ {
-		p := perm[i]
-		switch strat {
-		case RandomRater:
-			rs.w.SetBehavior(p, multival.RandomRater{Seed: rs.cfg.Seed ^ 0xAA})
-		case Exaggerators:
-			rs.w.SetBehavior(p, multival.Exaggerator{})
-		case HarshShifters:
-			rs.w.SetBehavior(p, multival.Shifter{Delta: -(rs.cfg.Scale + 1) / 2})
-		default:
-			panic(fmt.Sprintf("collabscore: unknown rater strategy %d", int(strat)))
-		}
+		rs.w.SetBehavior(perm[i], b)
 	}
 	return rs
 }
@@ -137,16 +161,30 @@ func (rs *RatingSimulation) Tolerance() int {
 	return rs.cfg.Players / (3 * rs.cfg.Budget)
 }
 
+// Params exposes the resolved rating-protocol parameters (mutable before
+// Run), including the phase-schedule flags shared with core.Params.
+func (rs *RatingSimulation) Params() *multival.Params { return &rs.pr }
+
+// World exposes the underlying rating world for advanced use.
+func (rs *RatingSimulation) World() *multival.World { return rs.w }
+
 // RatingReport summarizes a rating-scale run.
 type RatingReport struct {
 	// MaxL1Error / MeanL1Error measure |w(p) − v(p)|₁ over honest raters.
 	MaxL1Error  int
 	MeanL1Error float64
-	// MaxProbes is the worst per-rater probe count.
-	MaxProbes int
+	// MaxProbes is the worst per-rater probe count; MeanProbes the honest
+	// average and TotalProbes the system-wide total.
+	MaxProbes   int
+	MeanProbes  float64
+	TotalProbes int64
 	// HonestLeaders / Repetitions report election outcomes (Byzantine runs).
 	HonestLeaders int
 	Repetitions   int
+	// NumClusters holds the per-diameter-guess cluster counts of the run
+	// (for Byzantine runs: of the last honest-leader repetition; empty when
+	// every leader was dishonest).
+	NumClusters []int
 	// Outputs holds the predicted rating vectors (one row per player,
 	// values in 0..Scale).
 	Outputs [][]int
@@ -154,32 +192,38 @@ type RatingReport struct {
 
 // Run executes the generalized protocol with trusted shared coins.
 func (rs *RatingSimulation) Run() *RatingReport {
+	rs.w.ResetProbes()
 	res := multival.Run(rs.w, rs.rng.Split(10), rs.pr)
-	return rs.report(res.Output, 0, 0)
+	return rs.report(res.Output, res.NumClusters, 0, 0)
 }
 
 // RunByzantine executes the leader-election wrapper with the given number
-// of repetitions (≤0 defaults to 5).
+// of repetitions (≤0 defaults to 5). The wrapper itself is the generic §7
+// skeleton shared with the binary protocol (core.RunByzantineOver).
 func (rs *RatingSimulation) RunByzantine(repetitions int) *RatingReport {
 	if repetitions <= 0 {
 		repetitions = 5
 	}
+	rs.w.ResetProbes()
 	res := multival.RunByzantine(rs.w, rs.rng.Split(11), nil, repetitions, rs.pr)
-	return rs.report(res.Output, res.HonestLeaders, res.Repetitions)
+	return rs.report(res.Output, res.NumClusters, res.HonestLeaders, res.Repetitions)
 }
 
-func (rs *RatingSimulation) report(out []multival.Ratings, leaders, reps int) *RatingReport {
+func (rs *RatingSimulation) report(out []bitvec.Planes, clusters []int, leaders, reps int) *RatingReport {
 	es := multival.ErrorStats(rs.w, out)
 	rows := make([][]int, len(out))
 	for p, r := range out {
-		rows[p] = []int(r)
+		rows[p] = r.Ints()
 	}
 	return &RatingReport{
 		MaxL1Error:    es.Max,
 		MeanL1Error:   es.Mean,
-		MaxProbes:     rs.w.MaxHonestProbes(),
+		MaxProbes:     int(rs.w.MaxHonestProbes()),
+		MeanProbes:    rs.w.MeanHonestProbes(),
+		TotalProbes:   rs.w.TotalProbes(),
 		HonestLeaders: leaders,
 		Repetitions:   reps,
+		NumClusters:   append([]int(nil), clusters...),
 		Outputs:       rows,
 	}
 }

@@ -47,7 +47,7 @@ func TestRatingSimulationFlow(t *testing.T) {
 }
 
 func TestRatingSimulationByzantine(t *testing.T) {
-	for _, strat := range []RaterStrategy{RandomRater, Exaggerators, HarshShifters} {
+	for _, strat := range []Strategy{RandomLiar, FlipAll, ZeroSpammers, Exaggerators, HarshShifters} {
 		rs := NewRatingSimulation(RatingConfig{
 			Players: 256, Scale: 5, Budget: 8, Seed: 35, FixedDiameter: 32,
 		}, 32, 32)

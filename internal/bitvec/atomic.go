@@ -1,0 +1,82 @@
+package bitvec
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Atomic is a lock-free atomic bitset. It backs the probe memos of both
+// game substrates (the binary world.World and the rating-scale
+// multival.World): Probe is the single hottest operation of every protocol
+// phase, and under phase-level fan-out the same player's probes can be
+// requested from several goroutines at once. A CAS per word guarantees
+// exactly one goroutine learns each bit first, so probe charging stays
+// schedule-independent without a mutex on the read path (DESIGN.md §7).
+//
+// The zero value is an empty bitset; use NewAtomic.
+type Atomic struct {
+	words []atomic.Uint64
+}
+
+// NewAtomic returns a zeroed atomic bitset of n bits.
+func NewAtomic(n int) Atomic {
+	return Atomic{words: make([]atomic.Uint64, (n+wordBits-1)/wordBits)}
+}
+
+// Words returns the number of 64-bit words backing the bitset.
+func (a *Atomic) Words() int { return len(a.words) }
+
+// TestAndSet marks bit i set and reports whether it was already set. Under
+// concurrent callers exactly one observes false for each bit.
+func (a *Atomic) TestAndSet(i int) (was bool) {
+	wi, mask := i/wordBits, uint64(1)<<(uint(i)%wordBits)
+	for {
+		old := a.words[wi].Load()
+		if old&mask != 0 {
+			return true
+		}
+		if a.words[wi].CompareAndSwap(old, old|mask) {
+			return false
+		}
+	}
+}
+
+// Get reports bit i without modifying it.
+func (a *Atomic) Get(i int) bool {
+	return a.words[i/wordBits].Load()&(1<<(uint(i)%wordBits)) != 0
+}
+
+// OrWord sets every bit of mask in word wi and returns the bits that were
+// newly set (mask minus what was already set). One CAS settles up to 64
+// bits at once; under concurrent callers each bit is still reported as new
+// by exactly one caller, so bulk probe charging stays schedule-independent.
+func (a *Atomic) OrWord(wi int, mask uint64) (newBits uint64) {
+	for {
+		old := a.words[wi].Load()
+		nw := old | mask
+		if nw == old {
+			return 0
+		}
+		if a.words[wi].CompareAndSwap(old, nw) {
+			return nw &^ old
+		}
+	}
+}
+
+// Count returns the number of set bits. It is not linearizable against
+// concurrent writers; callers use it between phases.
+func (a *Atomic) Count() int {
+	c := 0
+	for i := range a.words {
+		c += bits.OnesCount64(a.words[i].Load())
+	}
+	return c
+}
+
+// Reset clears every bit. It must not run concurrently with other
+// operations (a between-runs operation, not a phase operation).
+func (a *Atomic) Reset() {
+	for i := range a.words {
+		a.words[i].Store(0)
+	}
+}

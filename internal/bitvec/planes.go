@@ -1,0 +1,297 @@
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// maxPlaneBits bounds the per-value bit width of a Planes. Rating scales in
+// this repository are small integers; 32 planes already cover scales past
+// 4·10⁹ while keeping the bit-sliced L1 scratch on the stack.
+const maxPlaneBits = 32
+
+// Planes is a bit-sliced vector of k-bit unsigned integer values: element i
+// is stored as one bit in each of k planes, where plane ℓ holds bit ℓ of
+// every element. It is the rating-scale counterpart of Vector (DESIGN.md
+// §12): the §8 non-binary protocols re-encode their 0..scale rating rows as
+// ⌈log₂(scale+1)⌉ such planes, so the L1 distances that dominate the rating
+// hot path collapse to word-level plane arithmetic instead of per-element
+// loops.
+//
+// All planes share one flat backing slice (plane ℓ occupies words
+// [ℓ·stride, (ℓ+1)·stride)), so a Planes costs one allocation regardless of
+// k. The zero value is an empty Planes of length 0; use NewPlanes or
+// PlanesForScale.
+type Planes struct {
+	n     int // number of values
+	k     int // bits per value
+	words []uint64
+}
+
+// PlaneBits returns the number of bit-planes needed for values in
+// [0, scale]: ⌈log₂(scale+1)⌉, at least 1.
+func PlaneBits(scale int) int {
+	if scale < 0 {
+		panic("bitvec: negative scale")
+	}
+	k := bits.Len(uint(scale))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// NewPlanes returns a zeroed Planes of n values of k bits each. It panics
+// if n is negative or k is outside [1, 32].
+func NewPlanes(n, k int) Planes {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	if k < 1 || k > maxPlaneBits {
+		panic(fmt.Sprintf("bitvec: plane count %d outside [1,%d]", k, maxPlaneBits))
+	}
+	stride := (n + wordBits - 1) / wordBits
+	return Planes{n: n, k: k, words: make([]uint64, k*stride)}
+}
+
+// PlanesForScale returns a zeroed Planes sized for n values in [0, scale].
+func PlanesForScale(n, scale int) Planes { return NewPlanes(n, PlaneBits(scale)) }
+
+// Len returns the number of values.
+func (pl Planes) Len() int { return pl.n }
+
+// Bits returns the per-value bit width k.
+func (pl Planes) Bits() int { return pl.k }
+
+// Stride returns the number of 64-bit words per plane, ⌈Len/64⌉. Word-level
+// code addresses value i as word i/64, bit i%64 of each plane.
+func (pl Planes) Stride() int {
+	if pl.k == 0 {
+		return 0
+	}
+	return len(pl.words) / pl.k
+}
+
+// PlaneWord returns word wi of plane ℓ. Bits past Len are always zero.
+func (pl Planes) PlaneWord(l, wi int) uint64 { return pl.words[l*pl.Stride()+wi] }
+
+// SetPlaneWord assigns word wi of plane ℓ, masking off bits past Len.
+func (pl Planes) SetPlaneWord(l, wi int, w uint64) {
+	pl.words[l*pl.Stride()+wi] = w & pl.wordMask(wi)
+}
+
+// wordMask returns the valid-bit mask for word wi of any plane.
+func (pl Planes) wordMask(wi int) uint64 {
+	if wi == pl.Stride()-1 && pl.n%wordBits != 0 {
+		return (1 << (uint(pl.n) % wordBits)) - 1
+	}
+	return ^uint64(0)
+}
+
+// WordMask returns the mask of valid (in-range) bits for word wi of any
+// plane: all ones except in the final word when Len is not a multiple of 64.
+func (pl Planes) WordMask(wi int) uint64 {
+	if wi < 0 || wi >= pl.Stride() {
+		panic(fmt.Sprintf("bitvec: word %d out of range [0,%d)", wi, pl.Stride()))
+	}
+	return pl.wordMask(wi)
+}
+
+// Get returns value i.
+func (pl Planes) Get(i int) int {
+	pl.check(i)
+	wi, bit := i/wordBits, uint(i)%wordBits
+	stride := pl.Stride()
+	v := 0
+	for l := 0; l < pl.k; l++ {
+		v |= int(pl.words[l*stride+wi]>>bit&1) << l
+	}
+	return v
+}
+
+// Set assigns value i. It panics if v does not fit in k bits.
+func (pl Planes) Set(i, v int) {
+	pl.check(i)
+	if v < 0 || v >= 1<<pl.k {
+		panic(fmt.Sprintf("bitvec: value %d does not fit in %d planes", v, pl.k))
+	}
+	wi, mask := i/wordBits, uint64(1)<<(uint(i)%wordBits)
+	stride := pl.Stride()
+	for l := 0; l < pl.k; l++ {
+		if v>>l&1 == 1 {
+			pl.words[l*stride+wi] |= mask
+		} else {
+			pl.words[l*stride+wi] &^= mask
+		}
+	}
+}
+
+func (pl Planes) check(i int) {
+	if i < 0 || i >= pl.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, pl.n))
+	}
+}
+
+// L1 returns the L1 distance Σᵢ |a_i − b_i| between two equal-shape Planes.
+// It is the hot distance measure of the §8 rating protocols, computed
+// word-parallel over 64 values at a time with bit-sliced arithmetic: a
+// borrow-propagating subtract across the planes (k XOR/AND ops per word)
+// yields a−b mod 2ᵏ per lane plus the borrow mask of lanes where a < b;
+// conditionally negating exactly those lanes (bit-sliced two's complement)
+// gives |a−b|, and the total is the plane-weighted popcount Σ_ℓ 2^ℓ·pop(rℓ).
+// It panics on shape mismatch.
+func (a Planes) L1(b Planes) int {
+	if a.n != b.n || a.k != b.k {
+		panic(fmt.Sprintf("bitvec: planes shape mismatch %d×%d vs %d×%d", a.n, a.k, b.n, b.k))
+	}
+	stride := a.Stride()
+	var diff [maxPlaneBits]uint64
+	total := 0
+	for wi := 0; wi < stride; wi++ {
+		var borrow uint64
+		for l := 0; l < a.k; l++ {
+			aw, bw := a.words[l*stride+wi], b.words[l*stride+wi]
+			x := aw ^ bw
+			diff[l] = x ^ borrow
+			borrow = (^aw & bw) | (^x & borrow)
+		}
+		// borrow now flags the lanes where a < b; negate exactly those.
+		neg := borrow
+		carry := neg
+		for l := 0; l < a.k; l++ {
+			t := diff[l] ^ neg
+			r := t ^ carry
+			carry = t & carry
+			total += bits.OnesCount64(r) << l
+		}
+	}
+	return total
+}
+
+// SubFrom returns a new Planes holding c − vᵢ for every value vᵢ of pl,
+// computed word-parallel with a bit-sliced borrow-propagating subtract —
+// the §8 worst-case "mirror every rating" broadcast (scale − truth)
+// without a per-element loop. Every value must satisfy vᵢ ≤ c (and c must
+// fit in the plane width); a violating lane would wrap, so it panics.
+func (pl Planes) SubFrom(c int) Planes {
+	if c < 0 || c >= 1<<pl.k {
+		panic(fmt.Sprintf("bitvec: minuend %d does not fit in %d planes", c, pl.k))
+	}
+	out := NewPlanes(pl.n, pl.k)
+	stride := pl.Stride()
+	for wi := 0; wi < stride; wi++ {
+		valid := pl.wordMask(wi)
+		var borrow uint64
+		for l := 0; l < pl.k; l++ {
+			var aw uint64
+			if c>>l&1 == 1 {
+				aw = valid
+			}
+			bw := pl.words[l*stride+wi]
+			x := aw ^ bw
+			out.words[l*stride+wi] = x ^ borrow
+			borrow = (^aw & bw) | (^x & borrow)
+		}
+		if borrow&valid != 0 {
+			panic(fmt.Sprintf("bitvec: SubFrom(%d) underflow — a value exceeds the minuend", c))
+		}
+	}
+	return out
+}
+
+// Gather extracts the values at the given positions into a new Planes of
+// length len(idx): position idx[j] becomes value j of the result.
+func (pl Planes) Gather(idx []int) Planes {
+	out := NewPlanes(len(idx), pl.k)
+	for j, i := range idx {
+		out.Set(j, pl.Get(i))
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (pl Planes) Clone() Planes {
+	out := Planes{n: pl.n, k: pl.k, words: make([]uint64, len(pl.words))}
+	copy(out.words, pl.words)
+	return out
+}
+
+// Zero clears every value in place.
+func (pl Planes) Zero() {
+	for i := range pl.words {
+		pl.words[i] = 0
+	}
+}
+
+// CopyFrom overwrites pl's values with src's. It panics on shape mismatch.
+func (pl Planes) CopyFrom(src Planes) {
+	if pl.n != src.n || pl.k != src.k {
+		panic(fmt.Sprintf("bitvec: planes shape mismatch %d×%d vs %d×%d", pl.n, pl.k, src.n, src.k))
+	}
+	copy(pl.words, src.words)
+}
+
+// Equal reports whether two Planes have the same shape and values.
+func (pl Planes) Equal(other Planes) bool {
+	if pl.n != other.n || pl.k != other.k {
+		return false
+	}
+	for i := range pl.words {
+		if pl.words[i] != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Renew returns a zeroed Planes of n values × k bits, reusing pl's backing
+// words when they are large enough (allocation-free reuse for pooled rating
+// worlds); otherwise it allocates like NewPlanes. The receiver must not be
+// in use elsewhere — Renew hands its storage to the returned Planes.
+func (pl Planes) Renew(n, k int) Planes {
+	if k < 1 || k > maxPlaneBits {
+		panic(fmt.Sprintf("bitvec: plane count %d outside [1,%d]", k, maxPlaneBits))
+	}
+	stride := (n + wordBits - 1) / wordBits
+	if cap(pl.words) < k*stride {
+		return NewPlanes(n, k)
+	}
+	out := Planes{n: n, k: k, words: pl.words[:k*stride]}
+	out.Zero()
+	return out
+}
+
+// Ints materializes the values as a plain []int row (public-API use).
+func (pl Planes) Ints() []int {
+	return pl.AppendInts(make([]int, 0, pl.n))
+}
+
+// AppendInts appends the values to dst and returns it.
+func (pl Planes) AppendInts(dst []int) []int {
+	for i := 0; i < pl.n; i++ {
+		dst = append(dst, pl.Get(i))
+	}
+	return dst
+}
+
+// FromInts builds a Planes over [0, scale] from an integer row. Values are
+// clamped into [0, scale].
+func FromInts(vals []int, scale int) Planes {
+	out := PlanesForScale(len(vals), scale)
+	for i, v := range vals {
+		if v < 0 {
+			v = 0
+		}
+		if v > scale {
+			v = scale
+		}
+		out.Set(i, v)
+	}
+	return out
+}
+
+// SamePlaneStorage reports whether two Planes share backing words (mutating
+// one mutates the other); tests use it to pin cluster-level sharing.
+func SamePlaneStorage(a, b Planes) bool {
+	return len(a.words) > 0 && len(b.words) > 0 && &a.words[0] == &b.words[0]
+}

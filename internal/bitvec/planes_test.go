@@ -1,0 +1,270 @@
+package bitvec
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPlaneBits(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 2, 5: 3, 7: 3, 8: 4, 10: 4, 100: 7}
+	for scale, want := range cases {
+		if got := PlaneBits(scale); got != want {
+			t.Fatalf("PlaneBits(%d) = %d, want %d", scale, got, want)
+		}
+	}
+}
+
+func TestPlanesSetGetRoundTrip(t *testing.T) {
+	const n, scale = 131, 10 // non-word-multiple length, k = 4
+	pl := PlanesForScale(n, scale)
+	vals := make([]int, n)
+	for i := 0; i < n; i++ {
+		v := (i * 7) % (scale + 1)
+		vals[i] = v
+		pl.Set(i, v)
+	}
+	for i, want := range vals {
+		if got := pl.Get(i); got != want {
+			t.Fatalf("Get(%d) = %d, want %d", i, got, want)
+		}
+	}
+	// Overwriting (including clearing high bits) must round-trip too.
+	pl.Set(5, 0)
+	if pl.Get(5) != 0 {
+		t.Fatal("Set(5, 0) did not clear all planes")
+	}
+	got := pl.Ints()
+	vals[5] = 0
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("Ints()[%d] = %d, want %d", i, got[i], vals[i])
+		}
+	}
+}
+
+// scalarL1 is the per-element reference the bit-sliced L1 is checked
+// against.
+func scalarL1(a, b []int) int {
+	d := 0
+	for i := range a {
+		if a[i] > b[i] {
+			d += a[i] - b[i]
+		} else {
+			d += b[i] - a[i]
+		}
+	}
+	return d
+}
+
+// TestPlanesL1MatchesScalar: the word-parallel bit-sliced L1 equals the
+// per-element reference on random inputs across scales (plane counts 1–7)
+// and lengths straddling word boundaries.
+func TestPlanesL1MatchesScalar(t *testing.T) {
+	f := func(xa, xb []uint16, scaleSel uint8, lenSel uint8) bool {
+		scales := []int{1, 2, 3, 5, 10, 31, 100}
+		scale := scales[int(scaleSel)%len(scales)]
+		n := len(xa)
+		if len(xb) < n {
+			n = len(xb)
+		}
+		// Stretch some cases past one word even with short quick inputs.
+		n += int(lenSel) % 3 * 64
+		a, b := make([]int, n), make([]int, n)
+		for i := 0; i < n; i++ {
+			var ra, rb uint16
+			if i < len(xa) {
+				ra = xa[i]
+			} else {
+				ra = uint16(i * 31)
+			}
+			if i < len(xb) {
+				rb = xb[i]
+			} else {
+				rb = uint16(i * 17)
+			}
+			a[i], b[i] = int(ra)%(scale+1), int(rb)%(scale+1)
+		}
+		pa, pb := FromInts(a, scale), FromInts(b, scale)
+		return pa.L1(pb) == scalarL1(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanesL1SelfAndPanic(t *testing.T) {
+	pl := FromInts([]int{1, 4, 2, 0, 5}, 5)
+	if pl.L1(pl) != 0 {
+		t.Fatal("self distance nonzero")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape-mismatch panic")
+		}
+	}()
+	pl.L1(NewPlanes(5, 2))
+}
+
+func TestPlanesGather(t *testing.T) {
+	pl := FromInts([]int{9, 1, 4, 7, 0, 3}, 10)
+	g := pl.Gather([]int{3, 0, 5})
+	want := []int{7, 9, 3}
+	for j, w := range want {
+		if g.Get(j) != w {
+			t.Fatalf("Gather[%d] = %d, want %d", j, g.Get(j), w)
+		}
+	}
+}
+
+func TestPlanesCloneRenewCopy(t *testing.T) {
+	pl := FromInts([]int{1, 2, 3}, 3)
+	cl := pl.Clone()
+	cl.Set(0, 0)
+	if pl.Get(0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+	if SamePlaneStorage(pl, cl) {
+		t.Fatal("SamePlaneStorage false positive")
+	}
+	cp := NewPlanes(3, 2)
+	cp.CopyFrom(pl)
+	if !cp.Equal(pl) {
+		t.Fatal("CopyFrom not equal")
+	}
+
+	// Renew in place: large enough backing is reused and zeroed.
+	big := NewPlanes(256, 4)
+	big.Set(17, 9)
+	re := big.Renew(128, 4)
+	if re.Len() != 128 || re.Bits() != 4 {
+		t.Fatalf("Renew shape %d×%d", re.Len(), re.Bits())
+	}
+	for i := 0; i < 128; i++ {
+		if re.Get(i) != 0 {
+			t.Fatalf("Renew left value at %d", i)
+		}
+	}
+	// Growing shape allocates fresh.
+	grown := re.Renew(1024, 5)
+	if grown.Len() != 1024 || grown.Bits() != 5 {
+		t.Fatal("Renew grow failed")
+	}
+}
+
+func TestPlanesWordLevelAccess(t *testing.T) {
+	const n, scale = 70, 5
+	pl := PlanesForScale(n, scale)
+	// Set via plane words, read back per element.
+	pl.SetPlaneWord(0, 1, ^uint64(0)) // bits 64..69 valid only
+	for i := 64; i < n; i++ {
+		if pl.Get(i) != 1 {
+			t.Fatalf("word write missing at %d", i)
+		}
+	}
+	if pl.PlaneWord(0, 1) != pl.WordMask(1) {
+		t.Fatal("tail mask not applied")
+	}
+	if pl.Stride() != 2 {
+		t.Fatalf("stride %d", pl.Stride())
+	}
+}
+
+func TestAtomicTestAndSet(t *testing.T) {
+	a := NewAtomic(130)
+	if a.TestAndSet(129) {
+		t.Fatal("fresh bit reported set")
+	}
+	if !a.TestAndSet(129) {
+		t.Fatal("second set reported new")
+	}
+	if !a.Get(129) || a.Get(0) {
+		t.Fatal("Get wrong")
+	}
+	if a.Count() != 1 {
+		t.Fatalf("count %d", a.Count())
+	}
+	a.Reset()
+	if a.Count() != 0 {
+		t.Fatal("Reset left bits")
+	}
+}
+
+func TestAtomicOrWord(t *testing.T) {
+	a := NewAtomic(128)
+	if nb := a.OrWord(1, 0b1011); nb != 0b1011 {
+		t.Fatalf("first OrWord new bits %b", nb)
+	}
+	if nb := a.OrWord(1, 0b1110); nb != 0b0100 {
+		t.Fatalf("overlapping OrWord new bits %b", nb)
+	}
+	if nb := a.OrWord(1, 0b1111); nb != 0 {
+		t.Fatalf("no-op OrWord new bits %b", nb)
+	}
+}
+
+// TestAtomicConcurrentExactlyOnce: under concurrent contention every bit is
+// reported new exactly once, whichever path (TestAndSet or OrWord) wins.
+func TestAtomicConcurrentExactlyOnce(t *testing.T) {
+	const n, workers = 1024, 8
+	a := NewAtomic(n)
+	var total int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := int64(0)
+			for i := 0; i < n; i++ {
+				if w%2 == 0 {
+					if !a.TestAndSet(i) {
+						local++
+					}
+				} else if i%64 == 0 {
+					local += int64(popcount(a.OrWord(i/64, ^uint64(0))))
+				}
+			}
+			mu.Lock()
+			total += local
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if total != n {
+		t.Fatalf("charged %d bits, want %d", total, n)
+	}
+	if a.Count() != n {
+		t.Fatalf("count %d, want %d", a.Count(), n)
+	}
+}
+
+func popcount(x uint64) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+// TestPlanesSubFrom: the word-parallel broadcast c − v matches the scalar
+// reference and panics on underflow.
+func TestPlanesSubFrom(t *testing.T) {
+	vals := make([]int, 131)
+	for i := range vals {
+		vals[i] = (i * 5) % 8
+	}
+	pl := FromInts(vals, 9)
+	mir := pl.SubFrom(9)
+	for i, v := range vals {
+		if mir.Get(i) != 9-v {
+			t.Fatalf("SubFrom(9)[%d] = %d, want %d", i, mir.Get(i), 9-v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected underflow panic")
+		}
+	}()
+	pl.SubFrom(3) // values up to 7 exceed the minuend
+}

@@ -45,6 +45,15 @@ type Params struct {
 	SR smallradius.Params
 	// MinD/MaxD restrict the diameter guesses.
 	MinD, MaxD int
+
+	// PhaseSerial forces the protocol's phase loops onto the
+	// single-threaded reference schedule; PhaseWorkers, when positive and
+	// PhaseSerial is unset, pins them to exactly that many workers. The
+	// flags mirror core.Params (DESIGN.md §9): phase loops fan out on
+	// pre-split streams with index-ordered merges, so fixed-seed output is
+	// byte-identical under every schedule.
+	PhaseSerial  bool
+	PhaseWorkers int
 }
 
 // Scaled returns simulation-scale parameters with the given capacities.
@@ -123,7 +132,7 @@ func Run(w *world.World, shared *xrand.Stream, pr Params) *Result {
 		red = 3
 	}
 	res := &Result{}
-	rc := world.NewRun(w)
+	rc := world.NewRunOn(w, par.Sched(pr.PhaseSerial, pr.PhaseWorkers))
 	lo, hi := pr.MinD, pr.MaxD
 	if lo <= 0 {
 		lo = 1
@@ -252,8 +261,11 @@ func runIteration(rc *world.Run, d, red int, lnn float64, shared *xrand.Stream, 
 				maj.Set(o, true)
 			}
 		}
+		// Every member shares the cluster's one immutable majority vector —
+		// candidates are never mutated downstream, so a per-member clone
+		// would be pure allocation (the same sharing as core's workshare).
 		for _, p := range members {
-			out[p] = maj.Clone()
+			out[p] = maj
 		}
 	}
 	rc.Pub.SetSample(nil)

@@ -2,7 +2,9 @@ package budgets
 
 import (
 	"testing"
+	"testing/quick"
 
+	"collabscore/internal/bitvec"
 	"collabscore/internal/metrics"
 	"collabscore/internal/prefgen"
 	"collabscore/internal/world"
@@ -124,5 +126,134 @@ func TestTwoTierGenerator(t *testing.T) {
 	}
 	if big < 220 || big > 380 {
 		t.Fatalf("big fraction %d/1000, want ≈300", big)
+	}
+}
+
+// TestBudgetsScheduleMatrixMatches: the capacity-aware protocol's
+// fixed-seed output and probe accounting are identical under the serial
+// reference, a fixed-width, and the fully parallel phase schedule
+// (PhaseSerial/PhaseWorkers mirror core.Params; DESIGN.md §9, §12).
+func TestBudgetsScheduleMatrixMatches(t *testing.T) {
+	const n, d = 256, 16
+	schedules := []struct {
+		name         string
+		phaseSerial  bool
+		phaseWorkers int
+	}{
+		{"serial", true, 0},
+		{"fixed3", false, 3},
+		{"parallel", false, 0},
+	}
+	rng := xrand.New(21)
+	in := prefgen.DiameterClusters(rng.Split(1), n, n, 32, d)
+	caps := TwoTier(rng.Split(5), n, 16, 128, 0.5)
+	var refOut []bitvec.Vector
+	var refProbes []int64
+	for _, sched := range schedules {
+		w := world.New(in.Truth)
+		pr := Scaled(n, caps)
+		pr.MinD, pr.MaxD = d, d
+		pr.PhaseSerial = sched.phaseSerial
+		pr.PhaseWorkers = sched.phaseWorkers
+		res := Run(w, rng.Split(2), pr)
+		probes := make([]int64, n)
+		for p := 0; p < n; p++ {
+			probes[p] = w.Probes(p)
+		}
+		if refOut == nil {
+			refOut = res.Output
+			refProbes = probes
+			continue
+		}
+		for p := 0; p < n; p++ {
+			if !res.Output[p].Equal(refOut[p]) {
+				t.Fatalf("output for player %d differs under %s", p, sched.name)
+			}
+			if probes[p] != refProbes[p] {
+				t.Fatalf("probes for player %d differ under %s: %d vs %d",
+					p, sched.name, probes[p], refProbes[p])
+			}
+		}
+	}
+}
+
+// TestPropertyBudgetsProbeConservation mirrors core's conservation
+// property for the capacity-weighted path: across random capacity mixes
+// and schedules, every (player, object) pair charges exactly once — the
+// counters are schedule-independent, capped at m, and the aggregates match.
+func TestPropertyBudgetsProbeConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test")
+	}
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 96 + int(seed%2)*32
+		const d = 16
+		in := prefgen.DiameterClusters(rng.Split(1), n, n, n/8, d)
+		caps := TwoTier(rng.Split(5), n, 8+int(seed%8), 64+int(seed%64), 0.25+float64(seed%2)/4)
+		var refProbes []int64
+		for _, sched := range []struct {
+			phaseSerial  bool
+			phaseWorkers int
+		}{{true, 0}, {false, 3}, {false, 0}} {
+			w := world.New(in.Truth)
+			pr := Scaled(n, caps)
+			pr.MinD, pr.MaxD = d, d
+			pr.PhaseSerial = sched.phaseSerial
+			pr.PhaseWorkers = sched.phaseWorkers
+			Run(w, rng.Split(2), pr)
+			var total, honestMax int64
+			probes := make([]int64, n)
+			for p := 0; p < n; p++ {
+				probes[p] = w.Probes(p)
+				if probes[p] < 0 || probes[p] > int64(n) {
+					return false
+				}
+				total += probes[p]
+				if w.IsHonest(p) && probes[p] > honestMax {
+					honestMax = probes[p]
+				}
+			}
+			if w.TotalProbes() != total || w.MaxHonestProbes() != honestMax {
+				return false
+			}
+			if refProbes == nil {
+				refProbes = probes
+				continue
+			}
+			for p := 0; p < n; p++ {
+				if probes[p] != refProbes[p] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMajorityVectorShared pins the allocation contract of the workshare:
+// every member of a cluster shares the cluster's one immutable majority
+// vector (no per-member clones).
+func TestMajorityVectorShared(t *testing.T) {
+	const n, d = 256, 16
+	rng := xrand.New(31)
+	in := prefgen.DiameterClusters(rng.Split(1), n, n, 32, d)
+	w := world.New(in.Truth)
+	pr := Scaled(n, Uniform(n, 128))
+	pr.MinD, pr.MaxD = d, d
+	res := Run(w, rng.Split(2), pr)
+	shared := 0
+	for p := 0; p < n; p++ {
+		for q := p + 1; q < n; q++ {
+			if bitvec.SameStorage(res.Output[p], res.Output[q]) {
+				shared++
+			}
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no two cluster members share a majority vector — the clone removal regressed")
 	}
 }

@@ -77,13 +77,7 @@ type Result struct {
 // reference schedule when pr.PhaseSerial is set, the default parallel one
 // otherwise (DESIGN.md §9).
 func phaseExec(pr Params) *par.Runner {
-	if pr.PhaseSerial {
-		return par.Serial()
-	}
-	if pr.PhaseWorkers > 0 {
-		return par.Fixed(pr.PhaseWorkers)
-	}
-	return par.Parallel()
+	return par.Sched(pr.PhaseSerial, pr.PhaseWorkers)
 }
 
 // Run executes CalculatePreferences assuming unbiased shared randomness
@@ -363,7 +357,10 @@ func RunTrivial(w *world.World) *Result {
 // the complement of each player's truth — strictly worse than anything a
 // biased seed could produce (see DESIGN.md §3).
 //
-// The repetitions are mutually independent — each gets its own split RNG
+// The election/repetition/selection skeleton is the generic wrapper
+// (RunByzantineOver); this function is its binary instantiation — bitvec
+// vectors, truth-complement worst case, Hamming-distance RSelect. The
+// repetitions are mutually independent — each gets its own split RNG
 // streams, its own execution context (world.Run), and its own bulletin
 // boards — so they execute concurrently across cores unless pr.ByzSerial
 // is set; within each repetition the protocol phases fan out over players
@@ -385,52 +382,50 @@ func RunByzantine(w *world.World, trueRng *xrand.Stream, binStrategy election.Bi
 	}
 	res.Repetitions = k
 
-	// Split every repetition's streams from the parent up front. Splitting
-	// is a pure read of the parent's state — concurrent Splits of one
-	// parent are safe — but a repetition must never *draw* (Uint64 etc.)
-	// from a stream another repetition touches, so each gets its own
-	// children before the fan-out.
-	elecRng := make([]*xrand.Stream, k)
-	sharedRng := make([]*xrand.Stream, k)
-	for it := 0; it < k; it++ {
-		elecRng[it] = trueRng.Split(0xE1EC, uint64(it))
-		sharedRng[it] = trueRng.Split(0x5EED, uint64(it))
-	}
-
-	res.Reps = make([]RepetitionStats, k)
-	outputs := make([][]bitvec.Vector, k) // outputs[it][p]
-	runRep := func(it int) {
-		st := &res.Reps[it]
-		el := election.Run(w, elecRng[it], binStrategy, pr.Election)
-		st.Leader = el.Leader
-		if !w.IsHonest(el.Leader) {
+	output, reps := RunByzantineOver(w, trueRng, ByzProtocol[bitvec.Vector]{
+		Repetitions: k,
+		Serial:      pr.ByzSerial,
+		Strategy:    binStrategy,
+		Election:    pr.Election,
+		RunRep: func(it int, shared *xrand.Stream, st *RepetitionStats) []bitvec.Vector {
+			// Honest leader: shared coins are unbiased. The repetition runs
+			// in its own execution context, leaving w itself read-only.
+			rc := world.NewRunOn(w, phaseExec(pr))
+			sub := &Result{}
+			cands := runDoublingLoop(rc, shared, pr, sub)
+			out := finalSelect(w, rc.Exec(), shared, cands, pr)
+			st.Iterations = sub.Iterations
+			st.BoardWrites = sub.BoardWrites
+			st.BoardReads = sub.BoardReads
+			return out
+		},
+		Adversarial: func(int) []bitvec.Vector {
 			// Dishonest leader: adversarial coins. Worst-case model — the
 			// repetition's output is maximally wrong for every player.
 			advOut := make([]bitvec.Vector, n)
 			for p := 0; p < n; p++ {
 				advOut[p] = w.TruthVector(p).Not()
 			}
-			outputs[it] = advOut
-			return
-		}
-		// Honest leader: shared coins are unbiased. The repetition runs in
-		// its own execution context, leaving w itself read-only.
-		st.HonestLeader = true
-		rc := world.NewRunOn(w, phaseExec(pr))
-		sub := &Result{}
-		cands := runDoublingLoop(rc, sharedRng[it], pr, sub)
-		outputs[it] = finalSelect(w, rc.Exec(), sharedRng[it], cands, pr)
-		st.Iterations = sub.Iterations
-		st.BoardWrites = sub.BoardWrites
-		st.BoardReads = sub.BoardReads
-	}
-	if pr.ByzSerial {
-		for it := 0; it < k; it++ {
-			runRep(it)
-		}
-	} else {
-		par.For(k, runRep)
-	}
+			return advOut
+		},
+		SelectFinal: func(rng *xrand.Stream, outputs [][]bitvec.Vector) []bitvec.Vector {
+			candidates := make([][]bitvec.Vector, n)
+			for p := 0; p < n; p++ {
+				cands := make([]bitvec.Vector, k)
+				for it := 0; it < k; it++ {
+					cands[it] = outputs[it][p]
+				}
+				candidates[p] = cands
+			}
+			// If every leader was dishonest (probability vanishing in k at
+			// the tolerated corruption level) all candidates are adversarial
+			// and the final selection cannot help; res.HonestLeaders exposes
+			// this to experiments.
+			return finalSelect(w, phaseExec(pr), rng, candidates, pr)
+		},
+	})
+	res.Output = output
+	res.Reps = reps
 
 	// Deterministic merge in repetition order, independent of the schedule.
 	for it := 0; it < k; it++ {
@@ -442,19 +437,6 @@ func RunByzantine(w *world.World, trueRng *xrand.Stream, binStrategy election.Bi
 		res.BoardWrites += st.BoardWrites
 		res.BoardReads += st.BoardReads
 	}
-	candidates := make([][]bitvec.Vector, n)
-	for p := 0; p < n; p++ {
-		cands := make([]bitvec.Vector, k)
-		for it := 0; it < k; it++ {
-			cands[it] = outputs[it][p]
-		}
-		candidates[p] = cands
-	}
-	// If every leader was dishonest (probability vanishing in k at the
-	// tolerated corruption level) all candidates are adversarial and the
-	// final selection cannot help; res.HonestLeaders exposes this to
-	// experiments.
-	res.Output = finalSelect(w, phaseExec(pr), trueRng.Split(0xF17A1), candidates, pr)
 	return res
 }
 

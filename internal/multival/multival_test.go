@@ -81,15 +81,38 @@ func TestGenerateDiameterBound(t *testing.T) {
 			if clusterOf[p] != clusterOf[q] {
 				continue
 			}
-			if dist := Ratings(truth[p]).L1(Ratings(truth[q])); dist > d {
+			if dist := truth[p].L1(truth[q]); dist > d {
 				t.Fatalf("pair (%d,%d) L1 %d > planted %d", p, q, dist, d)
 			}
 		}
 	}
 	for p := 0; p < n; p++ {
 		for o := 0; o < m; o++ {
-			if truth[p][o] < 0 || truth[p][o] > scale {
-				t.Fatalf("rating %d out of scale", truth[p][o])
+			if v := truth[p].Get(o); v < 0 || v > scale {
+				t.Fatalf("rating %d out of scale", v)
+			}
+		}
+	}
+}
+
+// TestGeneratePooledMatchesFresh: Buffer.Generate draws the same coins into
+// pooled storage — bit-identical rows to the package-level Generate, even
+// after the buffer has been used for other shapes.
+func TestGeneratePooledMatchesFresh(t *testing.T) {
+	var buf Buffer
+	buf.Generate(xrand.New(9), 40, 64, 8, 6, 3) // dirty the arena
+	for _, shape := range []struct{ n, m, size, d, scale int }{
+		{60, 100, 20, 10, 10},
+		{24, 130, 6, 4, 5}, // smaller: exercises shrink-in-place reuse
+	} {
+		fresh, freshOf := Generate(xrand.New(2), shape.n, shape.m, shape.size, shape.d, shape.scale)
+		pooled, pooledOf := buf.Generate(xrand.New(2), shape.n, shape.m, shape.size, shape.d, shape.scale)
+		for p := range fresh {
+			if !fresh[p].Equal(pooled[p]) {
+				t.Fatalf("pooled row %d differs from fresh", p)
+			}
+			if freshOf[p] != pooledOf[p] {
+				t.Fatalf("pooled cluster assignment differs at %d", p)
 			}
 		}
 	}
@@ -103,8 +126,18 @@ func TestWorldProbeAccounting(t *testing.T) {
 	if w.Probes(0) != 1 {
 		t.Fatalf("probes = %d, want 1 (memoized)", w.Probes(0))
 	}
-	if w.Probe(0, 3) != truth[0][3] {
+	if w.Probe(0, 3) != truth[0].Get(3) {
 		t.Fatal("probe returned wrong truth")
+	}
+	// Bulk word-level probing charges identically: re-probing the same
+	// object through ProbePlaneWords learns nothing new.
+	dst := make([]uint64, w.Bits())
+	w.ProbePlaneWords(0, 0, 1<<3|1<<7, dst)
+	if w.Probes(0) != 2 {
+		t.Fatalf("probes = %d after word probe, want 2", w.Probes(0))
+	}
+	if dst[0]&(1<<3) != 0 != (truth[0].Get(3)&1 == 1) {
+		t.Fatal("ProbePlaneWords returned wrong plane bits")
 	}
 }
 
@@ -231,10 +264,24 @@ func TestByzantineWrapperUnderAttack(t *testing.T) {
 	// Dishonest entries are zeroed.
 	for p := 0; p < n; p++ {
 		if !w.IsHonest(p) {
-			for _, r := range res.Output[p] {
+			for _, r := range res.Output[p].Ints() {
 				if r != 0 {
 					t.Fatal("dishonest output not zeroed")
 				}
+			}
+		}
+	}
+}
+
+// TestPlanesL1MatchesRatings cross-checks the engine's bit-sliced L1
+// against the scalar Ratings reference on generated instances.
+func TestPlanesL1MatchesRatings(t *testing.T) {
+	truth, _ := Generate(xrand.New(31), 24, 100, 6, 12, 9)
+	for p := 0; p < len(truth); p++ {
+		for q := p + 1; q < len(truth); q++ {
+			want := Ratings(truth[p].Ints()).L1(Ratings(truth[q].Ints()))
+			if got := truth[p].L1(truth[q]); got != want {
+				t.Fatalf("bit-sliced L1(%d,%d) = %d, scalar %d", p, q, got, want)
 			}
 		}
 	}

@@ -60,6 +60,21 @@ func Fixed(workers int) *Runner {
 	return &Runner{workers: workers}
 }
 
+// Sched resolves the schedule-flag pair every protocol Params carries
+// (PhaseSerial, PhaseWorkers — core, multival, budgets all expose the same
+// knobs; DESIGN.md §9) to an executor: the serial reference schedule when
+// serial is set, a fixed-width pool when workers > 0, the GOMAXPROCS
+// default otherwise.
+func Sched(serial bool, workers int) *Runner {
+	if serial {
+		return Serial()
+	}
+	if workers > 0 {
+		return Fixed(workers)
+	}
+	return Parallel()
+}
+
 // IsSerial reports whether this runner executes loops on the calling
 // goroutine in index order.
 func (r *Runner) IsSerial() bool { return r != nil && r.workers == 1 }

@@ -100,18 +100,29 @@ func Run(points []Point, opt Options) ([]Record, error) {
 	return recs, sinkErr
 }
 
-// runPoint executes one grid point on the worker's pool.
+// runPoint executes one grid point on the worker's pool. Rating points
+// have no binary Simulation (and no planted-optimum oracle); they run
+// through the pooled Scenario path directly.
 func runPoint(pl *collabscore.Pool, pt Point, computeOpt bool) (Record, error) {
 	sc, err := pt.Scenario()
 	if err != nil {
 		return Record{}, err
 	}
-	sim := sc.Build(pl)
+	var rep *collabscore.Report
 	optErr := -1
-	if computeOpt && sim.Instance().PlantedDiameter >= 0 {
-		optErr = metrics.MaxInt(baseline.OptErrors(sim.Instance()))
+	if sc.Protocol == collabscore.ProtoRatings {
+		if pl != nil {
+			rep = pl.Run(sc)
+		} else {
+			rep = sc.Run()
+		}
+	} else {
+		sim := sc.Build(pl)
+		if computeOpt && sim.Instance().PlantedDiameter >= 0 {
+			optErr = metrics.MaxInt(baseline.OptErrors(sim.Instance()))
+		}
+		rep = sc.Execute(sim)
 	}
-	rep := sc.Execute(sim)
 	return Record{
 		Point:         pt,
 		Key:           pt.Key(),
@@ -125,5 +136,6 @@ func runPoint(pl *collabscore.Pool, pt Point, computeOpt bool) (Record, error) {
 		Repetitions:   rep.Repetitions,
 		CommWrites:    rep.CommWrites,
 		CommReads:     rep.CommReads,
+		Rounds:        rep.MaxProbes,
 	}, nil
 }

@@ -367,3 +367,101 @@ func TestAggregate(t *testing.T) {
 		t.Fatalf("bad empty aggregation: %+v", empty)
 	}
 }
+
+// TestRunFileResumeRatingsGrid is the §8 acceptance path: a grid over a
+// rating-scale axis (plus a budgets column) runs through the pooled
+// engine, is killed mid-file (torn tail), and resumes with exactly the
+// missing points recomputed — record-equal to the uninterrupted sweep.
+func TestRunFileResumeRatingsGrid(t *testing.T) {
+	pts, err := Expand(Spec{
+		Seed:          17,
+		Players:       []int{48},
+		ClusterSizes:  []int{12},
+		Diameters:     []int{8},
+		FixDiameter:   true,
+		Dishonest:     []int{0, 2},
+		Strategies:    []string{"exaggerators"},
+		Protocols:     []string{"ratings", "budgets"},
+		Scales:        []int{2, 5},
+		CapacityTiers: []CapTier{{Small: 4, Big: 24, BigFrac: 0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 5 {
+		t.Fatalf("grid too small to exercise resume: %d points", len(pts))
+	}
+	dir := t.TempDir()
+	refPath := filepath.Join(dir, "ref.jsonl")
+	ref, err := RunFile(pts, refPath, false, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill: keep two intact records plus a torn third line.
+	refBytes, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(refBytes, []byte("\n"))
+	partial := bytes.Join(lines[:2], nil)
+	partial = append(partial, lines[2][:len(lines[2])/2]...)
+	killedPath := filepath.Join(dir, "killed.jsonl")
+	if err := os.WriteFile(killedPath, partial, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var reran int
+	resumed, err := RunFile(pts, killedPath, true, Options{
+		Workers:  2,
+		Progress: func(completed, scheduled int, rec Record) { reran = scheduled },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(pts) - 2; reran != want {
+		t.Fatalf("resume scheduled %d points, want exactly the %d missing", reran, want)
+	}
+	if !reflect.DeepEqual(resumed, ref) {
+		t.Fatal("resumed rating-grid records differ from uninterrupted run")
+	}
+	for _, rec := range resumed {
+		if rec.Rounds != rec.MaxProbes {
+			t.Fatalf("point %s: rounds column %d != max probes %d", rec.Key, rec.Rounds, rec.MaxProbes)
+		}
+	}
+}
+
+// TestEngineRatingsMatchStandalone: pooled rating/budget records equal the
+// standalone (fresh-allocation) scenario runs — the sweep-side half of the
+// pooling contract for the §8 extensions.
+func TestEngineRatingsMatchStandalone(t *testing.T) {
+	pts, err := Expand(Spec{
+		Seed:         19,
+		Players:      []int{48},
+		ClusterSizes: []int{12},
+		Diameters:    []int{8},
+		FixDiameter:  true,
+		Dishonest:    []int{2},
+		Strategies:   []string{"harsh-shifters"},
+		Protocols:    []string{"ratings", "budgets"},
+		Scales:       []int{5, 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Run(pts, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range recs {
+		want, err := runPoint(nil, pts[i], false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rec, want) {
+			t.Fatalf("point %s: pooled record differs from standalone\n got %+v\nwant %+v",
+				pts[i].Key(), rec, want)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"math"
 	"reflect"
 	"testing"
 )
@@ -223,5 +224,189 @@ func TestExpandDeterministic(t *testing.T) {
 	}
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("Expand is not deterministic")
+	}
+}
+
+// TestExpandExtensionAxes: the scale axis applies to ratings points only,
+// the capacity-tier axis to budgets points only, and substrate-mismatched
+// strategy combinations are skipped deterministically.
+func TestExpandExtensionAxes(t *testing.T) {
+	pts, err := Expand(Spec{
+		Seed:          13,
+		Players:       []int{64},
+		ClusterSizes:  []int{16},
+		Diameters:     []int{8},
+		FixDiameter:   true,
+		Dishonest:     []int{0, 2},
+		Strategies:    []string{"exaggerators", "colluders", "random-liar"},
+		Protocols:     []string{"byzantine", "ratings", "budgets"},
+		Scales:        []int{0, 2, 10}, // 0 resolves to the default 5
+		CapacityTiers: []CapTier{{}, {Small: 8, Big: 32, BigFrac: 0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, pt := range pts {
+		counts[pt.Protocol]++
+		switch pt.Protocol {
+		case "ratings":
+			if pt.Scale == 0 {
+				t.Fatalf("ratings point %s has no scale", pt.Key())
+			}
+			if !pt.Cap.IsZero() {
+				t.Fatalf("ratings point %s carries a capacity tier", pt.Key())
+			}
+			if pt.Strategy == "colluders" {
+				t.Fatalf("binary-only strategy survived on ratings point %s", pt.Key())
+			}
+		case "budgets":
+			if pt.Scale != 0 {
+				t.Fatalf("budgets point %s carries a scale", pt.Key())
+			}
+			if pt.Strategy == "exaggerators" {
+				t.Fatalf("rating-only strategy survived on budgets point %s", pt.Key())
+			}
+		default:
+			if pt.Scale != 0 || !pt.Cap.IsZero() {
+				t.Fatalf("binary point %s carries extension axes", pt.Key())
+			}
+		}
+		if _, err := pt.Scenario(); err != nil {
+			t.Fatalf("point %s scenario: %v", pt.Key(), err)
+		}
+	}
+	// byzantine: f=0 (1) + f=2 × {colluders, random-liar} (2) = 3.
+	if counts["byzantine"] != 3 {
+		t.Fatalf("byzantine points: %d, want 3", counts["byzantine"])
+	}
+	// ratings: 3 scales × (f=0 once + f=2 × {exaggerators, random-liar}) = 9.
+	if counts["ratings"] != 9 {
+		t.Fatalf("ratings points: %d, want 9", counts["ratings"])
+	}
+	// budgets: 2 tiers × (f=0 once + f=2 × {colluders, random-liar}) = 6.
+	if counts["budgets"] != 6 {
+		t.Fatalf("budgets points: %d, want 6", counts["budgets"])
+	}
+}
+
+// TestExpandRatingsNeedClusterPlanting: rating points are skipped for
+// uniform and Zipf plantings (the rating generator plants clusters).
+func TestExpandRatingsNeedClusterPlanting(t *testing.T) {
+	pts, err := Expand(Spec{
+		Seed:         1,
+		Players:      []int{64},
+		ZipfClusters: []int{4},
+		Protocols:    []string{"ratings", "run"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		if pt.Protocol == "ratings" {
+			t.Fatalf("ratings point %s kept a non-cluster planting", pt.Key())
+		}
+	}
+	if len(pts) == 0 {
+		t.Fatal("run points should survive")
+	}
+}
+
+// TestExpandExtensionSeeds: the rating scale is instance-defining (distinct
+// scales get independent seeds) while the capacity tier is a comparison
+// axis (all tiers share their coordinate's seed with the binary
+// protocols) — and binary points derive exactly the seeds they did before
+// the extension axes existed.
+func TestExpandExtensionSeeds(t *testing.T) {
+	sp := Spec{
+		Seed:          3,
+		Players:       []int{64},
+		ClusterSizes:  []int{16},
+		Diameters:     []int{4},
+		Protocols:     []string{"byzantine", "budgets", "ratings"},
+		Scales:        []int{2, 5},
+		CapacityTiers: []CapTier{{Small: 4, Big: 16, BigFrac: 0.5}, {Small: 8, Big: 32, BigFrac: 0.25}},
+	}
+	pts, err := Expand(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedsByProto := map[string]map[uint64]bool{}
+	scaleSeeds := map[int]uint64{}
+	for _, pt := range pts {
+		if seedsByProto[pt.Protocol] == nil {
+			seedsByProto[pt.Protocol] = map[uint64]bool{}
+		}
+		seedsByProto[pt.Protocol][pt.Seed] = true
+		if pt.Protocol == "ratings" {
+			scaleSeeds[pt.Scale] = pt.Seed
+		}
+	}
+	// Binary and budgets points (any tier) share one seed: paired columns.
+	if len(seedsByProto["byzantine"]) != 1 || len(seedsByProto["budgets"]) != 1 {
+		t.Fatalf("comparison protocols split seeds: %+v", seedsByProto)
+	}
+	var byz, bud uint64
+	for s := range seedsByProto["byzantine"] {
+		byz = s
+	}
+	for s := range seedsByProto["budgets"] {
+		bud = s
+	}
+	if byz != bud {
+		t.Fatal("budgets points do not share the binary world seed")
+	}
+	// Distinct scales are distinct instances.
+	if len(scaleSeeds) != 2 || scaleSeeds[2] == scaleSeeds[5] {
+		t.Fatalf("rating scales share a seed: %+v", scaleSeeds)
+	}
+	if scaleSeeds[2] == byz {
+		t.Fatal("rating point reuses the binary seed")
+	}
+	// Pre-extension binary seeds are unchanged: the same grid without the
+	// extension protocols derives the identical seed for the same key.
+	ref, err := Expand(Spec{
+		Seed: 3, Players: []int{64}, ClusterSizes: []int{16}, Diameters: []int{4},
+		Protocols: []string{"byzantine"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref[0].Seed != byz {
+		t.Fatal("adding extension axes changed a binary point's seed")
+	}
+}
+
+// TestParseCapTier pins the strict tier parsing: round trips, defaults,
+// and rejection of garbage, extra fields, and non-finite fractions (a NaN
+// fraction would silently degenerate TwoTier to all-small capacities).
+func TestParseCapTier(t *testing.T) {
+	for _, s := range []string{"", "default"} {
+		ct, err := ParseCapTier(s)
+		if err != nil || !ct.IsZero() {
+			t.Fatalf("ParseCapTier(%q) = %+v, %v", s, ct, err)
+		}
+	}
+	ct, err := ParseCapTier("16:256:0.25")
+	if err != nil || ct != (CapTier{Small: 16, Big: 256, BigFrac: 0.25}) {
+		t.Fatalf("ParseCapTier round trip: %+v, %v", ct, err)
+	}
+	if got, err := ParseCapTier(ct.String()); err != nil || got != ct {
+		t.Fatalf("String round trip: %+v, %v", got, err)
+	}
+	for _, bad := range []string{
+		"16:256", "16:256:0.25:9", "16:256:0.25x", "x:256:0.25",
+		"16:256:NaN", "16:256:+Inf", "16:256:1.5", "16:256:-0.1", "-1:256:0.5",
+	} {
+		if _, err := ParseCapTier(bad); err == nil {
+			t.Fatalf("ParseCapTier accepted %q", bad)
+		}
+	}
+	// Expand rejects NaN fractions arriving through JSON-built specs too.
+	if _, err := Expand(Spec{
+		Seed: 1, Players: []int{8}, Protocols: []string{"budgets"},
+		CapacityTiers: []CapTier{{Small: 1, Big: 2, BigFrac: math.NaN()}},
+	}); err == nil {
+		t.Fatal("Expand accepted a NaN capacity fraction")
 	}
 }

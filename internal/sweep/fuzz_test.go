@@ -46,13 +46,19 @@ func fuzzSpec(seed uint64) Spec {
 	if rng.Bool() {
 		sp.Dishonest = pick(1+rng.Intn(3), 0, 14)
 	}
-	strategies := []string{"random-liar", "colluders", "flip-all", "zero-spam"}
+	strategies := []string{"random-liar", "colluders", "flip-all", "zero-spam", "exaggerators", "harsh-shifters"}
 	if rng.Bool() {
 		sp.Strategies = []string{strategies[rng.Intn(len(strategies))], strategies[rng.Intn(len(strategies))]}
 	}
-	protocols := []string{"run", "byzantine", "baseline", "probe-all", "random-guess"}
+	protocols := []string{"run", "byzantine", "baseline", "probe-all", "random-guess", "ratings", "budgets"}
 	if rng.Bool() {
 		sp.Protocols = []string{protocols[rng.Intn(len(protocols))], protocols[rng.Intn(len(protocols))]}
+	}
+	if rng.Bool() {
+		sp.Scales = pick(1+rng.Intn(2), 0, 9)
+	}
+	if rng.Bool() {
+		sp.CapacityTiers = []CapTier{{}, {Small: 1 + rng.Intn(4), Big: 4 + rng.Intn(16), BigFrac: 0.25}}
 	}
 	sp.FixDiameter = rng.Bool()
 	sp.PaperConstants = rng.Bool()
@@ -139,6 +145,7 @@ func FuzzExpand(f *testing.F) {
 		rev.Dishonest = reverseInts(sp.Dishonest)
 		rev.Strategies = reverseStrs(sp.Strategies)
 		rev.Protocols = reverseStrs(sp.Protocols)
+		rev.Scales = reverseInts(sp.Scales)
 		reordered, err := Expand(rev)
 		if err != nil {
 			t.Fatalf("reordered spec failed: %v", err)

@@ -35,6 +35,12 @@ type Record struct {
 	// CommWrites/CommReads are the bulletin-board traffic totals.
 	CommWrites int64 `json:"comm_writes"`
 	CommReads  int64 `json:"comm_reads"`
+	// Rounds is the point's synchronous-round complexity under the §2
+	// round model (internal/rounds): each player performs exactly one
+	// probe per round, so the rounds a protocol needs equal the worst
+	// per-player probe count — the rounds axis every grid point carries
+	// for free.
+	Rounds int64 `json:"rounds"`
 }
 
 // writeRecord appends one JSONL line to w. The line is marshaled first and
@@ -114,9 +120,10 @@ func RunFile(points []Point, path string, resume bool, opt Options) ([]Record, e
 	for _, pt := range points {
 		wants[pt.Key()] = want{
 			seed: pt.Seed,
-			// Uniform plantings have no optimum to compute (OptError -1
-			// either way); planted points carry one iff ComputeOpt is on.
-			withOpt: opt.ComputeOpt && pt.Plant.Kind != "uniform",
+			// Uniform plantings and rating points have no optimum to
+			// compute (OptError -1 either way); planted binary points
+			// carry one iff ComputeOpt is on.
+			withOpt: opt.ComputeOpt && pt.Plant.Kind != "uniform" && pt.Protocol != "ratings",
 		}
 	}
 

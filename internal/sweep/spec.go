@@ -19,6 +19,7 @@ package sweep
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 
 	"collabscore"
@@ -69,11 +70,68 @@ type Spec struct {
 	Dishonest []int `json:"dishonest,omitempty"`
 	// Strategies names the dishonest strategies (collabscore.Strategy
 	// names); default ["random-liar"]. Honest points (dishonest = 0) are
-	// emitted once, not once per strategy.
+	// emitted once, not once per strategy. Strategies that have no
+	// behavior on a protocol's substrate (rating-only strategies on binary
+	// protocols and vice versa; Strategy.RatingCapable/BinaryCapable) are
+	// skipped deterministically for that protocol's corrupted points.
 	Strategies []string `json:"strategies,omitempty"`
 	// Protocols names the protocol variants (collabscore.Protocol names);
 	// default ["byzantine"].
 	Protocols []string `json:"protocols,omitempty"`
+
+	// Scales is the rating-scale axis, applied to "ratings" protocol
+	// points only (every other protocol's points collapse to scale 0);
+	// 0 entries default to 5. Rating points require a cluster planting —
+	// combinations with uniform or Zipf plantings are skipped.
+	Scales []int `json:"scales,omitempty"`
+	// CapacityTiers is the capacity-tier axis, applied to "budgets"
+	// protocol points only. An empty axis yields the scenario's default
+	// tier; the zero tier means "scenario defaults" (m/32, m/2, 0.25).
+	CapacityTiers []CapTier `json:"capacity_tiers,omitempty"`
+}
+
+// CapTier is one capacity-tier axis value: the §8 heterogeneous-budget
+// two-tier capacity mix (a BigFrac fraction of players volunteer Big
+// probes, the rest Small).
+type CapTier struct {
+	Small   int     `json:"small,omitempty"`
+	Big     int     `json:"big,omitempty"`
+	BigFrac float64 `json:"big_frac,omitempty"`
+}
+
+// IsZero reports whether the tier is the scenario-defaults tier.
+func (ct CapTier) IsZero() bool { return ct == CapTier{} }
+
+func (ct CapTier) String() string {
+	if ct.IsZero() {
+		return "default"
+	}
+	return fmt.Sprintf("%d:%d:%g", ct.Small, ct.Big, ct.BigFrac)
+}
+
+// ParseCapTier parses the "small:big:frac" form used by cmd/sweep's
+// -captiers flag ("default" or "" yields the zero tier). Parsing is
+// strict: trailing garbage, extra fields, and non-finite or out-of-range
+// fractions are rejected rather than silently running a wrong experiment.
+func ParseCapTier(s string) (CapTier, error) {
+	if s == "" || s == "default" {
+		return CapTier{}, nil
+	}
+	bad := func() (CapTier, error) {
+		return CapTier{}, fmt.Errorf("sweep: bad capacity tier %q (want small:big:frac with 0 ≤ frac ≤ 1)", s)
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return bad()
+	}
+	small, err1 := strconv.Atoi(parts[0])
+	big, err2 := strconv.Atoi(parts[1])
+	frac, err3 := strconv.ParseFloat(parts[2], 64)
+	if err1 != nil || err2 != nil || err3 != nil ||
+		small < 0 || big < 0 || !(frac >= 0 && frac <= 1) {
+		return bad()
+	}
+	return CapTier{Small: small, Big: big, BigFrac: frac}, nil
 }
 
 // Plant identifies a planting-axis value.
@@ -115,7 +173,11 @@ type Point struct {
 	Dishonest int    `json:"f,omitempty"`
 	Strategy  string `json:"strategy,omitempty"`
 	Protocol  string `json:"protocol"`
-	Trial     int    `json:"trial"`
+	// Scale is the rating scale of "ratings" points (0 elsewhere).
+	Scale int `json:"scale,omitempty"`
+	// Cap is the capacity tier of "budgets" points (zero elsewhere).
+	Cap   CapTier `json:"cap,omitzero"`
+	Trial int     `json:"trial"`
 
 	FixDiameter    bool `json:"fix_diameter,omitempty"`
 	PaperConstants bool `json:"paper_constants,omitempty"`
@@ -133,6 +195,12 @@ func (pt Point) Key() string {
 	fmt.Fprintf(&sb, "n=%d,m=%d,b=%d,plant=%s,d=%d,f=%d", pt.Players, pt.Objects, pt.Budget, pt.Plant, pt.Diameter, pt.Dishonest)
 	if pt.Strategy != "" {
 		fmt.Fprintf(&sb, ",strat=%s", pt.Strategy)
+	}
+	if pt.Scale > 0 {
+		fmt.Fprintf(&sb, ",scale=%d", pt.Scale)
+	}
+	if !pt.Cap.IsZero() {
+		fmt.Fprintf(&sb, ",cap=%s", pt.Cap)
 	}
 	fmt.Fprintf(&sb, ",proto=%s,trial=%d", pt.Protocol, pt.Trial)
 	if pt.FixDiameter {
@@ -184,6 +252,21 @@ func (pt Point) Scenario() (collabscore.Scenario, error) {
 		return sc, err
 	}
 	sc.Protocol = proto
+	sc.Scale = pt.Scale
+	sc.CapSmall, sc.CapBig, sc.CapBigFrac = pt.Cap.Small, pt.Cap.Big, pt.Cap.BigFrac
+	// Substrate checks for points that did not come from Expand (JSONL
+	// files can hold anything): rating points need a cluster planting and a
+	// rating-capable strategy; binary points a binary-capable one.
+	if proto == collabscore.ProtoRatings {
+		if sc.ClusterSize <= 0 {
+			return sc, fmt.Errorf("sweep: ratings point %s needs a cluster planting", pt.Key())
+		}
+		if sc.Dishonest > 0 && !sc.Strategy.RatingCapable() {
+			return sc, fmt.Errorf("sweep: strategy %q has no rating-scale behavior", pt.Strategy)
+		}
+	} else if sc.Dishonest > 0 && !sc.Strategy.BinaryCapable() {
+		return sc, fmt.Errorf("sweep: strategy %q has no binary behavior", pt.Strategy)
+	}
 	return sc, nil
 }
 
@@ -200,14 +283,21 @@ func plantCode(kind string) uint64 {
 }
 
 // pointSeed derives the point's Config seed from the instance-defining
-// coordinates only: points differing in dishonest/strategy/protocol share
-// a seed (and therefore a world) by design.
+// coordinates only: points differing in dishonest/strategy/protocol or
+// capacity tier share a seed (and therefore a world) by design — paired
+// comparisons. The rating scale IS instance-defining (it changes the
+// planted truth matrix), so it joins the split tags — but only when
+// nonzero, which keeps every pre-existing binary point's seed unchanged.
 func pointSeed(root *xrand.Stream, pt *Point) uint64 {
-	s := root.SplitValue(
+	tags := []uint64{
 		uint64(pt.Players), uint64(pt.Objects), uint64(pt.Budget),
 		plantCode(pt.Plant.Kind), uint64(pt.Plant.ClusterSize), uint64(pt.Plant.ZipfClusters),
 		math.Float64bits(pt.Plant.ZipfAlpha), uint64(pt.Diameter), uint64(pt.Trial),
-	)
+	}
+	if pt.Scale > 0 {
+		tags = append(tags, 0x5CA1E, uint64(pt.Scale))
+	}
+	s := root.SplitValue(tags...)
 	return s.Uint64()
 }
 
@@ -337,6 +427,17 @@ func Expand(sp Spec) ([]Point, error) {
 			return nil, fmt.Errorf("sweep: dishonest count %d must be ≥ 0", f)
 		}
 	}
+	for _, sc := range sp.Scales {
+		if sc < 0 {
+			return nil, fmt.Errorf("sweep: rating scale %d must be ≥ 0", sc)
+		}
+	}
+	for _, ct := range sp.CapacityTiers {
+		// The negated form rejects NaN fractions too (NaN fails ≥).
+		if ct.Small < 0 || ct.Big < 0 || !(ct.BigFrac >= 0 && ct.BigFrac <= 1) {
+			return nil, fmt.Errorf("sweep: bad capacity tier %s", ct)
+		}
+	}
 	strategies := defStrs(sp.Strategies, collabscore.RandomLiar.String())
 	for _, s := range strategies {
 		if _, err := collabscore.ParseStrategy(s); err != nil {
@@ -361,7 +462,20 @@ func Expand(sp Spec) ([]Point, error) {
 	dishonest := uniq(defInts(sp.Dishonest, 0))
 	strategies = uniq(strategies)
 	protocols = uniq(protocols)
+	scales := uniq(resolveInts(defInts(sp.Scales, 0), 5))
+	tiers := sp.CapacityTiers
+	if len(tiers) == 0 {
+		tiers = []CapTier{{}}
+	}
+	tiers = uniq(tiers)
 	plants := sp.plantings()
+	ratingsName := collabscore.ProtoRatings.String()
+	budgetsName := collabscore.ProtoBudgets.String()
+	stratOf := make(map[string]collabscore.Strategy, len(strategies))
+	for _, name := range strategies {
+		st, _ := collabscore.ParseStrategy(name) // validated above
+		stratOf[name] = st
+	}
 	root := xrand.New(sp.Seed)
 
 	var out []Point
@@ -387,26 +501,59 @@ func Expand(sp Spec) ([]Point, error) {
 							}
 							for _, strat := range strats {
 								for _, proto := range protocols {
-									for trial := 0; trial < trials; trial++ {
-										pt := Point{
-											Index:          len(out),
-											Players:        n,
-											Objects:        m,
-											Budget:         b,
-											Plant:          plant,
-											Diameter:       d,
-											Dishonest:      f,
-											Strategy:       strat,
-											Protocol:       proto,
-											Trial:          trial,
-											FixDiameter:    sp.FixDiameter,
-											PaperConstants: sp.PaperConstants,
+									// Substrate-mismatched combinations are
+									// skipped deterministically: rating points
+									// need a cluster planting and a
+									// rating-capable strategy; other protocols
+									// a binary-capable one. The scale axis
+									// applies to rating points, the
+									// capacity-tier axis to budgets points;
+									// each collapses to its zero value
+									// elsewhere.
+									protoScales := []int{0}
+									protoTiers := []CapTier{{}}
+									if proto == ratingsName {
+										if plant.Kind != "cluster" {
+											continue
 										}
-										if f == 0 {
-											pt.Strategy = ""
+										if f > 0 && !stratOf[strat].RatingCapable() {
+											continue
 										}
-										pt.Seed = pointSeed(root, &pt)
-										out = append(out, pt)
+										protoScales = scales
+									} else {
+										if f > 0 && !stratOf[strat].BinaryCapable() {
+											continue
+										}
+										if proto == budgetsName {
+											protoTiers = tiers
+										}
+									}
+									for _, scale := range protoScales {
+										for _, tier := range protoTiers {
+											for trial := 0; trial < trials; trial++ {
+												pt := Point{
+													Index:          len(out),
+													Players:        n,
+													Objects:        m,
+													Budget:         b,
+													Plant:          plant,
+													Diameter:       d,
+													Dishonest:      f,
+													Strategy:       strat,
+													Protocol:       proto,
+													Scale:          scale,
+													Cap:            tier,
+													Trial:          trial,
+													FixDiameter:    sp.FixDiameter,
+													PaperConstants: sp.PaperConstants,
+												}
+												if f == 0 {
+													pt.Strategy = ""
+												}
+												pt.Seed = pointSeed(root, &pt)
+												out = append(out, pt)
+											}
+										}
 									}
 								}
 							}

@@ -188,53 +188,12 @@ type World struct {
 	honest    []bool
 	behaviors []Behavior
 	probes    []atomic.Int64
-	known     []knownBits // per-player probe memo
-}
-
-// knownBits memoizes what a player has already learned. Once a player has
-// probed an object it knows the answer forever, so re-probing is free: the
-// paper's probe complexity counts distinct objects examined.
-//
-// The memo is a lock-free atomic bitset: Probe is the single hottest
-// operation of every protocol phase, and under phase-level fan-out the same
-// player's probes can be requested from several goroutines at once (e.g.
-// its Select calls for different object groups). A CAS per word guarantees
-// exactly one goroutine charges each (player, object) pair, so probe
-// counters stay schedule-independent without a mutex on the read path.
-type knownBits struct {
-	words []atomic.Uint64
-}
-
-// testAndSet marks bit o known and reports whether it was already known.
-func (kb *knownBits) testAndSet(o int) (known bool) {
-	wi, mask := o/64, uint64(1)<<(uint(o)%64)
-	for {
-		old := kb.words[wi].Load()
-		if old&mask != 0 {
-			return true
-		}
-		if kb.words[wi].CompareAndSwap(old, old|mask) {
-			return false
-		}
-	}
-}
-
-// orWord marks every bit of mask known in word wi and returns the bits
-// that were newly learned (mask minus what was already known). One CAS
-// settles up to 64 (player, object) pairs at once; under concurrent
-// schedules each bit is still reported as new by exactly one caller, so
-// bulk probe charging stays schedule-independent.
-func (kb *knownBits) orWord(wi int, mask uint64) (newBits uint64) {
-	for {
-		old := kb.words[wi].Load()
-		nw := old | mask
-		if nw == old {
-			return 0
-		}
-		if kb.words[wi].CompareAndSwap(old, nw) {
-			return nw &^ old
-		}
-	}
+	// known is the per-player probe memo: a lock-free atomic bitset
+	// (bitvec.Atomic) so that concurrent probes of one (player, object)
+	// pair charge exactly once under any schedule. Once a player has
+	// probed an object it knows the answer forever, so re-probing is
+	// free: the paper's probe complexity counts distinct objects examined.
+	known []bitvec.Atomic
 }
 
 // New creates a world from a truth matrix. All players start honest; use
@@ -257,12 +216,12 @@ func New(truth []bitvec.Vector) *World {
 		honest:    make([]bool, len(truth)),
 		behaviors: make([]Behavior, len(truth)),
 		probes:    make([]atomic.Int64, len(truth)),
-		known:     make([]knownBits, len(truth)),
+		known:     make([]bitvec.Atomic, len(truth)),
 	}
 	for p := range w.honest {
 		w.honest[p] = true
 		w.behaviors[p] = Honest{}
-		w.known[p].words = make([]atomic.Uint64, (m+63)/64)
+		w.known[p] = bitvec.NewAtomic(m)
 	}
 	return w
 }
@@ -309,7 +268,7 @@ func (w *World) M() int { return w.m }
 // concurrent use: the memo's CAS ensures exactly one caller charges each
 // (player, object) pair, so probe counters are schedule-independent.
 func (w *World) Probe(p, o int) bool {
-	if !w.known[p].testAndSet(o) {
+	if !w.known[p].TestAndSet(o) {
 		w.probes[p].Add(1)
 	}
 	return w.truth[p].Get(o)
@@ -331,7 +290,7 @@ func (w *World) ProbeWords() int { return (w.m + 63) / 64 }
 // once, by whichever caller's CAS learns it first).
 func (w *World) ProbeWord(p, wi int, mask uint64) uint64 {
 	mask &= w.truth[p].WordMask(wi)
-	if nb := w.known[p].orWord(wi, mask); nb != 0 {
+	if nb := w.known[p].OrWord(wi, mask); nb != 0 {
 		w.probes[p].Add(int64(bits.OnesCount64(nb)))
 	}
 	return w.truth[p].Word(wi) & mask
@@ -457,9 +416,7 @@ func (w *World) TotalProbes() int64 {
 func (w *World) ResetProbes() {
 	for p := range w.probes {
 		w.probes[p].Store(0)
-		for i := range w.known[p].words {
-			w.known[p].words[i].Store(0)
-		}
+		w.known[p].Reset()
 	}
 }
 

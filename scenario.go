@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"collabscore/internal/core"
+	"collabscore/internal/multival"
 	"collabscore/internal/prefgen"
 	"collabscore/internal/world"
 	"collabscore/internal/xrand"
@@ -34,6 +35,15 @@ const (
 	// ProtoRandomGuess executes the zero-probe baseline
 	// (Simulation.RunRandomGuess).
 	ProtoRandomGuess
+	// ProtoRatings executes the §8 non-binary protocol under the Byzantine
+	// wrapper (RatingSimulation.RunByzantine): players rate on a 0..Scale
+	// scale, similarity is L1, aggregation is by median. Requires a
+	// cluster planting (ClusterSize > 0) and a rating-capable Strategy.
+	ProtoRatings
+	// ProtoBudgets executes the §8 heterogeneous-budget protocol
+	// (Simulation.RunWithCapacities) with the scenario's two-tier capacity
+	// vector (CapSmall/CapBig/CapBigFrac).
+	ProtoBudgets
 )
 
 // String returns the protocol name used by grid specs and JSONL records.
@@ -49,6 +59,10 @@ func (p Protocol) String() string {
 		return "probe-all"
 	case ProtoRandomGuess:
 		return "random-guess"
+	case ProtoRatings:
+		return "ratings"
+	case ProtoBudgets:
+		return "budgets"
 	default:
 		return fmt.Sprintf("protocol(%d)", int(p))
 	}
@@ -56,7 +70,7 @@ func (p Protocol) String() string {
 
 // ParseProtocol is the inverse of Protocol.String.
 func ParseProtocol(s string) (Protocol, error) {
-	for _, p := range []Protocol{ProtoRun, ProtoByzantine, ProtoBaseline, ProtoProbeAll, ProtoRandomGuess} {
+	for _, p := range []Protocol{ProtoRun, ProtoByzantine, ProtoBaseline, ProtoProbeAll, ProtoRandomGuess, ProtoRatings, ProtoBudgets} {
 		if p.String() == s {
 			return p, nil
 		}
@@ -66,7 +80,7 @@ func ParseProtocol(s string) (Protocol, error) {
 
 // ParseStrategy is the inverse of Strategy.String.
 func ParseStrategy(s string) (Strategy, error) {
-	for _, st := range []Strategy{RandomLiar, FlipAll, Colluders, ClusterHijackers, StrangeObjectAttackers, ZeroSpammers} {
+	for _, st := range []Strategy{RandomLiar, FlipAll, Colluders, ClusterHijackers, StrangeObjectAttackers, ZeroSpammers, Exaggerators, HarshShifters} {
 		if st.String() == s {
 			return st, nil
 		}
@@ -105,6 +119,79 @@ type Scenario struct {
 
 	// Protocol selects the runner; the zero value is ProtoRun.
 	Protocol Protocol
+
+	// Scale is the rating scale of ProtoRatings points (ratings in
+	// 0..Scale; 0 defaults to 5). Ignored by every other protocol.
+	Scale int
+
+	// CapSmall/CapBig/CapBigFrac describe the two-tier capacity vector of
+	// ProtoBudgets points: a CapBigFrac fraction of players volunteer
+	// CapBig probes and the rest CapSmall, assigned deterministically from
+	// the scenario seed. Zero values default to m/32, m/2 and 0.25.
+	// Ignored by every other protocol.
+	CapSmall   int
+	CapBig     int
+	CapBigFrac float64
+}
+
+// ratingSimulation builds the scenario's RatingSimulation (ProtoRatings),
+// on pooled state when pl is non-nil; pooled construction draws identical
+// coins, so it is bit-identical to fresh.
+func (sc Scenario) ratingSimulation(pl *Pool) *RatingSimulation {
+	if sc.ClusterSize <= 0 {
+		panic("collabscore: ProtoRatings requires a cluster planting (ClusterSize > 0)")
+	}
+	cfg := sc.Config
+	rs := newRatingSimulation(RatingConfig{
+		Players:       cfg.Players,
+		Objects:       cfg.Objects,
+		Scale:         sc.Scale,
+		Budget:        cfg.Budget,
+		Seed:          cfg.Seed,
+		FixedDiameter: cfg.FixedDiameter,
+	}, sc.ClusterSize, sc.Diameter, pl)
+	if sc.Dishonest > 0 {
+		rs.Corrupt(sc.Dishonest, sc.Strategy)
+	}
+	return rs
+}
+
+// capacities resolves the scenario's two-tier capacity vector defaults
+// against the resolved object count.
+func (sc Scenario) capacities(m int) (small, big int, frac float64) {
+	small, big, frac = sc.CapSmall, sc.CapBig, sc.CapBigFrac
+	if small <= 0 {
+		small = m / 32
+		if small < 1 {
+			small = 1
+		}
+	}
+	if big <= 0 {
+		big = m / 2
+		if big < small {
+			big = small
+		}
+	}
+	if frac <= 0 {
+		frac = 0.25
+	}
+	return small, big, frac
+}
+
+// ratingReport converts a rating run's report to the protocol-agnostic
+// Report shape the sweep engine consumes. MaxError/MeanError carry the L1
+// error; Outputs stay nil (rating rows live on RatingReport.Outputs).
+func (sc Scenario) ratingReport(rr *RatingReport) *Report {
+	return &Report{
+		MaxError:      rr.MaxL1Error,
+		MeanError:     rr.MeanL1Error,
+		MaxProbes:     int64(rr.MaxProbes),
+		MeanProbes:    rr.MeanProbes,
+		TotalProbes:   rr.TotalProbes,
+		OptDiameter:   sc.Diameter,
+		HonestLeaders: rr.HonestLeaders,
+		Repetitions:   rr.Repetitions,
+	}
 }
 
 // simulation builds the scenario's Simulation, on pooled state when pl is
@@ -151,21 +238,42 @@ func (sc Scenario) execute(s *Simulation) *Report {
 		return s.RunProbeAll()
 	case ProtoRandomGuess:
 		return s.RunRandomGuess()
+	case ProtoBudgets:
+		small, big, frac := sc.capacities(s.cfg.Objects)
+		return s.RunWithCapacities(s.TwoTierCapacities(small, big, frac))
+	case ProtoRatings:
+		panic("collabscore: ProtoRatings has no binary Simulation; use Scenario.Run or Pool.Run")
 	default:
 		panic(fmt.Sprintf("collabscore: unknown protocol %v", sc.Protocol))
 	}
 }
 
+// run dispatches on the scenario's substrate: ProtoRatings points build a
+// rating simulation, every other protocol the binary one.
+func (sc Scenario) run(pl *Pool) *Report {
+	if sc.Protocol == ProtoRatings {
+		return sc.ratingReport(sc.ratingSimulation(pl).RunByzantine(0))
+	}
+	return sc.execute(sc.simulation(pl))
+}
+
 // Run executes the scenario from scratch and returns its report. It is the
 // reference path: Pool.Run produces the identical report on reused
 // allocations.
-func (sc Scenario) Run() *Report { return sc.execute(sc.simulation(nil)) }
+func (sc Scenario) Run() *Report { return sc.run(nil) }
 
 // Build constructs the scenario's configured Simulation — planted and
 // corrupted, protocol not yet run — fresh when pl is nil, pooled otherwise.
 // Most callers want Run or Pool.Run; the sweep engine uses Build/Execute to
-// measure the planted instance before running the protocol.
-func (sc Scenario) Build(pl *Pool) *Simulation { return sc.simulation(pl) }
+// measure the planted instance before running the protocol. ProtoRatings
+// scenarios have no binary Simulation; use Run or Pool.Run for those
+// (Build panics rather than constructing a wrong-substrate world).
+func (sc Scenario) Build(pl *Pool) *Simulation {
+	if sc.Protocol == ProtoRatings {
+		panic("collabscore: ProtoRatings has no binary Simulation; use Scenario.Run or Pool.Run")
+	}
+	return sc.simulation(pl)
+}
 
 // Execute runs the scenario's protocol variant on a Simulation built by
 // Build.
@@ -187,6 +295,10 @@ type Pool struct {
 	pg  prefgen.Buffer
 	w   *world.World
 	mem *core.Mem
+	// rpg/rw are the §8 rating arena: the bit-plane truth buffer and the
+	// rating world recycled across ProtoRatings points, mirroring pg/w.
+	rpg multival.Buffer
+	rw  *multival.World
 }
 
 // NewPool returns an empty pool; allocations are adopted from the points it
@@ -194,7 +306,7 @@ type Pool struct {
 func NewPool() *Pool { return &Pool{mem: core.NewMem()} }
 
 // Run executes the scenario on the pool's reused allocations.
-func (pl *Pool) Run(sc Scenario) *Report { return sc.execute(sc.simulation(pl)) }
+func (pl *Pool) Run(sc Scenario) *Report { return sc.run(pl) }
 
 // NewSimulation creates a pooled simulation: like the package-level
 // NewSimulation (identical output for identical calls), but drawing its

@@ -2,6 +2,7 @@ package collabscore
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -20,6 +21,13 @@ func scenarioMatrix() []Scenario {
 		// Same shape twice in a row: the full-reuse path.
 		{Config: Config{Players: 128, Seed: 7, FixedDiameter: 8}, ClusterSize: 32, Diameter: 8, Dishonest: 4, Strategy: StrangeObjectAttackers, Protocol: ProtoByzantine},
 		{Config: Config{Players: 128, Seed: 8, FixedDiameter: 8}, ClusterSize: 32, Diameter: 8, Dishonest: 4, Strategy: RandomLiar, Protocol: ProtoByzantine},
+		// §8 extensions: rating-scale points (their own pooled arena, two
+		// scales so the bit-plane width changes shape), interleaved with a
+		// budgets point on the binary arena.
+		{Config: Config{Players: 96, Seed: 9, FixedDiameter: 16}, ClusterSize: 12, Diameter: 16, Scale: 5, Dishonest: 4, Strategy: Exaggerators, Protocol: ProtoRatings},
+		{Config: Config{Players: 96, Seed: 10, FixedDiameter: 8}, ClusterSize: 12, Diameter: 8, Protocol: ProtoBudgets, CapSmall: 8, CapBig: 48, CapBigFrac: 0.5},
+		{Config: Config{Players: 96, Seed: 11, FixedDiameter: 16}, ClusterSize: 12, Diameter: 16, Scale: 9, Dishonest: 3, Strategy: HarshShifters, Protocol: ProtoRatings},
+		{Config: Config{Players: 96, Seed: 12, FixedDiameter: 16}, ClusterSize: 12, Diameter: 16, Scale: 5, Protocol: ProtoRatings},
 	}
 }
 
@@ -102,7 +110,7 @@ func TestPoolNewSimulationMatches(t *testing.T) {
 // TestParseRoundTrips pins the string forms grid specs and JSONL records
 // use.
 func TestParseRoundTrips(t *testing.T) {
-	for _, p := range []Protocol{ProtoRun, ProtoByzantine, ProtoBaseline, ProtoProbeAll, ProtoRandomGuess} {
+	for _, p := range []Protocol{ProtoRun, ProtoByzantine, ProtoBaseline, ProtoProbeAll, ProtoRandomGuess, ProtoRatings, ProtoBudgets} {
 		got, err := ParseProtocol(p.String())
 		if err != nil || got != p {
 			t.Fatalf("ParseProtocol(%q) = %v, %v", p.String(), got, err)
@@ -111,7 +119,7 @@ func TestParseRoundTrips(t *testing.T) {
 	if _, err := ParseProtocol("nope"); err == nil {
 		t.Fatal("ParseProtocol accepted an unknown name")
 	}
-	for _, s := range []Strategy{RandomLiar, FlipAll, Colluders, ClusterHijackers, StrangeObjectAttackers, ZeroSpammers} {
+	for _, s := range []Strategy{RandomLiar, FlipAll, Colluders, ClusterHijackers, StrangeObjectAttackers, ZeroSpammers, Exaggerators, HarshShifters} {
 		got, err := ParseStrategy(s.String())
 		if err != nil || got != s {
 			t.Fatalf("ParseStrategy(%q) = %v, %v", s.String(), got, err)
@@ -120,4 +128,73 @@ func TestParseRoundTrips(t *testing.T) {
 	if _, err := ParseStrategy("nope"); err == nil {
 		t.Fatal("ParseStrategy accepted an unknown name")
 	}
+}
+
+// TestStrategyCapabilities pins which strategies apply to which substrate:
+// the sweep expander relies on these predicates to skip uninstantiable
+// (strategy, protocol) combinations deterministically.
+func TestStrategyCapabilities(t *testing.T) {
+	wantRating := map[Strategy]bool{
+		RandomLiar: true, FlipAll: true, ZeroSpammers: true,
+		Exaggerators: true, HarshShifters: true,
+		Colluders: false, ClusterHijackers: false, StrangeObjectAttackers: false,
+	}
+	for s, want := range wantRating {
+		if s.RatingCapable() != want {
+			t.Fatalf("%v.RatingCapable() = %v, want %v", s, s.RatingCapable(), want)
+		}
+	}
+	for _, s := range []Strategy{Exaggerators, HarshShifters} {
+		if s.BinaryCapable() {
+			t.Fatalf("%v should not be binary-capable", s)
+		}
+	}
+	if !Colluders.BinaryCapable() {
+		t.Fatal("Colluders should be binary-capable")
+	}
+}
+
+// TestRatingScenarioMatchesFluent pins the declarative rating path to the
+// fluent one: a ProtoRatings scenario is byte-identical to building the
+// same RatingSimulation by hand.
+func TestRatingScenarioMatchesFluent(t *testing.T) {
+	sc := Scenario{
+		Config:      Config{Players: 96, Seed: 41, FixedDiameter: 16},
+		ClusterSize: 12, Diameter: 16, Scale: 5,
+		Dishonest: 4, Strategy: Exaggerators,
+		Protocol: ProtoRatings,
+	}
+	got := sc.Run()
+
+	rs := NewRatingSimulation(RatingConfig{
+		Players: 96, Scale: 5, Seed: 41, FixedDiameter: 16,
+	}, 12, 16)
+	rs.Corrupt(4, Exaggerators)
+	rrep := rs.RunByzantine(0)
+
+	if got.MaxError != rrep.MaxL1Error || got.MeanError != rrep.MeanL1Error ||
+		got.MaxProbes != int64(rrep.MaxProbes) || got.TotalProbes != rrep.TotalProbes ||
+		got.HonestLeaders != rrep.HonestLeaders || got.Repetitions != rrep.Repetitions {
+		t.Fatalf("rating scenario report differs from fluent construction:\n got %+v\nwant %+v", got, rrep)
+	}
+}
+
+// TestRatingScenarioBuildPanics: Build/Execute are the binary-substrate
+// path; a ProtoRatings scenario must fail fast with an actionable message
+// instead of constructing a wrong-substrate Simulation.
+func TestRatingScenarioBuildPanics(t *testing.T) {
+	sc := Scenario{
+		Config:      Config{Players: 32, Seed: 1},
+		ClusterSize: 8, Diameter: 4, Protocol: ProtoRatings,
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Build accepted a ProtoRatings scenario")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "ProtoRatings") {
+			t.Fatalf("unhelpful panic: %v", r)
+		}
+	}()
+	sc.Build(nil)
 }
