@@ -1,0 +1,42 @@
+package collabscore_test
+
+// BenchmarkBuildGraph is the neighbor-index scaling matrix (DESIGN.md §13):
+// the exact all-pairs sweep against the LSH banding index on planted
+// worlds at n ∈ {1024, 4096, 16384}, paper-regime threshold (twice the
+// planted diameter, far below cross-cluster distances). The exact sweep is
+// Θ(n²) Hamming tests; the banding index verifies only same-bucket
+// candidates, which on planted worlds is Θ(n·size) — the separation grows
+// linearly with n/size and is the acceptance criterion for the index
+// (≥ 5× at n=16384). See README.md for a recorded table.
+
+import (
+	"fmt"
+	"testing"
+
+	"collabscore/internal/cluster"
+	"collabscore/internal/prefgen"
+	"collabscore/internal/xrand"
+)
+
+var benchBuildGraphSink *cluster.Graph
+
+func BenchmarkBuildGraph(b *testing.B) {
+	const m, size, d = 1024, 256, 8
+	specs := []cluster.IndexSpec{{}, {Kind: "lsh"}}
+	for _, n := range []int{1024, 4096, 16384} {
+		in := prefgen.DiameterClusters(xrand.New(uint64(n)), n, m, size, d)
+		for _, spec := range specs {
+			b.Run(fmt.Sprintf("n=%d/%s", n, spec), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					benchBuildGraphSink = spec.BuildGraph(nil, in.Truth, 2*d, xrand.New(uint64(n)^0x5D))
+				}
+				deg := 0
+				for p := 0; p < benchBuildGraphSink.N(); p++ {
+					deg += benchBuildGraphSink.Degree(p)
+				}
+				b.ReportMetric(float64(deg/2), "edges")
+			})
+		}
+	}
+}

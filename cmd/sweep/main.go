@@ -20,6 +20,10 @@
 //	      -captiers 16:256:0.25,16:256:0.5,default \
 //	      -out budgets.jsonl                            # §8 capacity-tier grid
 //
+//	sweep -n 4096,16384 -cluster 256 -d 16 -fixd \
+//	      -protocols run -nidx exact,lsh \
+//	      -out nidx.jsonl        # exact vs LSH neighbor index, paired seeds
+//
 //	sweep -grid grid.json -out sweep.jsonl -resume   # continue after a kill
 //
 // Each completed point appends one JSON line to -out; rerunning with
@@ -54,6 +58,7 @@ func main() {
 		protos  = flag.String("protocols", "", "protocol variants (run, byzantine, baseline, probe-all, random-guess, ratings, budgets), comma-separated")
 		scales  = flag.String("scales", "", "rating-scale axis for the ratings protocol (0 = 5), comma-separated")
 		tiers   = flag.String("captiers", "", "capacity-tier axis for the budgets protocol, small:big:frac entries comma-separated")
+		nidx    = flag.String("nidx", "", "neighbor-index axis for the clustering protocols (exact, lsh, lsh:BANDS:ROWS), comma-separated")
 		trials  = flag.Int("trials", 1, "independent trials per coordinate")
 		seed    = flag.Uint64("seed", 2010, "root seed")
 		fixd    = flag.Bool("fixd", false, "fix the doubling loop to each point's planted diameter")
@@ -80,22 +85,23 @@ func main() {
 		}
 	} else {
 		spec = sweep.Spec{
-			Seed:           *seed,
-			Trials:         *trials,
-			Players:        intList(*ns),
-			Objects:        intList(*ms),
-			Budgets:        intList(*bs),
-			ClusterSizes:   intList(*cluster),
-			ZipfClusters:   intList(*zipf),
-			ZipfAlphas:     floatList(*alphas),
-			Diameters:      intList(*ds),
-			Dishonest:      intList(*fs),
-			Strategies:     strList(*strats),
-			Protocols:      strList(*protos),
-			Scales:         intList(*scales),
-			CapacityTiers:  tierList(*tiers),
-			FixDiameter:    *fixd,
-			PaperConstants: *paper,
+			Seed:            *seed,
+			Trials:          *trials,
+			Players:         intList(*ns),
+			Objects:         intList(*ms),
+			Budgets:         intList(*bs),
+			ClusterSizes:    intList(*cluster),
+			ZipfClusters:    intList(*zipf),
+			ZipfAlphas:      floatList(*alphas),
+			Diameters:       intList(*ds),
+			Dishonest:       intList(*fs),
+			Strategies:      strList(*strats),
+			Protocols:       strList(*protos),
+			Scales:          intList(*scales),
+			CapacityTiers:   tierList(*tiers),
+			NeighborIndexes: strList(*nidx),
+			FixDiameter:     *fixd,
+			PaperConstants:  *paper,
 		}
 		if len(spec.Players) == 0 {
 			flag.Usage()

@@ -33,6 +33,7 @@ import (
 	"collabscore/internal/adversary"
 	"collabscore/internal/baseline"
 	"collabscore/internal/bitvec"
+	"collabscore/internal/cluster"
 	"collabscore/internal/core"
 	"collabscore/internal/metrics"
 	"collabscore/internal/prefgen"
@@ -61,6 +62,14 @@ type Config struct {
 	// FixedDiameter, when positive, restricts the diameter-doubling loop to
 	// that single guess (used by experiments that know the planted D).
 	FixedDiameter int
+	// NeighborIndex selects how the clustering step discovers neighbor
+	// pairs: "" or "exact" (the default all-pairs sweep, the reference
+	// oracle and the historical behavior bit for bit), "lsh" (the
+	// sub-quadratic banding index with default shape), or
+	// "lsh:BANDS:ROWS". Applies to the clustering protocols (Run,
+	// RunByzantine, RunWithCapacities); the baselines never build a
+	// neighbor graph. See DESIGN.md §13.
+	NeighborIndex string
 }
 
 // Strategy names a dishonest-player behavior.
@@ -184,6 +193,11 @@ func (s *Simulation) rebuild() {
 		s.params.MinD = s.cfg.FixedDiameter
 		s.params.MaxD = s.cfg.FixedDiameter
 	}
+	spec, err := cluster.ParseIndexSpec(s.cfg.NeighborIndex)
+	if err != nil {
+		panic(fmt.Sprintf("collabscore: %v", err))
+	}
+	s.params.NeighborIndex = spec
 	if s.pool != nil {
 		s.params.Mem = s.pool.mem
 	}

@@ -25,7 +25,8 @@ import (
 // and probing assignments are drawn proportionally to capacity, so each
 // player's expected load tracks what it volunteered. The capacity slice
 // must have one entry per player. The run inherits the simulation's phase
-// schedule (Params().PhaseSerial/PhaseWorkers).
+// schedule (Params().PhaseSerial/PhaseWorkers) and its neighbor index
+// (Config.NeighborIndex / Params().NeighborIndex).
 func (s *Simulation) RunWithCapacities(capacities []int) *Report {
 	if len(capacities) != s.cfg.Players {
 		panic(fmt.Sprintf("collabscore: %d capacities for %d players", len(capacities), s.cfg.Players))
@@ -35,6 +36,7 @@ func (s *Simulation) RunWithCapacities(capacities []int) *Report {
 	pr.MinD, pr.MaxD = s.params.MinD, s.params.MaxD
 	pr.PhaseSerial = s.params.PhaseSerial
 	pr.PhaseWorkers = s.params.PhaseWorkers
+	pr.NeighborIndex = s.params.NeighborIndex
 	res := budgets.Run(s.w, s.rng.Split(14), pr)
 	es := metrics.Error(s.w, res.Output)
 	ps := metrics.Probes(s.w)

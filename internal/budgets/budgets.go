@@ -46,6 +46,12 @@ type Params struct {
 	// MinD/MaxD restrict the diameter guesses.
 	MinD, MaxD int
 
+	// NeighborIndex selects the neighbor-discovery implementation of the
+	// clustering step, mirroring core.Params.NeighborIndex: zero value is
+	// the exact all-pairs sweep (byte-identical to the pre-seam behavior),
+	// Kind "lsh" the banding index (DESIGN.md §13).
+	NeighborIndex cluster.IndexSpec
+
 	// PhaseSerial forces the protocol's phase loops onto the
 	// single-threaded reference schedule; PhaseWorkers, when positive and
 	// PhaseSerial is unset, pins them to exactly that many workers. The
@@ -212,8 +218,10 @@ func runIteration(rc *world.Run, d, red int, lnn float64, shared *xrand.Stream, 
 		z[p] = zMap[p]
 	}
 
-	// Neighbor graph as in core.
-	g := cluster.BuildGraphOn(rc.Exec(), z, int(math.Ceil(pr.EdgeFactor*lnn)))
+	// Neighbor graph as in core, through the NeighborIndex seam (the index
+	// stream split is a pure read of the shared coins, so the default exact
+	// path consumes exactly the coins it always did).
+	g := pr.NeighborIndex.BuildGraph(rc.Exec(), z, int(math.Ceil(pr.EdgeFactor*lnn)), shared.Split(0x5D))
 
 	// Capacity-validated peeling: a seed player and its alive neighbors
 	// form a cluster only when their total capacity can absorb the work.
@@ -302,18 +310,25 @@ func buildByCapacity(g *cluster.Graph, capacity []int, needed int) *cluster.Clus
 		of[i] = -1
 	}
 	var clusters [][]int
+	// Like cluster.Build's peel, the scan keeps a monotone cursor: peeling
+	// only removes players, so a surviving neighborhood's capacity sum can
+	// only shrink and a once-rejected seed can never later qualify. The
+	// neighbor scans walk the adjacency words in place (VisitNeighbors)
+	// instead of materializing a slice per candidate seed.
+	cursor := 0
 	for {
 		found := -1
-		for p := 0; p < n; p++ {
+		for p := cursor; p < n; p++ {
 			if !alive[p] {
 				continue
 			}
 			capSum := capacity[p]
-			for _, q := range g.Neighbors(p) {
+			g.VisitNeighbors(p, func(q int) bool {
 				if alive[q] {
 					capSum += capacity[q]
 				}
-			}
+				return true
+			})
 			if capSum >= needed {
 				found = p
 				break
@@ -322,12 +337,14 @@ func buildByCapacity(g *cluster.Graph, capacity []int, needed int) *cluster.Clus
 		if found < 0 {
 			break
 		}
+		cursor = found + 1
 		members := []int{found}
-		for _, q := range g.Neighbors(found) {
+		g.VisitNeighbors(found, func(q int) bool {
 			if alive[q] {
 				members = append(members, q)
 			}
-		}
+			return true
+		})
 		j := len(clusters)
 		for _, q := range members {
 			alive[q] = false
@@ -340,14 +357,15 @@ func buildByCapacity(g *cluster.Graph, capacity []int, needed int) *cluster.Clus
 		if !alive[p] {
 			continue
 		}
-		for _, q := range g.Neighbors(p) {
-			if of[q] >= 0 {
-				of[p] = of[q]
-				clusters[of[q]] = append(clusters[of[q]], p)
-				alive[p] = false
-				break
+		g.VisitNeighbors(p, func(q int) bool {
+			if of[q] < 0 {
+				return true
 			}
-		}
+			of[p] = of[q]
+			clusters[of[q]] = append(clusters[of[q]], p)
+			alive[p] = false
+			return false
+		})
 	}
 	return &cluster.Clustering{Clusters: clusters, Of: of}
 }

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"collabscore/internal/bitvec"
+	"collabscore/internal/cluster"
 	"collabscore/internal/metrics"
 	"collabscore/internal/prefgen"
 	"collabscore/internal/world"
@@ -255,5 +256,78 @@ func TestMajorityVectorShared(t *testing.T) {
 	}
 	if shared == 0 {
 		t.Fatal("no two cluster members share a majority vector — the clone removal regressed")
+	}
+}
+
+// TestNeighborIndexLSHMatchesExact pins the seam on the budgets path: on a
+// planted two-tier world at the paper-regime threshold, the banding index
+// yields the identical outputs, cluster counts and capacities, and probe
+// charges as the exact oracle.
+func TestNeighborIndexLSHMatchesExact(t *testing.T) {
+	const n, d = 512, 16
+	rng := xrand.New(6)
+	in := prefgen.DiameterClusters(rng.Split(1), n, n, 64, d)
+	caps := TwoTier(rng.Split(2), n, 32, 512, 0.25)
+
+	run := func(spec cluster.IndexSpec) (*Result, *world.World) {
+		w := world.New(in.Truth)
+		pr := Scaled(n, caps)
+		pr.MinD, pr.MaxD = d, d
+		pr.NeighborIndex = spec
+		return Run(w, xrand.New(6).Split(3), pr), w
+	}
+	ref, refW := run(cluster.IndexSpec{})
+	got, gotW := run(cluster.IndexSpec{Kind: "lsh"})
+
+	if got.NumClusters != ref.NumClusters {
+		t.Fatalf("LSH formed %d clusters, exact %d", got.NumClusters, ref.NumClusters)
+	}
+	if len(got.ClusterCapacity) != len(ref.ClusterCapacity) {
+		t.Fatalf("cluster capacity lists differ in length")
+	}
+	for j := range ref.ClusterCapacity {
+		if got.ClusterCapacity[j] != ref.ClusterCapacity[j] {
+			t.Fatalf("cluster %d capacity %d (lsh) vs %d (exact)", j, got.ClusterCapacity[j], ref.ClusterCapacity[j])
+		}
+	}
+	for p := 0; p < n; p++ {
+		if got.Output[p].Hamming(ref.Output[p]) != 0 {
+			t.Fatalf("player %d output differs between LSH and exact", p)
+		}
+		if gotW.Probes(p) != refW.Probes(p) {
+			t.Fatalf("player %d probes %d (lsh) vs %d (exact)", p, gotW.Probes(p), refW.Probes(p))
+		}
+	}
+}
+
+// TestLSHScheduleMatrix: the budgets protocol with the banding index is
+// byte-identical across phase schedules, like every other configuration.
+func TestLSHScheduleMatrix(t *testing.T) {
+	const n, d = 256, 16
+	rng := xrand.New(8)
+	in := prefgen.DiameterClusters(rng.Split(1), n, n, 32, d)
+	caps := TwoTier(rng.Split(2), n, 16, 256, 0.3)
+
+	var ref *Result
+	for _, sched := range []struct {
+		serial  bool
+		workers int
+	}{{true, 0}, {false, 0}, {false, 3}} {
+		w := world.New(in.Truth)
+		pr := Scaled(n, caps)
+		pr.MinD, pr.MaxD = d, d
+		pr.NeighborIndex = cluster.IndexSpec{Kind: "lsh", Bands: 12, Rows: 10}
+		pr.PhaseSerial = sched.serial
+		pr.PhaseWorkers = sched.workers
+		res := Run(w, xrand.New(8).Split(3), pr)
+		if ref == nil {
+			ref = res
+			continue
+		}
+		for p := 0; p < n; p++ {
+			if res.Output[p].Hamming(ref.Output[p]) != 0 {
+				t.Fatalf("schedule %+v: player %d output differs from serial", sched, p)
+			}
+		}
 	}
 }

@@ -13,12 +13,17 @@
 // Byzantine repetitions, DESIGN.md §6 — may call them freely on their own
 // z-vectors. Within one run, the O(n²) pairwise sweep is itself
 // block-partitioned across the run's executor (BuildGraphOn, DESIGN.md
-// §9); the peeling in Build stays sequential because each peel depends on
-// which players the previous peel removed, and it is a cheap bitset scan
-// over the precomputed adjacency.
+// §9), and neighbor discovery as a whole is pluggable through the
+// NeighborIndex seam (index.go, DESIGN.md §13) — the exact sweep is the
+// default and reference oracle, the LSH banding index the sub-quadratic
+// alternative. The peeling in Build stays sequential because each peel
+// depends on which players the previous peel removed, and it is a cheap
+// bitset scan over the precomputed adjacency.
 package cluster
 
 import (
+	"math/bits"
+
 	"collabscore/internal/bitvec"
 	"collabscore/internal/par"
 )
@@ -114,6 +119,21 @@ func (g *Graph) Adjacent(p, q int) bool { return g.adj[p].Get(q) }
 // Neighbors returns the neighbor ids of player p.
 func (g *Graph) Neighbors(p int) []int { return g.adj[p].OnesIndices() }
 
+// VisitNeighbors calls fn on p's neighbors in increasing id order, stopping
+// early when fn returns false. It walks the adjacency bitset words directly
+// — the allocation-free counterpart of Neighbors for callers that only scan
+// until a match (the attachment phases here and in budgets).
+func (g *Graph) VisitNeighbors(p int, fn func(q int) bool) {
+	row := g.adj[p]
+	for wi, nw := 0, row.Words(); wi < nw; wi++ {
+		for x := row.Word(wi); x != 0; x &= x - 1 {
+			if !fn(wi*64 + bits.TrailingZeros64(x)) {
+				return
+			}
+		}
+	}
+}
+
 // Build peels clusters from the graph per §6.5: repeatedly pick a player
 // with at least minSize−1 surviving neighbors, make a cluster of it and its
 // surviving neighbors, and remove them; then attach each leftover player to
@@ -134,10 +154,16 @@ func Build(g *Graph, minSize int) *Clustering {
 	var clusters [][]int
 
 	// Peeling phase. Scanning players in id order is deterministic; the
-	// paper allows any choice.
+	// paper allows any choice. The scan keeps a monotone cursor rather than
+	// restarting at 0 after every peel: removals only ever shrink surviving
+	// degree, so a player rejected in an earlier pass can never later
+	// qualify — the first qualifying player is always past the previous one
+	// (output byte-identical to the full rescan; TestPeelCursorMatchesRescan
+	// pins it).
+	cursor := 0
 	for {
 		found := -1
-		for p := 0; p < n; p++ {
+		for p := cursor; p < n; p++ {
 			if !alive.Get(p) {
 				continue
 			}
@@ -149,6 +175,7 @@ func Build(g *Graph, minSize int) *Clustering {
 		if found < 0 {
 			break
 		}
+		cursor = found + 1
 		members := append([]int{found}, g.adj[found].And(alive).OnesIndices()...)
 		j := len(clusters)
 		for _, q := range members {
@@ -158,20 +185,23 @@ func Build(g *Graph, minSize int) *Clustering {
 		clusters = append(clusters, members)
 	}
 
-	// Attachment phase: leftover players join a cluster containing one of
-	// their original neighbors (V'_j in the paper).
+	// Attachment phase: leftover players join the cluster of their first
+	// (lowest-id) assigned original neighbor (V'_j in the paper), scanning
+	// the adjacency words in place instead of materializing a neighbor
+	// slice per leftover player.
 	for p := 0; p < n; p++ {
 		if !alive.Get(p) {
 			continue
 		}
-		for _, q := range g.Neighbors(p) {
-			if of[q] >= 0 {
-				of[p] = of[q]
-				clusters[of[q]] = append(clusters[of[q]], p)
-				alive.Set(p, false)
-				break
+		g.VisitNeighbors(p, func(q int) bool {
+			if of[q] < 0 {
+				return true
 			}
-		}
+			of[p] = of[q]
+			clusters[of[q]] = append(clusters[of[q]], p)
+			alive.Set(p, false)
+			return false
+		})
 	}
 	return &Clustering{Clusters: clusters, Of: of}
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -275,4 +276,192 @@ func TestPeeledClusterDiameterBounded(t *testing.T) {
 			t.Fatalf("cluster %d diameter %d > %d", j, d, 4*threshold)
 		}
 	}
+}
+
+// buildReference is the pre-cursor Build, kept verbatim as the comparison
+// oracle for TestPeelCursorMatchesRescan: restart the candidate scan at
+// p=0 after every peel and attach leftovers via materialized neighbor
+// slices. The production Build must match it byte for byte.
+func buildReference(g *Graph, minSize int) *Clustering {
+	if minSize < 1 {
+		minSize = 1
+	}
+	n := g.n
+	alive := bitvec.New(n)
+	for p := 0; p < n; p++ {
+		alive.Set(p, true)
+	}
+	of := make([]int, n)
+	for p := range of {
+		of[p] = -1
+	}
+	var clusters [][]int
+	for {
+		found := -1
+		for p := 0; p < n; p++ {
+			if !alive.Get(p) {
+				continue
+			}
+			if g.adj[p].And(alive).Count() >= minSize-1 {
+				found = p
+				break
+			}
+		}
+		if found < 0 {
+			break
+		}
+		members := append([]int{found}, g.adj[found].And(alive).OnesIndices()...)
+		j := len(clusters)
+		for _, q := range members {
+			alive.Set(q, false)
+			of[q] = j
+		}
+		clusters = append(clusters, members)
+	}
+	for p := 0; p < n; p++ {
+		if !alive.Get(p) {
+			continue
+		}
+		for _, q := range g.Neighbors(p) {
+			if of[q] >= 0 {
+				of[p] = of[q]
+				clusters[of[q]] = append(clusters[of[q]], p)
+				alive.Set(p, false)
+				break
+			}
+		}
+	}
+	return &Clustering{Clusters: clusters, Of: of}
+}
+
+// TestPeelCursorMatchesRescan pins the monotone-cursor peel: on planted,
+// uniform and near-threshold graphs at several n, Build's output must be
+// identical (cluster lists, member order, Of) to the rescan-from-0
+// reference.
+func TestPeelCursorMatchesRescan(t *testing.T) {
+	type world struct {
+		name      string
+		z         []bitvec.Vector
+		threshold int
+		minSize   int
+	}
+	var worlds []world
+	for _, n := range []int{1, 7, 64, 120, 257} {
+		rng := xrand.New(uint64(n) * 13)
+		size := n / 4
+		if size < 1 {
+			size = 1
+		}
+		in := prefgen.DiameterClusters(rng, n, 300, size, 6)
+		worlds = append(worlds, world{"planted", in.Truth, 12, size})
+		u := prefgen.Uniform(rng, n, 96)
+		// Threshold near the median distance makes a dense, messy graph
+		// where many seeds qualify and peel order matters.
+		worlds = append(worlds, world{"uniform", u.Truth, 48, 3})
+		worlds = append(worlds, world{"sparse", u.Truth, 20, 2})
+	}
+	for _, w := range worlds {
+		g := BuildGraph(w.z, w.threshold)
+		got := Build(g, w.minSize)
+		want := buildReference(g, w.minSize)
+		if !reflect.DeepEqual(got.Clusters, want.Clusters) || !reflect.DeepEqual(got.Of, want.Of) {
+			t.Fatalf("%s n=%d: cursor peel differs from rescan reference", w.name, len(w.z))
+		}
+	}
+}
+
+// TestBuildGraphThresholdZero: at threshold 0 only exact duplicates share
+// edges.
+func TestBuildGraphThresholdZero(t *testing.T) {
+	z := []bitvec.Vector{
+		bitvec.FromBits([]int{0, 1, 0}),
+		bitvec.FromBits([]int{0, 1, 0}),
+		bitvec.FromBits([]int{0, 1, 1}),
+	}
+	g := BuildGraph(z, 0)
+	if !g.Adjacent(0, 1) || g.Adjacent(0, 2) || g.Adjacent(1, 2) {
+		t.Fatal("threshold-0 adjacency wrong")
+	}
+}
+
+// TestSinglePlayer: n = 1 worlds cluster trivially at minSize 1 and leave
+// the player unassigned at minSize 2.
+func TestSinglePlayer(t *testing.T) {
+	z := []bitvec.Vector{bitvec.FromBits([]int{1, 0})}
+	g := BuildGraph(z, 1)
+	if g.N() != 1 || g.Degree(0) != 0 {
+		t.Fatalf("single-player graph N=%d deg=%d", g.N(), g.Degree(0))
+	}
+	cl := Build(g, 1)
+	if len(cl.Clusters) != 1 || cl.Of[0] != 0 {
+		t.Fatalf("minSize 1: clusters %v, Of %v", cl.Clusters, cl.Of)
+	}
+	cl = Build(g, 2)
+	if len(cl.Clusters) != 0 || cl.Of[0] != -1 || len(cl.Unassigned()) != 1 {
+		t.Fatalf("minSize 2: clusters %v, unassigned %v", cl.Clusters, cl.Unassigned())
+	}
+}
+
+// TestIsolatedPlayers: players with no neighbors at all stay unassigned
+// and never perturb MinClusterSize.
+func TestIsolatedPlayers(t *testing.T) {
+	// 4 identical players + 2 isolated ones far from everyone.
+	z := []bitvec.Vector{
+		bitvec.FromBits([]int{0, 0, 0, 0, 0, 0, 0, 0}),
+		bitvec.FromBits([]int{0, 0, 0, 0, 0, 0, 0, 0}),
+		bitvec.FromBits([]int{0, 0, 0, 0, 0, 0, 0, 0}),
+		bitvec.FromBits([]int{0, 0, 0, 0, 0, 0, 0, 0}),
+		bitvec.FromBits([]int{1, 1, 1, 1, 1, 1, 1, 1}),
+		bitvec.FromBits([]int{1, 1, 1, 1, 0, 0, 0, 0}),
+	}
+	g := BuildGraph(z, 1)
+	cl := Build(g, 4)
+	if len(cl.Clusters) != 1 || len(cl.Clusters[0]) != 4 {
+		t.Fatalf("clusters %v", cl.Clusters)
+	}
+	if got := cl.Unassigned(); len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Fatalf("Unassigned = %v, want [4 5]", got)
+	}
+	if cl.MinClusterSize() != 4 {
+		t.Fatalf("MinClusterSize = %d", cl.MinClusterSize())
+	}
+	for _, p := range []int{4, 5} {
+		if cl.Of[p] != -1 {
+			t.Fatalf("isolated player %d assigned to cluster %d", p, cl.Of[p])
+		}
+	}
+}
+
+// TestVisitNeighbors: word-walking iteration matches Neighbors and honors
+// early stop.
+func TestVisitNeighbors(t *testing.T) {
+	rng := xrand.New(31)
+	in := prefgen.Uniform(rng, 130, 96)
+	g := BuildGraph(in.Truth, 44)
+	for p := 0; p < g.N(); p++ {
+		var got []int
+		g.VisitNeighbors(p, func(q int) bool {
+			got = append(got, q)
+			return true
+		})
+		if !reflect.DeepEqual(got, g.Neighbors(p)) {
+			t.Fatalf("VisitNeighbors(%d) = %v, Neighbors = %v", p, got, g.Neighbors(p))
+		}
+		// Early stop after the first neighbor.
+		count := 0
+		g.VisitNeighbors(p, func(q int) bool {
+			count++
+			return false
+		})
+		if want := minTestInt(1, len(got)); count != want {
+			t.Fatalf("early stop visited %d neighbors, want %d", count, want)
+		}
+	}
+}
+
+func minTestInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }

@@ -1,0 +1,323 @@
+// Neighbor discovery is a pluggable layer (DESIGN.md §13): the protocol
+// needs the graph where players p and q are adjacent iff their sample-set
+// vectors are within the edge threshold, but HOW candidate pairs are found
+// is an implementation choice. The exact all-pairs sweep (BuildGraphOn) is
+// the reference oracle; the LSH banding index buckets players by hashes of
+// sampled bit positions and verifies exact Hamming distance only within
+// buckets, replacing the O(n²) wall with near-linear work on clustered
+// inputs. Both are deterministic given their inputs and produce identical
+// graphs under every par.Runner schedule.
+package cluster
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+	"sync"
+
+	"collabscore/internal/bitvec"
+	"collabscore/internal/par"
+	"collabscore/internal/xrand"
+)
+
+// NeighborIndex is the neighbor-discovery seam: an implementation builds
+// the neighbor graph over the players' vectors for a Hamming threshold.
+// Exact is the reference oracle (every edge, no misses); approximate
+// implementations like LSH may miss a vanishing fraction of edges but must
+// never invent one (candidates are always verified by exact distance), and
+// must be pure functions of (z, threshold, rng) under every executor
+// schedule — the determinism contract of DESIGN.md §9.
+type NeighborIndex interface {
+	// BuildGraph returns the graph with an edge for (a subset of) the pairs
+	// p < q with z[p].Hamming(z[q]) ≤ threshold. rng carries the shared
+	// coins the index may consume (ignored by Exact); exec nil means the
+	// default parallel executor.
+	BuildGraph(exec *par.Runner, z []bitvec.Vector, threshold int, rng *xrand.Stream) *Graph
+}
+
+// Exact is the all-pairs reference oracle: the block-partitioned pairwise
+// sweep of BuildGraphOn. It consumes no randomness.
+type Exact struct{}
+
+// BuildGraph implements NeighborIndex by the exact sweep.
+func (Exact) BuildGraph(exec *par.Runner, z []bitvec.Vector, threshold int, _ *xrand.Stream) *Graph {
+	return BuildGraphOn(exec, z, threshold)
+}
+
+// Default LSH shape: DefaultBands hash tables of DefaultRows sampled bit
+// positions each. For a close pair agreeing on a fraction s of the
+// informative positions, per-band collision probability is s^Rows and the
+// miss probability (1 − s^Rows)^Bands; at the paper-regime thresholds
+// (threshold ≪ informative positions, so s ≈ 1) the defaults put the miss
+// probability well below 10⁻³ per pair — see DESIGN.md §13 for the recall
+// argument and the planted-world tests that pin it.
+const (
+	DefaultBands = 16
+	DefaultRows  = 12
+)
+
+// LSH is the banding index: a bit-sampling locality-sensitive hash for
+// Hamming distance. Bands hash tables each hash Rows sampled bit positions
+// of every vector into a bucket key; players sharing a bucket in any band
+// become candidate pairs, and only candidates are verified by exact
+// Hamming distance. Close pairs (distance ≤ threshold) agree on almost
+// every position, so they collide in some band with probability
+// 1 − (1 − s^Rows)^Bands ≈ 1; far pairs almost never do, so on clustered
+// inputs the verification work is Σ (bucket size)² ≈ n·(cluster size)
+// instead of n².
+//
+// Determinism: the sampled positions come from the rng stream passed to
+// BuildGraph (split by the caller from the iteration's shared coins —
+// xrand.SplitValue, no global randomness), hashing and bucketing are pure
+// functions of the vectors, each candidate pair is verified in exactly one
+// band (the first band where its hashes collide), and edges are written as
+// an order-insensitive set union — so the graph is identical under serial,
+// fixed-width, and parallel schedules (TestLSHSchedulesAgree).
+//
+// Positions are sampled only from the informative columns (bits on which
+// the players disagree somewhere); constant columns carry no distance
+// signal. When every column is constant — all vectors identical, the LSH
+// worst case — every player lands in one giant bucket and the index
+// degenerates to the exact sweep's O(n²) verification (of distance-0
+// pairs), correct but no faster.
+type LSH struct {
+	// Bands is the number of hash tables; 0 means DefaultBands.
+	Bands int
+	// Rows is the number of sampled bit positions per band; 0 means
+	// DefaultRows.
+	Rows int
+}
+
+// BuildGraph implements NeighborIndex by banding.
+func (ix LSH) BuildGraph(exec *par.Runner, z []bitvec.Vector, threshold int, rng *xrand.Stream) *Graph {
+	b, r := ix.Bands, ix.Rows
+	if b < 1 {
+		b = DefaultBands
+	}
+	if r < 1 {
+		r = DefaultRows
+	}
+	n := len(z)
+	g := &Graph{n: n, adj: make([]bitvec.Vector, n)}
+	for p := range g.adj {
+		g.adj[p] = bitvec.New(n)
+	}
+	if n < 2 {
+		return g
+	}
+
+	// Informative positions: bits where some pair of players disagrees
+	// (word-column OR minus AND — commutative reductions, so the parallel
+	// fan-out over word columns cannot affect the result). Constant
+	// positions contribute nothing to any pairwise distance.
+	words := z[0].Words()
+	orW := make([]uint64, words)
+	andW := make([]uint64, words)
+	exec.For(words, func(wi int) {
+		o, a := uint64(0), ^uint64(0)
+		for p := 0; p < n; p++ {
+			w := z[p].Word(wi)
+			o |= w
+			a &= w
+		}
+		orW[wi], andW[wi] = o, a
+	})
+	var positions []int
+	for wi := 0; wi < words; wi++ {
+		for x := orW[wi] &^ andW[wi]; x != 0; x &= x - 1 {
+			positions = append(positions, wi*64+bits.TrailingZeros64(x))
+		}
+	}
+
+	// Sample the Bands×Rows hash positions from the informative set with
+	// replacement, serially from the index stream (deterministic given the
+	// seed). With no informative positions every hash below stays at the
+	// offset basis and all players share one bucket per band.
+	sampled := make([]int32, b*r)
+	for i := range sampled {
+		if len(positions) == 0 {
+			break
+		}
+		sampled[i] = int32(positions[rng.Intn(len(positions))])
+	}
+
+	// Hash every player's bands (parallel over players; pure function of
+	// z[p], index-ordered writes into the flat hashes array).
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	hashes := make([]uint64, n*b)
+	if len(positions) > 0 {
+		exec.For(n, func(p int) {
+			v := z[p]
+			for band := 0; band < b; band++ {
+				h := uint64(fnvOffset)
+				for _, pos := range sampled[band*r : (band+1)*r] {
+					bit := v.Word(int(pos)>>6) >> (uint(pos) & 63) & 1
+					h = (h ^ bit) * fnvPrime
+				}
+				hashes[p*b+band] = h
+			}
+		})
+	}
+
+	// Bucket players per band (parallel over bands; each band appends its
+	// players in id order, buckets in first-touch order, so the flattened
+	// task list is schedule-independent). Singleton buckets generate no
+	// pairs and are dropped.
+	type bucket struct {
+		band    int
+		members []int32
+	}
+	perBand := make([][]bucket, b)
+	exec.For(b, func(band int) {
+		idx := make(map[uint64]int)
+		var bks []bucket
+		for p := 0; p < n; p++ {
+			h := hashes[p*b+band]
+			bi, ok := idx[h]
+			if !ok {
+				bi = len(bks)
+				idx[h] = bi
+				bks = append(bks, bucket{band: band})
+			}
+			bks[bi].members = append(bks[bi].members, int32(p))
+		}
+		perBand[band] = bks
+	})
+	var tasks []bucket
+	for _, bks := range perBand {
+		for _, bk := range bks {
+			if len(bk.members) > 1 {
+				tasks = append(tasks, bk)
+			}
+		}
+	}
+
+	// Verify candidates (parallel over buckets). A pair sharing buckets in
+	// several bands is verified exactly once — in the first band where its
+	// hashes collide; later bands detect the earlier collision with a cheap
+	// hash-prefix comparison and skip. Verified edges accumulate in
+	// per-worker buffers and flush into the adjacency rows under a mutex:
+	// the graph is the set union of the verified pairs, and set bits are
+	// idempotent, so neither the flush order nor the worker assignment can
+	// affect the result.
+	var mu sync.Mutex
+	flush := func(edges [][2]int32) {
+		mu.Lock()
+		for _, e := range edges {
+			g.adj[e[0]].Set(int(e[1]), true)
+			g.adj[e[1]].Set(int(e[0]), true)
+		}
+		mu.Unlock()
+	}
+	const flushAt = 1 << 14
+	bufs := make([][][2]int32, exec.Workers(len(tasks)))
+	exec.ForWorker(len(tasks), func(wk, t int) {
+		bk := tasks[t]
+		buf := bufs[wk]
+		members := bk.members
+		for i := 0; i < len(members); i++ {
+			p := int(members[i])
+			hp := hashes[p*b : p*b+bk.band]
+		pairs:
+			for j := i + 1; j < len(members); j++ {
+				q := int(members[j])
+				hq := hashes[q*b:]
+				for e := range hp {
+					if hp[e] == hq[e] {
+						continue pairs // verified at the earlier band
+					}
+				}
+				if z[p].Hamming(z[q]) <= threshold {
+					buf = append(buf, [2]int32{int32(p), int32(q)})
+					if len(buf) >= flushAt {
+						flush(buf)
+						buf = buf[:0]
+					}
+				}
+			}
+		}
+		bufs[wk] = buf
+	})
+	for _, buf := range bufs {
+		flush(buf)
+	}
+	return g
+}
+
+// IndexSpec is the serializable neighbor-index knob carried by protocol
+// parameters, scenario configs, and sweep grids. The zero value selects
+// Exact — the default, so unset knobs keep the historical behavior bit for
+// bit. Kind "lsh" selects the banding index with the given shape (zero
+// Bands/Rows mean the defaults).
+type IndexSpec struct {
+	// Kind is "" or "exact" for the all-pairs oracle, "lsh" for banding.
+	Kind string
+	// Bands/Rows shape the LSH index (ignored for exact).
+	Bands int
+	Rows  int
+}
+
+// IsExact reports whether the spec selects the exact reference sweep.
+func (sp IndexSpec) IsExact() bool { return sp.Kind == "" || sp.Kind == "exact" }
+
+// String returns the canonical flag/axis form: "exact", "lsh", or
+// "lsh:BANDS:ROWS". ParseIndexSpec inverts it.
+func (sp IndexSpec) String() string {
+	if sp.IsExact() {
+		return "exact"
+	}
+	if sp.Bands == 0 && sp.Rows == 0 {
+		return sp.Kind
+	}
+	return fmt.Sprintf("%s:%d:%d", sp.Kind, sp.Bands, sp.Rows)
+}
+
+// ParseIndexSpec parses the "exact" | "lsh" | "lsh:BANDS:ROWS" forms used
+// by Config.NeighborIndex, sweep specs, and cmd/sweep's -nidx flag ("" and
+// "exact" both yield the zero spec, so the default stays canonical).
+// Parsing is strict — wrong field counts and non-positive shapes are
+// rejected rather than silently running a wrong experiment.
+func ParseIndexSpec(s string) (IndexSpec, error) {
+	switch s {
+	case "", "exact":
+		return IndexSpec{}, nil
+	case "lsh":
+		return IndexSpec{Kind: "lsh"}, nil
+	}
+	bad := func() (IndexSpec, error) {
+		return IndexSpec{}, fmt.Errorf("cluster: bad neighbor index %q (want exact, lsh, or lsh:BANDS:ROWS with positive shape)", s)
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 || parts[0] != "lsh" {
+		return bad()
+	}
+	bands, err1 := strconv.Atoi(parts[1])
+	rows, err2 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || bands < 1 || rows < 1 {
+		return bad()
+	}
+	return IndexSpec{Kind: "lsh", Bands: bands, Rows: rows}, nil
+}
+
+// Index resolves the spec to its implementation. It panics on an unknown
+// Kind — specs reaching protocol code went through ParseIndexSpec (or are
+// zero), so an unknown kind is a programming error, not bad input.
+func (sp IndexSpec) Index() NeighborIndex {
+	if sp.IsExact() {
+		return Exact{}
+	}
+	if sp.Kind != "lsh" {
+		panic(fmt.Sprintf("cluster: unknown neighbor index kind %q", sp.Kind))
+	}
+	return LSH{Bands: sp.Bands, Rows: sp.Rows}
+}
+
+// BuildGraph builds the neighbor graph through the spec'd implementation —
+// the one-line seam both protocol call sites use.
+func (sp IndexSpec) BuildGraph(exec *par.Runner, z []bitvec.Vector, threshold int, rng *xrand.Stream) *Graph {
+	return sp.Index().BuildGraph(exec, z, threshold, rng)
+}

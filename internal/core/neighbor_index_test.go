@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"collabscore/internal/cluster"
+	"collabscore/internal/world"
+	"collabscore/internal/xrand"
+)
+
+// lshParams returns Scaled params with the banding index selected and the
+// doubling loop pinned to the planted diameter of byzWorld (paper-regime
+// configuration: the sample is dense and the edge threshold is far below
+// cross-cluster distances, where the recall argument of DESIGN.md §13
+// applies).
+func lshParams(n, b int) Params {
+	pr := Scaled(n, b)
+	pr.MinD, pr.MaxD = 4, 4
+	pr.NeighborIndex = cluster.IndexSpec{Kind: "lsh"}
+	return pr
+}
+
+// TestNeighborIndexLSHMatchesExact is the end-to-end equivalence pin: on
+// planted worlds at the paper-regime threshold, running the full protocol
+// with the LSH index produces the identical outputs, probe counts, and
+// per-iteration clustering stats as the exact oracle — with and without
+// adaptive adversaries.
+func TestNeighborIndexLSHMatchesExact(t *testing.T) {
+	for _, n := range []int{256, 512} {
+		for _, corrupt := range []bool{false, true} {
+			const b = 8
+			seed := uint64(3000 + n)
+
+			exact := lshParams(n, b)
+			exact.NeighborIndex = cluster.IndexSpec{}
+			refW := byzWorld(seed, n, b, corrupt)
+			ref := Run(refW, xrand.New(seed).Split(10), exact)
+
+			gotW := byzWorld(seed, n, b, corrupt)
+			got := Run(gotW, xrand.New(seed).Split(10), lshParams(n, b))
+
+			if !equalOutputs(ref.Output, got.Output) {
+				t.Fatalf("n=%d corrupt=%v: LSH output differs from exact oracle", n, corrupt)
+			}
+			if len(ref.Iterations) != len(got.Iterations) {
+				t.Fatalf("n=%d corrupt=%v: iteration count differs", n, corrupt)
+			}
+			for gi := range ref.Iterations {
+				ri, li := &ref.Iterations[gi], &got.Iterations[gi]
+				if ri.NumClusters != li.NumClusters || ri.MinCluster != li.MinCluster ||
+					ri.Unassigned != li.Unassigned || ri.SampleSize != li.SampleSize {
+					t.Fatalf("n=%d corrupt=%v: iteration %d clustering stats differ (exact %+v, lsh %+v)",
+						n, corrupt, gi, ri, li)
+				}
+			}
+			for p := 0; p < n; p++ {
+				if refW.Probes(p) != gotW.Probes(p) {
+					t.Fatalf("n=%d corrupt=%v: player %d probes %d (exact) vs %d (lsh)",
+						n, corrupt, p, refW.Probes(p), gotW.Probes(p))
+				}
+			}
+		}
+	}
+}
+
+// TestLSHScheduleMatrixMatches gives the LSH path the same schedule-matrix
+// treatment as the default path: the full Byzantine wrapper under all four
+// repetition × phase schedule combinations must produce byte-identical
+// results with the banding index selected.
+func TestLSHScheduleMatrixMatches(t *testing.T) {
+	const n, b = 128, 8
+	const seed = 177
+	type schedule struct{ byzSerial, phaseSerial bool }
+	var ref *Result
+	var refW *world.World
+	for _, sc := range []schedule{{true, true}, {true, false}, {false, true}, {false, false}} {
+		pr := lshParams(n, b)
+		pr.ByzIterations = 6
+		pr.ByzSerial = sc.byzSerial
+		pr.PhaseSerial = sc.phaseSerial
+		w := byzWorld(seed, n, b, true)
+		res := RunByzantine(w, xrand.New(seed).Split(11), nil, pr)
+		if ref == nil {
+			ref, refW = res, w
+			continue
+		}
+		if !equalOutputs(ref.Output, res.Output) {
+			t.Fatalf("schedule %+v: LSH output differs from fully-serial reference", sc)
+		}
+		if ref.HonestLeaders != res.HonestLeaders || ref.BoardWrites != res.BoardWrites ||
+			ref.BoardReads != res.BoardReads {
+			t.Fatalf("schedule %+v: LSH counters differ from fully-serial reference", sc)
+		}
+		for p := 0; p < n; p++ {
+			if refW.Probes(p) != w.Probes(p) {
+				t.Fatalf("schedule %+v: player %d probes differ", sc, p)
+			}
+		}
+	}
+}
+
+// TestLSHPhaseWorkersMatch: pinned fixed-width phase pools (the
+// single-core-host escape hatch) produce the same LSH-path output as the
+// serial and parallel schedules.
+func TestLSHPhaseWorkersMatch(t *testing.T) {
+	const n, b = 128, 8
+	const seed = 91
+	serial := lshParams(n, b)
+	serial.PhaseSerial = true
+	refW := byzWorld(seed, n, b, true)
+	ref := Run(refW, xrand.New(seed).Split(10), serial)
+	for _, workers := range []int{2, 5} {
+		pr := lshParams(n, b)
+		pr.PhaseWorkers = workers
+		w := byzWorld(seed, n, b, true)
+		got := Run(w, xrand.New(seed).Split(10), pr)
+		if !equalOutputs(ref.Output, got.Output) {
+			t.Fatalf("PhaseWorkers=%d: LSH output differs from serial", workers)
+		}
+	}
+}

@@ -17,6 +17,7 @@ package core
 import (
 	"math"
 
+	"collabscore/internal/cluster"
 	"collabscore/internal/election"
 	"collabscore/internal/selection"
 	"collabscore/internal/smallradius"
@@ -83,6 +84,18 @@ type Params struct {
 	// goroutine interleavings on single-core hosts; output is byte-identical
 	// to every other schedule (DESIGN.md §9).
 	PhaseWorkers int
+
+	// NeighborIndex selects the neighbor-discovery implementation of the
+	// clustering step (1.d): the zero value is the exact all-pairs sweep —
+	// the reference oracle, byte-identical to the pre-seam behavior — and
+	// Kind "lsh" switches to the banding index (cluster.LSH), which misses
+	// a vanishing fraction of edges but never invents one. Like ByzSerial
+	// and PhaseSerial this is a pure execution knob at the parameter layer;
+	// unlike them it may change output when non-default, which is why the
+	// sweep grid treats it as a paired-comparison axis (same seeds, same
+	// worlds, different index). Deterministic for a fixed seed and
+	// schedule-independent either way (DESIGN.md §13).
+	NeighborIndex cluster.IndexSpec
 
 	// Mem, when non-nil, supplies pooled per-run allocations (the
 	// workshare bulletin boards) to the protocol. Pooling changes where

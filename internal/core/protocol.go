@@ -155,11 +155,14 @@ func runIteration(rc *world.Run, allObjs []int, d int, shared *xrand.Stream, pr 
 	}
 	stats.SRTime = time.Since(start)
 
-	// Step 1.d: neighbor graph and clusters. The O(n²) pairwise sweep is
-	// block-partitioned across the run's executor; the peel itself is a
-	// cheap sequential scan over the precomputed adjacency.
+	// Step 1.d: neighbor graph and clusters, through the NeighborIndex seam
+	// (exact block sweep by default, LSH banding when the knob is set; the
+	// index stream is split from the shared coins — a pure read of their
+	// state, so the default path consumes exactly the same coins as before
+	// the seam existed). The peel itself is a cheap sequential scan over
+	// the precomputed adjacency.
 	start = time.Now()
-	g := cluster.BuildGraphOn(rc.Exec(), z, pr.EdgeThreshold(n))
+	g := pr.NeighborIndex.BuildGraph(rc.Exec(), z, pr.EdgeThreshold(n), shared.Split(0x5D))
 	cl := cluster.Build(g, pr.MinClusterSize(n))
 	rc.Pub.Clusters = cl.Clusters
 	stats.NumClusters = len(cl.Clusters)

@@ -410,3 +410,106 @@ func TestParseCapTier(t *testing.T) {
 		t.Fatal("Expand accepted a NaN capacity fraction")
 	}
 }
+
+// TestExpandNeighborIndexAxis: the neighbor-index axis applies to the
+// clustering protocols only, canonicalizes the exact default to "" (keys
+// and seeds identical to a spec without the axis), and pairs LSH points
+// with their exact twins on the same seed.
+func TestExpandNeighborIndexAxis(t *testing.T) {
+	sp := Spec{
+		Seed:            9,
+		Players:         []int{64},
+		ClusterSizes:    []int{16},
+		Diameters:       []int{4},
+		Protocols:       []string{"run", "byzantine", "budgets", "baseline", "ratings"},
+		NeighborIndexes: []string{"exact", "lsh", "lsh:8:6"},
+	}
+	pts, err := Expand(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byProto := map[string][]Point{}
+	for _, pt := range pts {
+		byProto[pt.Protocol] = append(byProto[pt.Protocol], pt)
+		if _, err := pt.Scenario(); err != nil {
+			t.Fatalf("point %s scenario: %v", pt.Key(), err)
+		}
+	}
+	for _, proto := range []string{"run", "byzantine", "budgets"} {
+		if got := len(byProto[proto]); got != 3 {
+			t.Fatalf("%s points: %d, want 3 (exact, lsh, lsh:8:6)", proto, got)
+		}
+		seeds := map[uint64]bool{}
+		nidx := map[string]bool{}
+		for _, pt := range byProto[proto] {
+			seeds[pt.Seed] = true
+			nidx[pt.NeighborIndex] = true
+			sc, err := pt.Scenario()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sc.Config.NeighborIndex != pt.NeighborIndex {
+				t.Fatalf("point %s: scenario index %q", pt.Key(), sc.Config.NeighborIndex)
+			}
+		}
+		// Paired comparisons: one seed across the axis.
+		if len(seeds) != 1 {
+			t.Fatalf("%s: index axis split seeds %v", proto, seeds)
+		}
+		if !nidx[""] || !nidx["lsh"] || !nidx["lsh:8:6"] {
+			t.Fatalf("%s: canonical index values %v", proto, nidx)
+		}
+	}
+	// Non-clustering protocols collapse the axis entirely.
+	for _, proto := range []string{"baseline", "ratings"} {
+		if got := len(byProto[proto]); got != 1 {
+			t.Fatalf("%s points: %d, want 1 (axis must collapse)", proto, got)
+		}
+		if byProto[proto][0].NeighborIndex != "" {
+			t.Fatalf("%s point carries a neighbor index", proto)
+		}
+	}
+	// Exact points keep the exact historical key and seed of a spec with no
+	// axis at all.
+	ref, err := Expand(Spec{
+		Seed: 9, Players: []int{64}, ClusterSizes: []int{16}, Diameters: []int{4},
+		Protocols: []string{"run", "byzantine", "budgets", "baseline", "ratings"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refByKey := map[string]Point{}
+	for _, pt := range ref {
+		refByKey[pt.Key()] = pt
+	}
+	for _, pt := range pts {
+		if pt.NeighborIndex != "" {
+			if _, clash := refByKey[pt.Key()]; clash {
+				t.Fatalf("LSH point key %s collides with a default point", pt.Key())
+			}
+			continue
+		}
+		rp, ok := refByKey[pt.Key()]
+		if !ok {
+			t.Fatalf("exact point key %s missing from the no-axis grid", pt.Key())
+		}
+		if rp.Seed != pt.Seed {
+			t.Fatalf("exact point %s seed changed with the axis present", pt.Key())
+		}
+	}
+
+	// Invalid axis entries are rejected.
+	for _, bad := range []string{"lsh:0:3", "banding", "lsh:2"} {
+		sp := sp
+		sp.NeighborIndexes = []string{bad}
+		if _, err := Expand(sp); err == nil {
+			t.Fatalf("Expand accepted neighbor index %q", bad)
+		}
+	}
+	// Invalid index on a JSONL-borne point is caught by Scenario.
+	pt := pts[0]
+	pt.NeighborIndex = "garbage"
+	if _, err := pt.Scenario(); err == nil {
+		t.Fatal("Scenario accepted a garbage neighbor index")
+	}
+}

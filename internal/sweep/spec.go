@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"collabscore"
+	"collabscore/internal/cluster"
 	"collabscore/internal/xrand"
 )
 
@@ -88,6 +89,15 @@ type Spec struct {
 	// protocol points only. An empty axis yields the scenario's default
 	// tier; the zero tier means "scenario defaults" (m/32, m/2, 0.25).
 	CapacityTiers []CapTier `json:"capacity_tiers,omitempty"`
+	// NeighborIndexes is the neighbor-discovery axis ("exact", "lsh", or
+	// "lsh:BANDS:ROWS" — cluster.ParseIndexSpec forms), applied to the
+	// clustering protocols (run, byzantine, budgets) only; the baselines
+	// and ratings points never build a neighbor graph and collapse to the
+	// exact default. Like CapacityTiers it is not instance-defining:
+	// points differing only in the index share a seed and a planted world
+	// (paired comparisons), and the exact default keeps every existing
+	// key, seed, and JSONL record unchanged.
+	NeighborIndexes []string `json:"neighbor_indexes,omitempty"`
 }
 
 // CapTier is one capacity-tier axis value: the §8 heterogeneous-budget
@@ -178,6 +188,10 @@ type Point struct {
 	// Cap is the capacity tier of "budgets" points (zero elsewhere).
 	Cap   CapTier `json:"cap,omitzero"`
 	Trial int     `json:"trial"`
+	// NeighborIndex is the canonical neighbor-index spec of clustering
+	// points ("" means the exact default, so pre-axis records round-trip
+	// unchanged; otherwise a cluster.ParseIndexSpec form such as "lsh").
+	NeighborIndex string `json:"neighbor_index,omitempty"`
 
 	FixDiameter    bool `json:"fix_diameter,omitempty"`
 	PaperConstants bool `json:"paper_constants,omitempty"`
@@ -201,6 +215,9 @@ func (pt Point) Key() string {
 	}
 	if !pt.Cap.IsZero() {
 		fmt.Fprintf(&sb, ",cap=%s", pt.Cap)
+	}
+	if pt.NeighborIndex != "" {
+		fmt.Fprintf(&sb, ",nidx=%s", pt.NeighborIndex)
 	}
 	fmt.Fprintf(&sb, ",proto=%s,trial=%d", pt.Protocol, pt.Trial)
 	if pt.FixDiameter {
@@ -254,6 +271,13 @@ func (pt Point) Scenario() (collabscore.Scenario, error) {
 	sc.Protocol = proto
 	sc.Scale = pt.Scale
 	sc.CapSmall, sc.CapBig, sc.CapBigFrac = pt.Cap.Small, pt.Cap.Big, pt.Cap.BigFrac
+	// Validate the index here rather than letting the simulation panic on
+	// it later: like strategies and protocols, points from JSONL files can
+	// hold anything.
+	if _, err := cluster.ParseIndexSpec(pt.NeighborIndex); err != nil {
+		return sc, fmt.Errorf("sweep: %v", err)
+	}
+	sc.Config.NeighborIndex = pt.NeighborIndex
 	// Substrate checks for points that did not come from Expand (JSONL
 	// files can hold anything): rating points need a cluster planting and a
 	// rating-capable strategy; binary points a binary-capable one.
@@ -283,9 +307,9 @@ func plantCode(kind string) uint64 {
 }
 
 // pointSeed derives the point's Config seed from the instance-defining
-// coordinates only: points differing in dishonest/strategy/protocol or
-// capacity tier share a seed (and therefore a world) by design — paired
-// comparisons. The rating scale IS instance-defining (it changes the
+// coordinates only: points differing in dishonest/strategy/protocol,
+// capacity tier, or neighbor index share a seed (and therefore a world) by
+// design — paired comparisons. The rating scale IS instance-defining (it changes the
 // planted truth matrix), so it joins the split tags — but only when
 // nonzero, which keeps every pre-existing binary point's seed unchanged.
 func pointSeed(root *xrand.Stream, pt *Point) uint64 {
@@ -438,6 +462,25 @@ func Expand(sp Spec) ([]Point, error) {
 			return nil, fmt.Errorf("sweep: bad capacity tier %s", ct)
 		}
 	}
+	// Canonicalize the neighbor-index axis up front: every entry must
+	// parse, and the exact default becomes "" so that default points keep
+	// their historical keys.
+	nidxes := []string{""}
+	if len(sp.NeighborIndexes) > 0 {
+		nidxes = nidxes[:0]
+		for _, s := range sp.NeighborIndexes {
+			spec, err := cluster.ParseIndexSpec(s)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: %v", err)
+			}
+			if spec.IsExact() {
+				nidxes = append(nidxes, "")
+			} else {
+				nidxes = append(nidxes, spec.String())
+			}
+		}
+		nidxes = uniq(nidxes)
+	}
 	strategies := defStrs(sp.Strategies, collabscore.RandomLiar.String())
 	for _, s := range strategies {
 		if _, err := collabscore.ParseStrategy(s); err != nil {
@@ -471,6 +514,11 @@ func Expand(sp Spec) ([]Point, error) {
 	plants := sp.plantings()
 	ratingsName := collabscore.ProtoRatings.String()
 	budgetsName := collabscore.ProtoBudgets.String()
+	clusteringProto := map[string]bool{
+		collabscore.ProtoRun.String():       true,
+		collabscore.ProtoByzantine.String(): true,
+		budgetsName:                         true,
+	}
 	stratOf := make(map[string]collabscore.Strategy, len(strategies))
 	for _, name := range strategies {
 		st, _ := collabscore.ParseStrategy(name) // validated above
@@ -509,9 +557,11 @@ func Expand(sp Spec) ([]Point, error) {
 									// applies to rating points, the
 									// capacity-tier axis to budgets points;
 									// each collapses to its zero value
-									// elsewhere.
+									// elsewhere, as does the neighbor-index
+									// axis on the non-clustering protocols.
 									protoScales := []int{0}
 									protoTiers := []CapTier{{}}
+									protoNidx := []string{""}
 									if proto == ratingsName {
 										if plant.Kind != "cluster" {
 											continue
@@ -527,31 +577,37 @@ func Expand(sp Spec) ([]Point, error) {
 										if proto == budgetsName {
 											protoTiers = tiers
 										}
+										if clusteringProto[proto] {
+											protoNidx = nidxes
+										}
 									}
 									for _, scale := range protoScales {
 										for _, tier := range protoTiers {
-											for trial := 0; trial < trials; trial++ {
-												pt := Point{
-													Index:          len(out),
-													Players:        n,
-													Objects:        m,
-													Budget:         b,
-													Plant:          plant,
-													Diameter:       d,
-													Dishonest:      f,
-													Strategy:       strat,
-													Protocol:       proto,
-													Scale:          scale,
-													Cap:            tier,
-													Trial:          trial,
-													FixDiameter:    sp.FixDiameter,
-													PaperConstants: sp.PaperConstants,
+											for _, nidx := range protoNidx {
+												for trial := 0; trial < trials; trial++ {
+													pt := Point{
+														Index:          len(out),
+														Players:        n,
+														Objects:        m,
+														Budget:         b,
+														Plant:          plant,
+														Diameter:       d,
+														Dishonest:      f,
+														Strategy:       strat,
+														Protocol:       proto,
+														Scale:          scale,
+														Cap:            tier,
+														Trial:          trial,
+														NeighborIndex:  nidx,
+														FixDiameter:    sp.FixDiameter,
+														PaperConstants: sp.PaperConstants,
+													}
+													if f == 0 {
+														pt.Strategy = ""
+													}
+													pt.Seed = pointSeed(root, &pt)
+													out = append(out, pt)
 												}
-												if f == 0 {
-													pt.Strategy = ""
-												}
-												pt.Seed = pointSeed(root, &pt)
-												out = append(out, pt)
 											}
 										}
 									}

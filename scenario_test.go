@@ -28,6 +28,10 @@ func scenarioMatrix() []Scenario {
 		{Config: Config{Players: 96, Seed: 10, FixedDiameter: 8}, ClusterSize: 12, Diameter: 8, Protocol: ProtoBudgets, CapSmall: 8, CapBig: 48, CapBigFrac: 0.5},
 		{Config: Config{Players: 96, Seed: 11, FixedDiameter: 16}, ClusterSize: 12, Diameter: 16, Scale: 9, Dishonest: 3, Strategy: HarshShifters, Protocol: ProtoRatings},
 		{Config: Config{Players: 96, Seed: 12, FixedDiameter: 16}, ClusterSize: 12, Diameter: 16, Scale: 5, Protocol: ProtoRatings},
+		// Neighbor-index knob: LSH points on the clustering protocols,
+		// pooled and fresh alike.
+		{Config: Config{Players: 128, Seed: 13, FixedDiameter: 8, NeighborIndex: "lsh"}, ClusterSize: 16, Diameter: 8, Protocol: ProtoRun},
+		{Config: Config{Players: 96, Seed: 14, FixedDiameter: 8, NeighborIndex: "lsh:8:6"}, ClusterSize: 12, Diameter: 8, Protocol: ProtoBudgets, CapSmall: 8, CapBig: 48, CapBigFrac: 0.5},
 	}
 }
 
@@ -177,6 +181,49 @@ func TestRatingScenarioMatchesFluent(t *testing.T) {
 		got.HonestLeaders != rrep.HonestLeaders || got.Repetitions != rrep.Repetitions {
 		t.Fatalf("rating scenario report differs from fluent construction:\n got %+v\nwant %+v", got, rrep)
 	}
+}
+
+// TestNeighborIndexMatchesExact pins the public knob end-to-end: on a
+// planted scenario at the paper-regime threshold, selecting the LSH
+// banding index produces a report byte-identical to the exact default,
+// for both the honest protocol and the capacity extension.
+func TestNeighborIndexMatchesExact(t *testing.T) {
+	base := Scenario{
+		Config:      Config{Players: 256, Seed: 2010, FixedDiameter: 8},
+		ClusterSize: 32, Diameter: 8,
+		Protocol: ProtoRun,
+	}
+	want := base.Run()
+	lsh := base
+	lsh.Config.NeighborIndex = "lsh"
+	if got := lsh.Run(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("NeighborIndex=lsh report differs from exact default:\n got %+v\nwant %+v", got, want)
+	}
+
+	// RunWithCapacities inherits the knob from the simulation's config.
+	caps := func(nidx string) *Report {
+		sim := NewSimulation(Config{Players: 192, Seed: 7, FixedDiameter: 8, NeighborIndex: nidx})
+		sim.PlantClusters(24, 8)
+		return sim.RunWithCapacities(sim.TwoTierCapacities(16, 96, 0.5))
+	}
+	if got, want := caps("lsh:16:12"), caps(""); !reflect.DeepEqual(got, want) {
+		t.Fatalf("capacity run with LSH index differs from exact:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestNeighborIndexInvalidPanics: a malformed index spec must fail fast at
+// construction with an actionable message, not deep inside a run.
+func TestNeighborIndexInvalidPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("NewSimulation accepted an invalid NeighborIndex")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "neighbor index") {
+			t.Fatalf("unhelpful panic: %v", r)
+		}
+	}()
+	NewSimulation(Config{Players: 16, Seed: 1, NeighborIndex: "lsh:0:4"})
 }
 
 // TestRatingScenarioBuildPanics: Build/Execute are the binary-substrate
