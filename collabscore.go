@@ -70,6 +70,15 @@ type Config struct {
 	// RunByzantine, RunWithCapacities); the baselines never build a
 	// neighbor graph. See DESIGN.md §13.
 	NeighborIndex string
+	// TruthSource selects how the hidden truth matrix is represented: "" or
+	// "dense" (the materialized O(n·m) matrix, the default and the reference
+	// oracle bit for bit), "lazy" (cells recomputed from the seed stream at
+	// probe time, O(n) memory), or "lazy:TILES" (lazy plus a fixed-capacity
+	// LRU cache of TILES generated tiles). Every representation exposes the
+	// same truth — outputs, probe counts, and iteration stats are
+	// byte-identical — so worlds far larger than memory can be simulated.
+	// See DESIGN.md §14.
+	TruthSource string
 }
 
 // Strategy names a dishonest-player behavior.
@@ -155,6 +164,9 @@ type Simulation struct {
 	instance *prefgen.Instance
 	w        *world.World
 	params   core.Params
+	// truth is the parsed Config.TruthSource spec; planting methods consult
+	// it to pick the dense or lazy generator family.
+	truth prefgen.SourceSpec
 	// pool, when non-nil, supplies reused allocations (truth buffers,
 	// world, bulletin boards) for this simulation; see Pool.
 	pool *Pool
@@ -178,11 +190,12 @@ func (s *Simulation) pg() *prefgen.Buffer {
 }
 
 func (s *Simulation) rebuild() {
+	src := s.instance.Source()
 	if s.pool != nil {
-		s.w = world.Renew(s.pool.w, s.instance.Truth)
+		s.w = world.RenewFrom(s.pool.w, src)
 		s.pool.w = s.w
 	} else {
-		s.w = world.New(s.instance.Truth)
+		s.w = world.NewFrom(src)
 	}
 	if s.cfg.PaperConstants {
 		s.params = core.Paper(s.cfg.Players, s.cfg.Budget)
@@ -207,7 +220,11 @@ func (s *Simulation) rebuild() {
 // given size and Hamming diameter (0 = identical preferences). Any
 // corruption installed earlier is discarded.
 func (s *Simulation) PlantClusters(clusterSize, diameter int) *Simulation {
-	s.instance = s.pg().DiameterClusters(s.rng.Split(2), s.cfg.Players, s.cfg.Objects, clusterSize, diameter)
+	if s.truth.IsDense() {
+		s.instance = s.pg().DiameterClusters(s.rng.Split(2), s.cfg.Players, s.cfg.Objects, clusterSize, diameter)
+	} else {
+		s.instance = s.pg().LazyDiameterClusters(s.rng.Split(2), s.cfg.Players, s.cfg.Objects, clusterSize, diameter, s.truth.Tiles)
+	}
 	s.rebuild()
 	return s
 }
@@ -215,7 +232,11 @@ func (s *Simulation) PlantClusters(clusterSize, diameter int) *Simulation {
 // PlantZipf replaces the preference matrix with numClusters planted
 // clusters whose sizes follow a Zipf law with the given exponent.
 func (s *Simulation) PlantZipf(numClusters int, alpha float64, diameter int) *Simulation {
-	s.instance = s.pg().ZipfClusters(s.rng.Split(3), s.cfg.Players, s.cfg.Objects, numClusters, alpha, diameter)
+	if s.truth.IsDense() {
+		s.instance = s.pg().ZipfClusters(s.rng.Split(3), s.cfg.Players, s.cfg.Objects, numClusters, alpha, diameter)
+	} else {
+		s.instance = s.pg().LazyZipfClusters(s.rng.Split(3), s.cfg.Players, s.cfg.Objects, numClusters, alpha, diameter, s.truth.Tiles)
+	}
 	s.rebuild()
 	return s
 }

@@ -16,6 +16,7 @@ import (
 	"collabscore/internal/budgets"
 	"collabscore/internal/metrics"
 	"collabscore/internal/multival"
+	"collabscore/internal/prefgen"
 	"collabscore/internal/xrand"
 )
 
@@ -72,6 +73,13 @@ type RatingConfig struct {
 	Seed uint64
 	// FixedDiameter restricts the L1-diameter search to one guess (>0).
 	FixedDiameter int
+	// TruthSource selects the rating-matrix representation, mirroring
+	// Config.TruthSource: "" or "dense" materializes the bit-sliced matrix,
+	// "lazy" keeps only the cluster centers plus per-player sparse edits.
+	// Tile counts ("lazy:TILES") are accepted and ignored — the rating
+	// source has no tile cache; its centers are already materialized. All
+	// representations are bit-identical. See DESIGN.md §14.
+	TruthSource string
 }
 
 // RatingSimulation is the non-binary counterpart of Simulation: users rate
@@ -109,22 +117,32 @@ func newRatingSimulation(cfg RatingConfig, clusterSize, diameter int, pl *Pool) 
 	if cfg.Scale == 0 {
 		cfg.Scale = 5
 	}
+	spec, err := prefgen.ParseSourceSpec(cfg.TruthSource)
+	if err != nil {
+		panic(fmt.Sprintf("collabscore: %v", err))
+	}
 	rng := xrand.New(cfg.Seed)
 	var buf *multival.Buffer
 	if pl != nil {
 		buf = &pl.rpg
 	}
-	truth, _ := buf.Generate(rng.Split(1), cfg.Players, cfg.Objects, clusterSize, diameter, cfg.Scale)
+	var src multival.RatingSource
+	if spec.IsDense() {
+		truth, _ := buf.Generate(rng.Split(1), cfg.Players, cfg.Objects, clusterSize, diameter, cfg.Scale)
+		src = multival.NewDensePlanes(truth)
+	} else {
+		src, _ = buf.LazyGenerate(rng.Split(1), cfg.Players, cfg.Objects, clusterSize, diameter, cfg.Scale)
+	}
 	pr := multival.Scaled(cfg.Players, cfg.Budget)
 	if cfg.FixedDiameter > 0 {
 		pr.MinD, pr.MaxD = cfg.FixedDiameter, cfg.FixedDiameter
 	}
 	var w *multival.World
 	if pl != nil {
-		w = multival.Renew(pl.rw, truth, cfg.Scale)
+		w = multival.RenewFrom(pl.rw, src, cfg.Scale)
 		pl.rw = w
 	} else {
-		w = multival.NewWorld(truth, cfg.Scale)
+		w = multival.NewWorldFrom(src, cfg.Scale)
 	}
 	return &RatingSimulation{cfg: cfg, rng: rng, w: w, pr: pr}
 }

@@ -1,0 +1,125 @@
+// Package lru provides a small, mutex-guarded LRU cache with deterministic
+// eviction order. It backs the lazy truth sources' tile caches (DESIGN.md
+// §14): generated truth tiles are immutable, so a cache hit hands out the
+// same words a recomputation would produce — the cache changes where bits
+// come from, never what they are — and eviction merely drops a reference.
+//
+// Determinism note: the cache accelerates pure functions. Protocol results
+// must not depend on cache state, and they cannot: Get either returns a
+// previously inserted value (bit-identical to recomputation by the purity of
+// the fill function) or misses, in which case the caller recomputes. The
+// oracle tests pin hit ≡ recompute under concurrent probes.
+package lru
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a fixed-capacity LRU map from K to V. The zero value is unusable;
+// use New. A nil *Cache is a valid cacheless cache: every Get misses and
+// every Put is a no-op, so callers need no branches for the uncached case.
+//
+// All methods are safe for concurrent use. Recency order is mutation order
+// under the internal mutex: a Get that hits moves the entry to
+// most-recently-used; a Put that exceeds capacity evicts the
+// least-recently-used entry.
+type Cache[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[K]*list.Element
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New returns an LRU cache holding at most capacity entries. A capacity
+// ≤ 0 returns nil — the cacheless cache — so "lazy" (no tiles) and
+// "lazy:TILES" share one code path.
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Cache[K, V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[K]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached value for key and whether it was present, marking
+// the entry most-recently-used on a hit. A nil cache always misses.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	if c == nil {
+		var zero V
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry[K, V]).val, true
+}
+
+// Put inserts or refreshes key → val, evicting the least-recently-used
+// entry when the cache is over capacity. Inserting an existing key updates
+// its value and marks it most-recently-used. A nil cache ignores the call.
+func (c *Cache[K, V]) Put(key K, val V) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry[K, V]).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry[K, V]{key: key, val: val})
+	if c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry[K, V]).key)
+	}
+}
+
+// Len returns the number of cached entries (0 for a nil cache).
+func (c *Cache[K, V]) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Cap returns the capacity (0 for a nil cache).
+func (c *Cache[K, V]) Cap() int {
+	if c == nil {
+		return 0
+	}
+	return c.capacity
+}
+
+// Keys returns the cached keys from most- to least-recently-used — the
+// reverse of eviction order. It exists for the eviction-order tests; a nil
+// cache returns nil.
+func (c *Cache[K, V]) Keys() []K {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]K, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*entry[K, V]).key)
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestEvictionOrder pins the LRU discipline exactly: fills, hits, and
+// over-capacity Puts must evict in least-recently-used order.
+func TestEvictionOrder(t *testing.T) {
+	c := New[int, string](3)
+	c.Put(1, "a")
+	c.Put(2, "b")
+	c.Put(3, "c")
+	wantKeys(t, c, []int{3, 2, 1})
+
+	// A hit refreshes recency: 1 becomes most recent.
+	if v, ok := c.Get(1); !ok || v != "a" {
+		t.Fatalf("Get(1) = %q, %v", v, ok)
+	}
+	wantKeys(t, c, []int{1, 3, 2})
+
+	// Over capacity: 2 is now the LRU entry and must go.
+	c.Put(4, "d")
+	wantKeys(t, c, []int{4, 1, 3})
+	if _, ok := c.Get(2); ok {
+		t.Fatal("evicted key 2 still present")
+	}
+
+	// Updating an existing key refreshes recency without evicting.
+	c.Put(3, "c2")
+	wantKeys(t, c, []int{3, 4, 1})
+	if v, _ := c.Get(3); v != "c2" {
+		t.Fatalf("updated value = %q, want c2", v)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+}
+
+func wantKeys(t *testing.T, c *Cache[int, string], want []int) {
+	t.Helper()
+	got := c.Keys()
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+}
+
+// TestCapacityOne degenerates to a single-entry cache: every insert of a
+// new key evicts the previous one.
+func TestCapacityOne(t *testing.T) {
+	c := New[int, int](1)
+	c.Put(1, 10)
+	c.Put(2, 20)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("capacity-1 cache kept two entries")
+	}
+	if v, ok := c.Get(2); !ok || v != 20 {
+		t.Fatalf("Get(2) = %d, %v", v, ok)
+	}
+}
+
+// TestZeroCapacityIsCacheless pins the nil-cache contract: New(0) and
+// New(-1) return nil, and a nil cache misses every Get, ignores every Put,
+// and reports empty — the "lazy" (no tiles) configuration.
+func TestZeroCapacityIsCacheless(t *testing.T) {
+	for _, capacity := range []int{0, -5} {
+		c := New[string, int](capacity)
+		if c != nil {
+			t.Fatalf("New(%d) != nil", capacity)
+		}
+		c.Put("k", 1) // must not panic
+		if _, ok := c.Get("k"); ok {
+			t.Fatal("nil cache hit")
+		}
+		if c.Len() != 0 || c.Cap() != 0 || c.Keys() != nil {
+			t.Fatal("nil cache reports non-empty state")
+		}
+	}
+}
+
+// TestConcurrentAccess hammers one cache from several goroutines under the
+// race detector. Values are pure functions of their keys, so every hit must
+// return exactly what a recomputation would — the bit-identity contract the
+// lazy tile caches rely on.
+func TestConcurrentAccess(t *testing.T) {
+	c := New[int, uint64](16)
+	value := func(k int) uint64 { return uint64(k) * 0x9e3779b97f4a7c15 }
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := (g*7 + i) % 64
+				v, ok := c.Get(k)
+				if !ok {
+					v = value(k)
+					c.Put(k, v)
+				}
+				if v != value(k) {
+					t.Errorf("key %d: cached %#x, recompute %#x", k, v, value(k))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("Len %d exceeds capacity", c.Len())
+	}
+}

@@ -122,42 +122,59 @@ func (Honest) Report(w *World, p, o int) int { return w.Probe(p, o) }
 // CAS bitset charging each (player, object) pair exactly once under any
 // schedule, and ProbePlaneWords is the bulk whole-word probe.
 type World struct {
-	n, m      int
-	scale     int
-	k         int // bit-planes per rating, PlaneBits(scale)
+	n, m, words int
+	scale       int
+	k           int // bit-planes per rating, PlaneBits(scale)
+	// src is the pluggable truth representation (DESIGN.md §14); truth is
+	// the dense fast path, aliasing src's rows when src is *DensePlanes and
+	// nil for lazy sources.
+	src       RatingSource
 	truth     []bitvec.Planes
+	tailMask  uint64
 	honest    []bool
 	behaviors []Behavior
 	probes    []atomic.Int64
-	known     []bitvec.Atomic // per-player probe memo
+	// known is the per-player probe memo, installed on a player's first
+	// probe (memo) rather than at construction — mirroring world.World, so
+	// lazy rating worlds stay O(centers + edits) until probed.
+	known []atomic.Pointer[bitvec.Atomic]
 }
 
 // NewWorld builds a rating world from a bit-sliced truth matrix with
 // ratings in [0, scale]. Rows must have PlaneBits(scale) planes (as
 // Generate produces).
 func NewWorld(truth []bitvec.Planes, scale int) *World {
-	if len(truth) == 0 {
+	return NewWorldFrom(NewDensePlanes(truth), scale)
+}
+
+// NewWorldFrom builds a rating world over any rating source — the
+// materialized DensePlanes wrapper (NewWorld) or a lazy on-demand source.
+func NewWorldFrom(src RatingSource, scale int) *World {
+	if src.Players() == 0 {
 		panic("multival: no players")
 	}
 	if scale < 1 {
 		panic("multival: scale must be ≥ 1")
 	}
+	n, m := src.Players(), src.Objects()
 	w := &World{
-		n:         len(truth),
-		m:         truth[0].Len(),
+		n:         n,
+		m:         m,
+		words:     (m + 63) / 64,
 		scale:     scale,
 		k:         bitvec.PlaneBits(scale),
-		truth:     truth,
-		honest:    make([]bool, len(truth)),
-		behaviors: make([]Behavior, len(truth)),
-		probes:    make([]atomic.Int64, len(truth)),
-		known:     make([]bitvec.Atomic, len(truth)),
+		src:       src,
+		truth:     densePlaneRows(src),
+		tailMask:  planesTailMask(m),
+		honest:    make([]bool, n),
+		behaviors: make([]Behavior, n),
+		probes:    make([]atomic.Int64, n),
+		known:     make([]atomic.Pointer[bitvec.Atomic], n),
 	}
 	w.checkRows()
-	for p := range truth {
+	for p := range w.honest {
 		w.honest[p] = true
 		w.behaviors[p] = Honest{}
-		w.known[p] = bitvec.NewAtomic(w.m)
 	}
 	return w
 }
@@ -171,10 +188,16 @@ func NewWorld(truth []bitvec.Planes, scale int) *World {
 // engine's rating arenas use (DESIGN.md §12). The previous truth matrix
 // and any outstanding references to the old world must no longer be in use.
 func Renew(w *World, truth []bitvec.Planes, scale int) *World {
-	if w == nil || len(truth) != w.n || len(truth) == 0 || truth[0].Len() != w.m || scale < 1 {
-		return NewWorld(truth, scale)
+	return RenewFrom(w, NewDensePlanes(truth), scale)
+}
+
+// RenewFrom is Renew over any rating source; see Renew and NewWorldFrom.
+func RenewFrom(w *World, src RatingSource, scale int) *World {
+	if w == nil || src.Players() != w.n || src.Players() == 0 || src.Objects() != w.m || scale < 1 {
+		return NewWorldFrom(src, scale)
 	}
-	w.truth = truth
+	w.src = src
+	w.truth = densePlaneRows(src)
 	w.scale = scale
 	w.k = bitvec.PlaneBits(scale)
 	w.checkRows()
@@ -186,7 +209,31 @@ func Renew(w *World, truth []bitvec.Planes, scale int) *World {
 	return w
 }
 
+// densePlaneRows returns the fast-path rows of a dense source, nil for any
+// other source.
+func densePlaneRows(src RatingSource) []bitvec.Planes {
+	if d, ok := src.(*DensePlanes); ok {
+		return d.Rows()
+	}
+	return nil
+}
+
+// planesTailMask returns the valid-bit mask of the last word of an m-object
+// plane.
+func planesTailMask(m int) uint64 {
+	if r := m % 64; r != 0 {
+		return (1 << uint(r)) - 1
+	}
+	return ^uint64(0)
+}
+
 func (w *World) checkRows() {
+	if w.truth == nil {
+		if w.src.Bits() != w.k {
+			panic(fmt.Sprintf("multival: truth source has %d planes, want %d", w.src.Bits(), w.k))
+		}
+		return
+	}
 	for p, row := range w.truth {
 		if row.Len() != w.m || row.Bits() != w.k {
 			panic(fmt.Sprintf("multival: truth row %d has shape %d×%d, want %d×%d",
@@ -207,14 +254,40 @@ func (w *World) Bits() int  { return w.k }
 // o/64, bit o%64 of every plane.
 func (w *World) ProbeWords() int { return (w.m + 63) / 64 }
 
+// memo returns player p's probe memo, installing it on first use (the CAS
+// race is settled exactly as in world.World.memo).
+func (w *World) memo(p int) *bitvec.Atomic {
+	if k := w.known[p].Load(); k != nil {
+		return k
+	}
+	fresh := bitvec.NewAtomic(w.m)
+	if w.known[p].CompareAndSwap(nil, &fresh) {
+		return &fresh
+	}
+	return w.known[p].Load()
+}
+
 // chargeWord marks every bit of mask probed in object word wi and charges
 // the newly learned bits — one CAS and one atomic add for up to 64
 // (player, object) pairs, with per-pair exactly-once charging under any
 // schedule (the memo's CAS settles races).
 func (w *World) chargeWord(p, wi int, mask uint64) {
-	if nb := w.known[p].OrWord(wi, mask); nb != 0 {
+	if nb := w.memo(p).OrWord(wi, mask); nb != 0 {
 		w.probes[p].Add(int64(bits.OnesCount64(nb)))
 	}
+}
+
+// wordMask returns the valid-bit mask for object word wi, panicking on an
+// out-of-range index like bitvec.Planes.WordMask does — representation-
+// independent, so dense and lazy worlds fail identically.
+func (w *World) wordMask(wi int) uint64 {
+	if wi < 0 || wi >= w.words {
+		panic(fmt.Sprintf("bitvec: word %d out of range [0,%d)", wi, w.words))
+	}
+	if wi == w.words-1 {
+		return w.tailMask
+	}
+	return ^uint64(0)
 }
 
 // Probe returns the true rating and charges a probe for the first visit.
@@ -222,10 +295,13 @@ func (w *World) chargeWord(p, wi int, mask uint64) {
 // exactly one caller charges each (player, object) pair, so probe counters
 // are schedule-independent.
 func (w *World) Probe(p, o int) int {
-	if !w.known[p].TestAndSet(o) {
+	if !w.memo(p).TestAndSet(o) {
 		w.probes[p].Add(1)
 	}
-	return w.truth[p].Get(o)
+	if w.truth != nil {
+		return w.truth[p].Get(o)
+	}
+	return w.src.Rating(p, o)
 }
 
 // ProbePlaneWords probes, as player p, every object whose bit is set in
@@ -234,11 +310,18 @@ func (w *World) Probe(p, o int) int {
 // have Bits() entries). Bits of mask past the last object are ignored.
 // Charging is identical to per-object Probe calls on the mask's objects.
 func (w *World) ProbePlaneWords(p, wi int, mask uint64, dst []uint64) {
-	mask &= w.truth[p].WordMask(wi)
+	mask &= w.wordMask(wi)
 	w.chargeWord(p, wi, mask)
-	row := w.truth[p]
+	if w.truth != nil {
+		row := w.truth[p]
+		for l := 0; l < w.k; l++ {
+			dst[l] = row.PlaneWord(l, wi) & mask
+		}
+		return
+	}
+	w.src.PlaneWords(p, wi, dst[:w.k])
 	for l := 0; l < w.k; l++ {
-		dst[l] = row.PlaneWord(l, wi) & mask
+		dst[l] &= mask
 	}
 }
 
@@ -267,21 +350,42 @@ func (w *World) ProbeValues(p int, objs []int) bitvec.Planes {
 	if curMask != 0 {
 		w.chargeWord(p, curW, curMask)
 	}
-	return w.truth[p].Gather(objs)
+	if w.truth != nil {
+		return w.truth[p].Gather(objs)
+	}
+	out := bitvec.NewPlanes(len(objs), w.k)
+	for j, o := range objs {
+		out.Set(j, w.src.Rating(p, o))
+	}
+	return out
 }
 
 // PeekTruth returns the true rating without accounting (adversary and
 // measurement use).
-func (w *World) PeekTruth(p, o int) int { return w.truth[p].Get(o) }
+func (w *World) PeekTruth(p, o int) int {
+	if w.truth != nil {
+		return w.truth[p].Get(o)
+	}
+	return w.src.Rating(p, o)
+}
+
+// truthRow returns p's bit-sliced truth row, materializing it for lazy
+// sources (measurement paths only).
+func (w *World) truthRow(p int) bitvec.Planes {
+	if w.truth != nil {
+		return w.truth[p]
+	}
+	return materializeRow(w.src, p)
+}
 
 // TruthRow returns a copy of p's true ratings as a scalar row
 // (measurement use only).
-func (w *World) TruthRow(p int) Ratings { return Ratings(w.truth[p].Ints()) }
+func (w *World) TruthRow(p int) Ratings { return Ratings(w.truthRow(p).Ints()) }
 
 // TruthMirror returns scale − truth for player p, word-parallel — the §7
 // worst-case repetition output (adversary and measurement use; no probe
 // accounting).
-func (w *World) TruthMirror(p int) bitvec.Planes { return w.truth[p].SubFrom(w.scale) }
+func (w *World) TruthMirror(p int) bitvec.Planes { return w.truthRow(p).SubFrom(w.scale) }
 
 // Probes returns the probe count of player p.
 func (w *World) Probes(p int) int64 { return w.probes[p].Load() }
@@ -330,7 +434,9 @@ func (w *World) TotalProbes() int64 {
 func (w *World) ResetProbes() {
 	for p := range w.probes {
 		w.probes[p].Store(0)
-		w.known[p].Reset()
+		if k := w.known[p].Load(); k != nil {
+			k.Reset() // keep the allocation for pooled reuse
+		}
 	}
 }
 
@@ -370,7 +476,7 @@ func (w *World) ReportValues(p int, objs []int) bitvec.Planes {
 // the whole word); dishonest players are asked per object through their
 // behavior, in ascending object order, clamped into scale.
 func (w *World) ReportPlaneWords(p, wi int, mask uint64, dst []uint64) {
-	mask &= w.truth[p].WordMask(wi)
+	mask &= w.wordMask(wi)
 	if w.honest[p] {
 		w.ProbePlaneWords(p, wi, mask, dst)
 		return
@@ -787,7 +893,7 @@ func Errors(w *World, out []bitvec.Planes) []int {
 		if !w.IsHonest(p) {
 			continue
 		}
-		errs = append(errs, w.truth[p].L1(out[p]))
+		errs = append(errs, w.truthRow(p).L1(out[p]))
 	}
 	return errs
 }
@@ -809,6 +915,8 @@ type Buffer struct {
 	truth     []bitvec.Planes
 	centers   []bitvec.Planes
 	clusterOf []int
+	// lz is the pooled LazyPlanes value LazyGenerate hands out (source.go).
+	lz LazyPlanes
 }
 
 // Generate plants clusters of the given size whose members are within L1

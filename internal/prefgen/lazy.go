@@ -1,0 +1,373 @@
+package prefgen
+
+// Lazy truth sources: the generated matrix as a pure function instead of a
+// buffer. xrand's SplitMix64 streams are counter-based — draw i is an O(1)
+// function of the stream state (xrand.At) — and the dense generators consume
+// their coins in a fixed layout (fillRandom draws exactly one coin per bit,
+// row-major), so any truth cell of the SAME generation stream is randomly
+// addressable without enumerating its predecessors, the d2xyz/xyz2d
+// index-function idiom applied to world generation (DESIGN.md §14).
+//
+// Seed-stream layout, per generator, relative to the stream at entry:
+//
+//	Uniform:           draw p·m + o        = coin for bit (p, o)
+//	DiameterClusters:  draw c·m + o        = coin for center bit (c, o)
+//	                   then Perm(n), then per-player flip draws (variable)
+//	ZipfClusters:      draw c·m + o        = coin for center bit (c, o)
+//	                   then per-player Zipf + flip draws (variable)
+//
+// The fixed-layout prefixes (uniform rows, cluster centers) are recomputed
+// on demand via At; the variable-draw suffixes (permutation, per-player
+// flips — Intn uses rejection sampling and is not randomly addressable) are
+// replayed ONCE at construction into O(n + flips) sparse metadata. A lazy
+// constructor advances the caller's stream to exactly the state the dense
+// generator leaves it in, and produces bit-identical truth.
+
+import (
+	"fmt"
+
+	"collabscore/internal/bitvec"
+	"collabscore/internal/lru"
+	"collabscore/internal/xrand"
+)
+
+// lazyTileWords is the tile width: one cached tile spans 16 object words
+// (1024 objects). Tile t of row r covers words [t·16, t·16+16); the tile
+// key packs (row, tile index) into one uint64. Rows are players for the
+// uniform family and cluster centers for the planted families — planted
+// members share their center's tiles, so a cached tile serves a whole
+// cluster's probes.
+const lazyTileWords = 16
+
+type lazyKind uint8
+
+const (
+	lazyUniform lazyKind = iota
+	lazyCluster
+	lazyZipf
+)
+
+// Lazy is the on-demand TruthSource. It holds the generation stream
+// snapshot (read via xrand.At only — never advanced, so concurrent reads
+// are safe), the replayed sparse metadata, and an optional tile cache.
+type Lazy struct {
+	n, m, words int
+	base        xrand.Stream // entry-state snapshot; At-only after construction
+	kind        lazyKind
+	numCenters  int
+	// clusterOf maps players to center rows (planted kinds; shared with the
+	// Instance's ClusterOf).
+	clusterOf []int
+	// Per-player flip edits, flattened: player p's entries are
+	// flipWord/flipMask[flipStart[p]:flipStart[p+1]], word-ascending.
+	// XORing them onto the center row reproduces the dense flips exactly.
+	flipStart []int32
+	flipWord  []int32
+	flipMask  []uint64
+	// tiles caches generated center/row tiles; nil means recompute every
+	// read (the cacheless "lazy" spec). Hits are bit-identical to
+	// recomputation because tile generation is pure.
+	tiles *lru.Cache[uint64, []uint64]
+}
+
+// Players returns n.
+func (lz *Lazy) Players() int { return lz.n }
+
+// Objects returns m.
+func (lz *Lazy) Objects() int { return lz.m }
+
+// rowID returns the generation row of player p: itself for uniform truth,
+// its planted center for clustered truth.
+func (lz *Lazy) rowID(p int) int {
+	if lz.kind == lazyUniform {
+		return p
+	}
+	return lz.clusterOf[p]
+}
+
+// rawWord generates word wi of generation row `row` straight from the coin
+// stream: bit b is coin row·m + wi·64 + b, exactly the coin fillRandom
+// spent on it. Bits past the last object stay zero.
+func (lz *Lazy) rawWord(row, wi int) uint64 {
+	base := uint64(row)*uint64(lz.m) + uint64(wi)*64
+	nbits := lz.m - wi*64
+	if nbits > 64 {
+		nbits = 64
+	}
+	var w uint64
+	for b := 0; b < nbits; b++ {
+		w |= (lz.base.At(base+uint64(b)) & 1) << uint(b)
+	}
+	return w
+}
+
+// genTile generates the whole tile (row, ti) — lazyTileWords words, the
+// last tile zero-padded past the object range.
+func (lz *Lazy) genTile(row, ti int) []uint64 {
+	tile := make([]uint64, lazyTileWords)
+	for i := range tile {
+		if wi := ti*lazyTileWords + i; wi < lz.words {
+			tile[i] = lz.rawWord(row, wi)
+		}
+	}
+	return tile
+}
+
+// rowWord returns word wi of generation row `row`, through the tile cache
+// when one is configured.
+func (lz *Lazy) rowWord(row, wi int) uint64 {
+	if lz.tiles == nil {
+		return lz.rawWord(row, wi)
+	}
+	ti := wi / lazyTileWords
+	key := uint64(row)<<32 | uint64(ti)
+	tile, ok := lz.tiles.Get(key)
+	if !ok {
+		tile = lz.genTile(row, ti)
+		lz.tiles.Put(key, tile)
+	}
+	return tile[wi%lazyTileWords]
+}
+
+// flipMaskAt returns the XOR mask of player p's flip edits in word wi
+// (zero for the uniform kind and for players without edits there).
+func (lz *Lazy) flipMaskAt(p, wi int) uint64 {
+	if lz.flipStart == nil {
+		return 0
+	}
+	lo, hi := lz.flipStart[p], lz.flipStart[p+1]
+	// Entries are word-ascending; players have at most radius edits, so a
+	// scan beats a binary search at real sizes.
+	for i := lo; i < hi; i++ {
+		if int(lz.flipWord[i]) == wi {
+			return lz.flipMask[i]
+		}
+	}
+	return 0
+}
+
+// TruthWord implements TruthSource: the center/row word XOR the player's
+// flip edits. It panics on an out-of-range word index exactly like
+// bitvec.Vector.WordMask, so lazy and dense worlds fail identically.
+func (lz *Lazy) TruthWord(p, wi int) uint64 {
+	if wi < 0 || wi >= lz.words {
+		panic(fmt.Sprintf("prefgen: word %d out of range [0,%d)", wi, lz.words))
+	}
+	return lz.rowWord(lz.rowID(p), wi) ^ lz.flipMaskAt(p, wi)
+}
+
+// TruthBit implements TruthSource. Cacheless reads cost one hash (plus the
+// flip scan); cached reads ride the tile path so hot rows stay warm.
+func (lz *Lazy) TruthBit(p, o int) bool {
+	if lz.tiles != nil {
+		return lz.TruthWord(p, o/64)>>(uint(o)%64)&1 == 1
+	}
+	row := lz.rowID(p)
+	bit := lz.base.At(uint64(row)*uint64(lz.m)+uint64(o)) & 1
+	bit ^= lz.flipMaskAt(p, o/64) >> (uint(o) % 64) & 1
+	return bit == 1
+}
+
+// MaterializeRow builds player p's full row (oracle tests, measurement).
+func (lz *Lazy) MaterializeRow(p int) bitvec.Vector { return Materialize(lz, p) }
+
+// lazyFlipEnt is one replayed flip edit before the per-player flatten.
+type lazyFlipEnt struct {
+	p    int32
+	word int32
+	mask uint64
+}
+
+// lazyInstance prepares the shared parts of a lazy construction: the buffer
+// arenas (fresh allocation for a nil receiver), the stream snapshot, and a
+// tile cache per SourceSpec tile count.
+func (b *Buffer) lazyInstance(rng *xrand.Stream, n, m, tiles int) (*Instance, *Lazy) {
+	var in *Instance
+	var lz *Lazy
+	if b == nil {
+		in = &Instance{ClusterOf: make([]int, n)}
+		lz = &Lazy{}
+	} else {
+		if cap(b.clusterOf) < n {
+			b.clusterOf = make([]int, n)
+		}
+		b.inst = Instance{ClusterOf: b.clusterOf[:n]}
+		in = &b.inst
+		lz = &b.lz
+		*lz = Lazy{} // drop the previous point's metadata and tile cache
+	}
+	lz.n, lz.m, lz.words = n, m, (m+63)/64
+	lz.base = *rng // pure At reads from here on; rng itself keeps advancing
+	lz.tiles = lru.New[uint64, []uint64](tiles)
+	lz.clusterOf = in.ClusterOf
+	in.src = lz
+	return in, lz
+}
+
+// LazyUniform is the lazy Uniform: identical truth and stream consumption,
+// O(1) memory. tiles > 0 adds a tile cache (SourceSpec.Tiles).
+func LazyUniform(rng *xrand.Stream, n, m, tiles int) *Instance {
+	return (*Buffer)(nil).LazyUniform(rng, n, m, tiles)
+}
+
+// LazyUniform is the pooled lazy Uniform; see Buffer.
+func (b *Buffer) LazyUniform(rng *xrand.Stream, n, m, tiles int) *Instance {
+	in, lz := b.lazyInstance(rng, n, m, tiles)
+	in.PlantedDiameter = -1
+	lz.kind = lazyUniform
+	for p := range in.ClusterOf {
+		in.ClusterOf[p] = -1
+	}
+	// Dense Uniform draws one coin per cell, row-major; leave the caller's
+	// stream exactly where it would have.
+	rng.Skip(uint64(n) * uint64(m))
+	return in
+}
+
+// LazyDiameterClusters is the lazy DiameterClusters: identical truth and
+// stream consumption, O(n + flips) memory. Centers are never materialized —
+// a member's row is its center's coin words XOR its replayed flip edits.
+func LazyDiameterClusters(rng *xrand.Stream, n, m, clusterSize, diameter, tiles int) *Instance {
+	return (*Buffer)(nil).LazyDiameterClusters(rng, n, m, clusterSize, diameter, tiles)
+}
+
+// LazyDiameterClusters is the pooled lazy DiameterClusters; see Buffer.
+func (b *Buffer) LazyDiameterClusters(rng *xrand.Stream, n, m, clusterSize, diameter, tiles int) *Instance {
+	if clusterSize <= 0 || clusterSize > n {
+		panic(fmt.Sprintf("prefgen: bad cluster size %d for n=%d", clusterSize, n))
+	}
+	numClusters := n / clusterSize
+	if numClusters == 0 {
+		numClusters = 1
+	}
+	in, lz := b.lazyInstance(rng, n, m, tiles)
+	in.PlantedDiameter = diameter
+	lz.kind = lazyCluster
+	lz.numCenters = numClusters
+	// Dense draws numClusters·m center coins first; skip them — rawWord
+	// regenerates any of them on demand.
+	rng.Skip(uint64(numClusters) * uint64(m))
+	perm := rng.Perm(n)
+	var ents []lazyFlipEnt
+	if b != nil {
+		ents = b.lzEnts[:0]
+	}
+	for rank, p := range perm {
+		c := rank / clusterSize
+		if c >= numClusters {
+			c = numClusters - 1 // remainder joins the last cluster
+		}
+		in.ClusterOf[p] = c
+		ents = replayFlips(rng, ents, int32(p), m, diameter)
+	}
+	if b != nil {
+		b.lzEnts = ents
+	}
+	b.flattenFlips(lz, ents)
+	return in
+}
+
+// LazyZipfClusters is the lazy ZipfClusters: identical truth and stream
+// consumption, O(n + flips) memory.
+func LazyZipfClusters(rng *xrand.Stream, n, m, numClusters int, alpha float64, diameter, tiles int) *Instance {
+	return (*Buffer)(nil).LazyZipfClusters(rng, n, m, numClusters, alpha, diameter, tiles)
+}
+
+// LazyZipfClusters is the pooled lazy ZipfClusters; see Buffer.
+func (b *Buffer) LazyZipfClusters(rng *xrand.Stream, n, m, numClusters int, alpha float64, diameter, tiles int) *Instance {
+	if numClusters <= 0 {
+		panic("prefgen: numClusters must be positive")
+	}
+	in, lz := b.lazyInstance(rng, n, m, tiles)
+	in.PlantedDiameter = diameter
+	lz.kind = lazyZipf
+	lz.numCenters = numClusters
+	rng.Skip(uint64(numClusters) * uint64(m))
+	z := xrand.NewZipf(rng, numClusters, alpha)
+	var ents []lazyFlipEnt
+	if b != nil {
+		ents = b.lzEnts[:0]
+	}
+	for p := 0; p < n; p++ {
+		in.ClusterOf[p] = z.Draw()
+		ents = replayFlips(rng, ents, int32(p), m, diameter)
+	}
+	if b != nil {
+		b.lzEnts = ents
+	}
+	b.flattenFlips(lz, ents)
+	return in
+}
+
+// replayFlips draws one player's flip edits exactly as the dense generator
+// does (Intn then Sample — both variable-draw, hence the replay) and
+// appends them as merged (word, mask) entries. Sample returns sorted
+// objects, so entries come out word-ascending.
+func replayFlips(rng *xrand.Stream, ents []lazyFlipEnt, p int32, m, diameter int) []lazyFlipEnt {
+	if diameter <= 0 {
+		return ents
+	}
+	radius := diameter / 2
+	flips := rng.Intn(radius + 1)
+	for _, o := range rng.Sample(m, flips) {
+		word, bit := int32(o/64), uint64(1)<<(uint(o)%64)
+		if k := len(ents); k > 0 && ents[k-1].p == p && ents[k-1].word == word {
+			ents[k-1].mask |= bit
+			continue
+		}
+		ents = append(ents, lazyFlipEnt{p: p, word: word, mask: bit})
+	}
+	return ents
+}
+
+// flattenFlips counting-sorts the replayed entries by player into the
+// Lazy's flat per-player ranges (stable, so word order is preserved),
+// reusing the buffer's arenas when pooled.
+func (b *Buffer) flattenFlips(lz *Lazy, ents []lazyFlipEnt) {
+	n := lz.n
+	var start []int32
+	var words []int32
+	var masks []uint64
+	if b != nil {
+		start = growInt32(b.lzStart, n+1)
+		words = growInt32(b.lzWord, len(ents))
+		masks = growUint64(b.lzMask, len(ents))
+		b.lzStart, b.lzWord, b.lzMask = start, words, masks
+	} else {
+		start = make([]int32, n+1)
+		words = make([]int32, len(ents))
+		masks = make([]uint64, len(ents))
+	}
+	for i := range start {
+		start[i] = 0
+	}
+	for _, e := range ents {
+		start[e.p+1]++
+	}
+	for i := 1; i <= n; i++ {
+		start[i] += start[i-1]
+	}
+	// Scatter using a moving cursor per player; each player's entries are
+	// contiguous in ents, so a single pass with the prefix copy is stable.
+	cursor := append([]int32(nil), start[:n]...)
+	for _, e := range ents {
+		pos := cursor[e.p]
+		cursor[e.p]++
+		words[pos], masks[pos] = e.word, e.mask
+	}
+	lz.flipStart, lz.flipWord, lz.flipMask = start, words, masks
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growUint64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,389 @@
+package prefgen
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"collabscore/internal/xrand"
+)
+
+// lazyCase pairs a dense generator with its lazy twin for the oracle matrix.
+type lazyCase struct {
+	name  string
+	dense func(rng *xrand.Stream, n, m int) *Instance
+	lazy  func(rng *xrand.Stream, n, m, tiles int) *Instance
+}
+
+func lazyCases(clusterSize, numClusters, diameter int, alpha float64) []lazyCase {
+	return []lazyCase{
+		{
+			name:  "uniform",
+			dense: func(rng *xrand.Stream, n, m int) *Instance { return Uniform(rng, n, m) },
+			lazy: func(rng *xrand.Stream, n, m, tiles int) *Instance {
+				return LazyUniform(rng, n, m, tiles)
+			},
+		},
+		{
+			name: fmt.Sprintf("cluster/size=%d,d=%d", clusterSize, diameter),
+			dense: func(rng *xrand.Stream, n, m int) *Instance {
+				return DiameterClusters(rng, n, m, clusterSize, diameter)
+			},
+			lazy: func(rng *xrand.Stream, n, m, tiles int) *Instance {
+				return LazyDiameterClusters(rng, n, m, clusterSize, diameter, tiles)
+			},
+		},
+		{
+			name: fmt.Sprintf("zipf/k=%d,d=%d", numClusters, diameter),
+			dense: func(rng *xrand.Stream, n, m int) *Instance {
+				return ZipfClusters(rng, n, m, numClusters, alpha, diameter)
+			},
+			lazy: func(rng *xrand.Stream, n, m, tiles int) *Instance {
+				return LazyZipfClusters(rng, n, m, numClusters, alpha, diameter, tiles)
+			},
+		},
+	}
+}
+
+// requireLazyMatchesDense pins the whole lazy contract against the dense
+// oracle for one (generator, size, seed, tiles) point: identical planted
+// metadata, every TruthWord and TruthBit equal to the materialized matrix,
+// and identical post-generation stream state (so downstream split/draw
+// sequences cannot diverge between representations).
+func requireLazyMatchesDense(t *testing.T, c lazyCase, n, m int, seed uint64, tiles int) {
+	t.Helper()
+	dRng, lRng := xrand.New(seed), xrand.New(seed)
+	dense := c.dense(dRng, n, m)
+	lz := c.lazy(lRng, n, m, tiles)
+
+	if dRng.Uint64() != lRng.Uint64() {
+		t.Fatalf("%s n=%d m=%d seed=%d: lazy generator left the stream in a different state", c.name, n, m, seed)
+	}
+	if lz.Truth != nil || lz.Centers != nil {
+		t.Fatalf("%s: lazy instance materialized truth/centers", c.name)
+	}
+	if lz.N() != dense.N() || lz.M() != dense.M() {
+		t.Fatalf("%s: dims (%d,%d), want (%d,%d)", c.name, lz.N(), lz.M(), dense.N(), dense.M())
+	}
+	if lz.PlantedDiameter != dense.PlantedDiameter {
+		t.Fatalf("%s: PlantedDiameter %d, want %d", c.name, lz.PlantedDiameter, dense.PlantedDiameter)
+	}
+	for p := range dense.ClusterOf {
+		if lz.ClusterOf[p] != dense.ClusterOf[p] {
+			t.Fatalf("%s: ClusterOf[%d] = %d, want %d", c.name, p, lz.ClusterOf[p], dense.ClusterOf[p])
+		}
+	}
+
+	src := lz.Source()
+	if _, ok := src.(*Lazy); !ok {
+		t.Fatalf("%s: Source() = %T, want *Lazy", c.name, src)
+	}
+	words := (m + 63) / 64
+	for p := 0; p < n; p++ {
+		want := dense.Truth[p]
+		for wi := 0; wi < words; wi++ {
+			if got := src.TruthWord(p, wi); got != want.Word(wi) {
+				t.Fatalf("%s seed=%d: TruthWord(%d,%d) = %#x, want %#x", c.name, seed, p, wi, got, want.Word(wi))
+			}
+		}
+		if !Materialize(src, p).Equal(want) {
+			t.Fatalf("%s seed=%d: materialized row %d differs from dense", c.name, seed, p)
+		}
+	}
+	// Spot-check the single-bit path (it has its own cacheless fast path).
+	probe := xrand.New(seed ^ 0xbeef)
+	for i := 0; i < 200; i++ {
+		p, o := probe.Intn(n), probe.Intn(m)
+		if src.TruthBit(p, o) != dense.Truth[p].Get(o) {
+			t.Fatalf("%s seed=%d: TruthBit(%d,%d) mismatch", c.name, seed, p, o)
+		}
+	}
+}
+
+// TestLazyMatchesDense is the core oracle pin: for every generator family,
+// word-unaligned m, zero and positive planted diameters, several seeds, and
+// cached vs cacheless tile configurations, the lazy truth source must
+// reproduce the dense matrix bit for bit.
+func TestLazyMatchesDense(t *testing.T) {
+	sizes := []struct{ n, m int }{
+		{17, 63},  // sub-word row
+		{40, 64},  // exact word boundary
+		{33, 129}, // word + 1 tail bit
+		{64, 300},
+	}
+	for _, diameter := range []int{0, 10} {
+		for _, sz := range sizes {
+			for _, c := range lazyCases(7, 5, diameter, 1.1) {
+				for _, tiles := range []int{0, 4} {
+					for seed := uint64(1); seed <= 3; seed++ {
+						requireLazyMatchesDense(t, c, sz.n, sz.m, seed, tiles)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLazyPooledMatchesFresh pins that the pooled (Buffer) lazy generators
+// are draw-for-draw identical to the package-level ones, including when the
+// buffer is reused across points of different shapes and modes — the sweep
+// pool's usage pattern.
+func TestLazyPooledMatchesFresh(t *testing.T) {
+	var buf Buffer
+	points := []struct {
+		n, m, diameter int
+	}{
+		{24, 100, 6},
+		{40, 65, 0},
+		{12, 200, 8},
+	}
+	for _, pt := range points {
+		for _, mode := range []string{"uniform", "cluster", "zipf", "dense-interleave"} {
+			fresh := xrand.New(uint64(pt.n)*1000 + uint64(pt.m))
+			pooled := xrand.New(uint64(pt.n)*1000 + uint64(pt.m))
+			var want, got *Instance
+			switch mode {
+			case "uniform":
+				want = LazyUniform(fresh, pt.n, pt.m, 2)
+				got = buf.LazyUniform(pooled, pt.n, pt.m, 2)
+			case "cluster":
+				want = LazyDiameterClusters(fresh, pt.n, pt.m, 6, pt.diameter, 2)
+				got = buf.LazyDiameterClusters(pooled, pt.n, pt.m, 6, pt.diameter, 2)
+			case "zipf":
+				want = LazyZipfClusters(fresh, pt.n, pt.m, 4, 1.2, pt.diameter, 0)
+				got = buf.LazyZipfClusters(pooled, pt.n, pt.m, 4, 1.2, pt.diameter, 0)
+			case "dense-interleave":
+				// A dense generation between lazy points must not corrupt
+				// the arenas (the paired dense/lazy sweep alternates them).
+				want = DiameterClusters(fresh, pt.n, pt.m, 6, pt.diameter)
+				got = buf.DiameterClusters(pooled, pt.n, pt.m, 6, pt.diameter)
+			}
+			if fresh.Uint64() != pooled.Uint64() {
+				t.Fatalf("%s %v: pooled generator consumed a different stream", mode, pt)
+			}
+			for p := 0; p < pt.n; p++ {
+				if got.ClusterOf[p] != want.ClusterOf[p] {
+					t.Fatalf("%s %v: ClusterOf[%d] = %d, want %d", mode, pt, p, got.ClusterOf[p], want.ClusterOf[p])
+				}
+				if !Materialize(got.Source(), p).Equal(Materialize(want.Source(), p)) {
+					t.Fatalf("%s %v: pooled row %d differs from fresh", mode, pt, p)
+				}
+			}
+		}
+	}
+}
+
+// TestLazyReadsAreReproducible is the determinism-contract meta-test for
+// TruthSource: any (seed, player, word) read returns the same bits on every
+// call, regardless of read order, interleaving, or cache state. quick.Check
+// drives random read schedules against first-read snapshots.
+func TestLazyReadsAreReproducible(t *testing.T) {
+	const n, m = 30, 200
+	words := (m + 63) / 64
+	build := func(seed uint64, tiles int) *Instance {
+		return LazyDiameterClusters(xrand.New(seed), n, m, 5, 12, tiles)
+	}
+	err := quick.Check(func(seed uint64, rawP, rawWi uint16, tiles uint8) bool {
+		p, wi := int(rawP)%n, int(rawWi)%words
+		cached := build(seed, int(tiles)%8)
+		first := cached.Source().TruthWord(p, wi)
+		// Re-read after unrelated reads have churned the tile cache.
+		for i := 0; i < 50; i++ {
+			cached.Source().TruthWord((p*7+i)%n, (wi+i)%words)
+		}
+		if cached.Source().TruthWord(p, wi) != first {
+			return false
+		}
+		// A separately constructed source over the same seed agrees too.
+		return build(seed, 0).Source().TruthWord(p, wi) == first
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLazyTileCacheMatchesCacheless pins hit ≡ recompute: reading the same
+// cells through a tiny (thrashing) cache, a large cache, and no cache at
+// all yields identical words, in whatever order the reads arrive.
+func TestLazyTileCacheMatchesCacheless(t *testing.T) {
+	const n, m = 50, 1500 // 24 words per row: several tiles
+	mk := func(tiles int) TruthSource {
+		return LazyDiameterClusters(xrand.New(99), n, m, 10, 20, tiles).Source()
+	}
+	cacheless, tiny, big := mk(0), mk(1), mk(1024)
+	order := xrand.New(7)
+	for i := 0; i < 5000; i++ {
+		p, wi := order.Intn(n), order.Intn((m+63)/64)
+		want := cacheless.TruthWord(p, wi)
+		if got := tiny.TruthWord(p, wi); got != want {
+			t.Fatalf("tiny cache: TruthWord(%d,%d) = %#x, want %#x", p, wi, got, want)
+		}
+		if got := big.TruthWord(p, wi); got != want {
+			t.Fatalf("big cache: TruthWord(%d,%d) = %#x, want %#x", p, wi, got, want)
+		}
+	}
+}
+
+// TestLazyConcurrentProbes hammers one cached lazy source from several
+// goroutines under the race detector: the tile cache is the only shared
+// mutable state, and every read must stay bit-identical to a recompute.
+func TestLazyConcurrentProbes(t *testing.T) {
+	const n, m = 40, 2000
+	in := LazyDiameterClusters(xrand.New(5), n, m, 8, 16, 4)
+	src := in.Source()
+	oracle := LazyDiameterClusters(xrand.New(5), n, m, 8, 16, 0).Source()
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			order := xrand.New(uint64(g) + 100)
+			for i := 0; i < 3000; i++ {
+				p, wi := order.Intn(n), order.Intn((m+63)/64)
+				if got, want := src.TruthWord(p, wi), oracle.TruthWord(p, wi); got != want {
+					done <- fmt.Errorf("goroutine %d: TruthWord(%d,%d) = %#x, want %#x", g, p, wi, got, want)
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLazyWordTailMasking pins that bits past the last object are zero in
+// every lazy word, exactly as bitvec.Vector.Word guarantees for dense rows.
+func TestLazyWordTailMasking(t *testing.T) {
+	const n, m = 10, 70 // last word has 6 live bits
+	src := LazyUniform(xrand.New(3), n, m, 0).Source()
+	var mask uint64 = (1 << (m % 64)) - 1
+	for p := 0; p < n; p++ {
+		if w := src.TruthWord(p, 1); w&^mask != 0 {
+			t.Fatalf("row %d: tail word %#x has bits past object %d", p, w, m)
+		}
+	}
+}
+
+// TestLazyWordPanicsLikeDense pins that an out-of-range word read fails the
+// same way on both representations (the world layer relies on it).
+func TestLazyWordPanicsLikeDense(t *testing.T) {
+	src := LazyUniform(xrand.New(1), 4, 100, 0).Source()
+	for _, wi := range []int{-1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("TruthWord(0,%d) did not panic", wi)
+				}
+			}()
+			src.TruthWord(0, wi)
+		}()
+	}
+}
+
+// TestMaterializeDense pins the Dense fast path of Materialize: a clone,
+// not an alias.
+func TestMaterializeDense(t *testing.T) {
+	in := Uniform(xrand.New(2), 5, 90)
+	row := Materialize(in.Source(), 3)
+	if !row.Equal(in.Truth[3]) {
+		t.Fatal("materialized dense row differs")
+	}
+	row.Flip(0)
+	if row.Equal(in.Truth[3]) {
+		t.Fatal("Materialize aliased the dense row")
+	}
+}
+
+// TestParseSourceSpec pins the spec grammar: canonical forms round-trip
+// through String, the default is dense, and malformed specs are rejected.
+func TestParseSourceSpec(t *testing.T) {
+	good := []struct {
+		in   string
+		want SourceSpec
+		str  string
+	}{
+		{"", SourceSpec{}, "dense"},
+		{"dense", SourceSpec{}, "dense"},
+		{"lazy", SourceSpec{Kind: "lazy"}, "lazy"},
+		{"lazy:1", SourceSpec{Kind: "lazy", Tiles: 1}, "lazy:1"},
+		{"lazy:4096", SourceSpec{Kind: "lazy", Tiles: 4096}, "lazy:4096"},
+	}
+	for _, g := range good {
+		sp, err := ParseSourceSpec(g.in)
+		if err != nil {
+			t.Fatalf("ParseSourceSpec(%q): %v", g.in, err)
+		}
+		if sp != g.want {
+			t.Fatalf("ParseSourceSpec(%q) = %+v, want %+v", g.in, sp, g.want)
+		}
+		if sp.String() != g.str {
+			t.Fatalf("ParseSourceSpec(%q).String() = %q, want %q", g.in, sp.String(), g.str)
+		}
+		if rt, err := ParseSourceSpec(sp.String()); err != nil || rt != sp {
+			t.Fatalf("round-trip of %q failed: %+v, %v", g.in, rt, err)
+		}
+	}
+	bad := []string{
+		"Dense", "LAZY", "lazy:", "lazy:0", "lazy:-3", "lazy:2.5", "lazy:x",
+		"lazy:1:2", "eager", "dense:4", ":4", "lazy :4", " lazy", "lazy ",
+	}
+	for _, s := range bad {
+		if _, err := ParseSourceSpec(s); err == nil {
+			t.Fatalf("ParseSourceSpec(%q) accepted a malformed spec", s)
+		}
+	}
+}
+
+// FuzzTruthSpec fuzzes the -truth parser: no panics, and every accepted
+// spec must be canonical under a String round-trip with consistent
+// IsDense/Tiles invariants.
+func FuzzTruthSpec(f *testing.F) {
+	for _, s := range []string{"", "dense", "lazy", "lazy:16", "lazy:0", "lazy:-1", "exact", "lsh:8:4", "lazy:99999999999999999999"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sp, err := ParseSourceSpec(s)
+		if err != nil {
+			if sp != (SourceSpec{}) {
+				t.Fatalf("error return carried a non-zero spec: %+v", sp)
+			}
+			return
+		}
+		if sp.IsDense() && sp.Tiles != 0 {
+			t.Fatalf("dense spec with tiles: %+v", sp)
+		}
+		if !sp.IsDense() && (sp.Kind != "lazy" || sp.Tiles < 0) {
+			t.Fatalf("accepted non-canonical spec: %+v", sp)
+		}
+		rt, err := ParseSourceSpec(sp.String())
+		if err != nil || rt != sp {
+			t.Fatalf("accepted spec %q does not round-trip: %+v, %v", s, rt, err)
+		}
+	})
+}
+
+// TestLazyTileCacheSteadyStateAllocFree: once every tile of a row's working
+// set is cached, TruthWord reads are pure cache hits and must not allocate.
+func TestLazyTileCacheSteadyStateAllocFree(t *testing.T) {
+	const n, m, tiles = 4, 2048, 64 // 2 tiles per row, 8 tiles total — all fit
+	in := LazyDiameterClusters(xrand.New(6), n, m, 2, 8, tiles)
+	src := in.Source()
+	words := (m + 63) / 64
+	var warm uint64
+	for p := 0; p < n; p++ {
+		for wi := 0; wi < words; wi++ {
+			warm ^= src.TruthWord(p, wi)
+		}
+	}
+	var sink uint64
+	i := 0
+	if got := testing.AllocsPerRun(200, func() {
+		sink ^= src.TruthWord(i%n, (i/n)%words)
+		i++
+	}); got != 0 {
+		t.Fatalf("warm tile-cache TruthWord allocates %v times per run", got)
+	}
+	_ = warm + sink
+}

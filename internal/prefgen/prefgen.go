@@ -18,23 +18,46 @@ import (
 // Instance is a generated preference matrix together with its planted
 // structure, which experiments use as ground truth for OPT comparisons.
 type Instance struct {
-	// Truth[p] is player p's hidden preference vector (length M).
+	// Truth[p] is player p's hidden preference vector (length M). It is nil
+	// for lazily generated instances, whose truth lives behind Source() —
+	// code that needs a materialized row uses Materialize. OPT oracles and
+	// diameter measurements require dense truth.
 	Truth []bitvec.Vector
 	// ClusterOf[p] is the planted cluster index of player p, or -1 if p was
 	// generated with independent random preferences.
 	ClusterOf []int
-	// Centers[c] is the prototype vector of planted cluster c.
+	// Centers[c] is the prototype vector of planted cluster c. Lazy
+	// instances leave it nil (centers are regenerated on demand).
 	Centers []bitvec.Vector
 	// PlantedDiameter is an upper bound on the diameter of each planted
 	// cluster (0 for identical clusters, -1 if no bound was planted).
 	PlantedDiameter int
+	// src is the lazy truth source, set only by the Lazy* generators.
+	src TruthSource
+}
+
+// Source returns the instance's truth as a TruthSource: the lazy source for
+// lazily generated instances, a Dense wrapper over Truth otherwise.
+func (in *Instance) Source() TruthSource {
+	if in.src != nil {
+		return in.src
+	}
+	return &Dense{rows: in.Truth}
 }
 
 // N returns the number of players.
-func (in *Instance) N() int { return len(in.Truth) }
+func (in *Instance) N() int {
+	if in.src != nil {
+		return in.src.Players()
+	}
+	return len(in.Truth)
+}
 
 // M returns the number of objects.
 func (in *Instance) M() int {
+	if in.src != nil {
+		return in.src.Objects()
+	}
 	if len(in.Truth) == 0 {
 		return 0
 	}
@@ -88,6 +111,13 @@ type Buffer struct {
 	centers   []bitvec.Vector
 	clusterOf []int
 	inst      Instance
+	// Lazy-generation arenas (see lazy.go). lz is the pooled Lazy value the
+	// instance's Source() points at; the rest are replay scratch.
+	lz      Lazy
+	lzEnts  []lazyFlipEnt
+	lzStart []int32
+	lzWord  []int32
+	lzMask  []uint64
 }
 
 // instance returns an Instance with n zeroed truth vectors of length m,

@@ -1,0 +1,137 @@
+package prefgen
+
+// The truth-source seam (DESIGN.md §14). The paper's protocols only ever
+// PROBE truth bits — nothing needs the n×m matrix as a data structure — so
+// how truth is represented is an implementation choice, exactly like
+// neighbor discovery (cluster.NeighborIndex, §13). Dense is the
+// materialized reference oracle and the default; Lazy computes any cell on
+// demand as a pure function of the generation seed, in O(1) per word,
+// dropping the O(n·m) memory wall. Both are bit-identical for the same
+// generation stream: the oracle test layer pins every probe-path output.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"collabscore/internal/bitvec"
+)
+
+// TruthSource is the pluggable representation of a hidden preference
+// matrix: n players × m objects of binary truth, addressed by (player,
+// object word). Implementations must be pure — the same cell always reads
+// the same bit — and safe for concurrent readers, because probe paths fan
+// out across phase goroutines. Word reads mask bits past the last object
+// to zero, mirroring bitvec.Vector.Word.
+type TruthSource interface {
+	// Players returns n; Objects returns m.
+	Players() int
+	Objects() int
+	// TruthWord returns the 64 truth bits of player p's object word wi
+	// (objects wi·64 … wi·64+63; bits past Objects() are zero).
+	TruthWord(p, wi int) uint64
+	// TruthBit returns the single truth bit v(p)_o.
+	TruthBit(p, o int) bool
+}
+
+// Dense is the materialized truth source: a wrapper over the generated
+// row vectors, the reference oracle every lazy representation is pinned
+// against. It is the historical representation, bit for bit.
+type Dense struct {
+	rows []bitvec.Vector
+}
+
+// NewDense wraps materialized truth rows as a TruthSource.
+func NewDense(rows []bitvec.Vector) *Dense { return &Dense{rows: rows} }
+
+// Players returns the number of rows.
+func (d *Dense) Players() int { return len(d.rows) }
+
+// Objects returns the row length (0 when empty).
+func (d *Dense) Objects() int {
+	if len(d.rows) == 0 {
+		return 0
+	}
+	return d.rows[0].Len()
+}
+
+// TruthWord returns word wi of row p.
+func (d *Dense) TruthWord(p, wi int) uint64 { return d.rows[p].Word(wi) }
+
+// TruthBit returns bit o of row p.
+func (d *Dense) TruthBit(p, o int) bool { return d.rows[p].Get(o) }
+
+// Rows exposes the backing vectors (world fast paths and Renew reuse).
+func (d *Dense) Rows() []bitvec.Vector { return d.rows }
+
+// Materialize builds player p's full truth row from any source. It is the
+// bridge measurement code uses (world.TruthVector) and the oracle tests'
+// workhorse: a lazy row materialized this way must equal the dense row.
+func Materialize(src TruthSource, p int) bitvec.Vector {
+	if d, ok := src.(*Dense); ok {
+		return d.rows[p].Clone()
+	}
+	m := src.Objects()
+	v := bitvec.New(m)
+	for wi := 0; wi < (m+63)/64; wi++ {
+		v.SetWord(wi, src.TruthWord(p, wi))
+	}
+	return v
+}
+
+// SourceSpec is the serializable truth-source knob carried by configs and
+// sweep grids, mirroring cluster.IndexSpec. The zero value selects Dense —
+// the default, so unset knobs keep the historical behavior bit for bit.
+// Kind "lazy" selects on-demand generation; Tiles > 0 adds a fixed-capacity
+// LRU of generated truth tiles (lru.Cache), whose hits are bit-identical to
+// recomputation.
+type SourceSpec struct {
+	// Kind is "" or "dense" for the materialized oracle, "lazy" for
+	// on-demand generation.
+	Kind string
+	// Tiles is the tile-cache capacity for lazy sources (0 = cacheless).
+	Tiles int
+}
+
+// IsDense reports whether the spec selects the materialized reference
+// representation.
+func (sp SourceSpec) IsDense() bool { return sp.Kind == "" || sp.Kind == "dense" }
+
+// String returns the canonical flag/axis form: "dense", "lazy", or
+// "lazy:TILES". ParseSourceSpec inverts it.
+func (sp SourceSpec) String() string {
+	if sp.IsDense() {
+		return "dense"
+	}
+	if sp.Tiles == 0 {
+		return sp.Kind
+	}
+	return fmt.Sprintf("%s:%d", sp.Kind, sp.Tiles)
+}
+
+// ParseSourceSpec parses the "dense" | "lazy" | "lazy:TILES" forms used by
+// Config.TruthSource, sweep specs, and cmd/sweep's -truth flag ("" and
+// "dense" both yield the zero spec, so the default stays canonical).
+// Parsing is strict — wrong field counts and non-positive tile counts are
+// rejected rather than silently running a wrong experiment, matching
+// cluster.ParseIndexSpec.
+func ParseSourceSpec(s string) (SourceSpec, error) {
+	switch s {
+	case "", "dense":
+		return SourceSpec{}, nil
+	case "lazy":
+		return SourceSpec{Kind: "lazy"}, nil
+	}
+	bad := func() (SourceSpec, error) {
+		return SourceSpec{}, fmt.Errorf("prefgen: bad truth source %q (want dense, lazy, or lazy:TILES with positive tile count)", s)
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 || parts[0] != "lazy" {
+		return bad()
+	}
+	tiles, err := strconv.Atoi(parts[1])
+	if err != nil || tiles < 1 {
+		return bad()
+	}
+	return SourceSpec{Kind: "lazy", Tiles: tiles}, nil
+}

@@ -118,7 +118,10 @@ func runPoint(pl *collabscore.Pool, pt Point, computeOpt bool) (Record, error) {
 		}
 	} else {
 		sim := sc.Build(pl)
-		if computeOpt && sim.Instance().PlantedDiameter >= 0 {
+		// The planted-optimum oracle scans the materialized truth matrix;
+		// lazy instances (Truth == nil) skip it — by design, the whole point
+		// of the lazy representation is never holding that matrix.
+		if computeOpt && sim.Instance().PlantedDiameter >= 0 && sim.Instance().Truth != nil {
 			optErr = metrics.MaxInt(baseline.OptErrors(sim.Instance()))
 		}
 		rep = sc.Execute(sim)

@@ -465,3 +465,97 @@ func TestEngineRatingsMatchStandalone(t *testing.T) {
 		}
 	}
 }
+
+// TestRunFileResumeTruthGrid drives the truth-source axis end to end
+// through the engine: a mixed dense/lazy grid across substrates runs,
+// resumes from a torn file re-running only the missing points, and every
+// lazy record carries exactly the same results as its dense twin (same
+// seed, same world — the representation must be invisible in the JSONL).
+func TestRunFileResumeTruthGrid(t *testing.T) {
+	pts, err := Expand(Spec{
+		Seed:         17,
+		Players:      []int{48},
+		ClusterSizes: []int{12},
+		Diameters:    []int{4},
+		Dishonest:    []int{0, 2},
+		Strategies:   []string{"random-liar"},
+		Protocols:    []string{"run", "byzantine", "ratings", "budgets"},
+		TruthSources: []string{"dense", "lazy", "lazy:8"},
+		FixDiameter:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	refPath := filepath.Join(dir, "ref.jsonl")
+	ref, err := RunFile(pts, refPath, false, Options{Workers: 2, ComputeOpt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pair every lazy record with its dense twin: identical apart from the
+	// identity fields and the planted-optimum column (the exact-optimum
+	// oracle needs the materialized matrix, so lazy points skip it).
+	denseByKey := map[string]Record{}
+	for _, rec := range ref {
+		if rec.TruthSource == "" {
+			denseByKey[rec.Key] = rec
+		}
+	}
+	var lazySeen int
+	for _, rec := range ref {
+		if rec.TruthSource == "" {
+			continue
+		}
+		lazySeen++
+		twin := rec
+		twin.TruthSource = ""
+		want, ok := denseByKey[twin.Point.Key()]
+		if !ok {
+			t.Fatalf("lazy record %s has no dense twin", rec.Key)
+		}
+		if rec.OptError != -1 {
+			t.Fatalf("lazy record %s computed the dense-only optimum oracle", rec.Key)
+		}
+		got := rec
+		got.Point.TruthSource, got.Key, got.Index = "", want.Key, want.Index
+		got.OptError = want.OptError
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("lazy record %s differs from its dense twin beyond identity fields\n got %+v\nwant %+v",
+				rec.Key, rec, want)
+		}
+	}
+	if lazySeen == 0 {
+		t.Fatal("grid produced no lazy points")
+	}
+
+	// Tear the file and resume: only the missing points re-run, and the
+	// final record set matches the uninterrupted sweep.
+	refBytes, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(refBytes, []byte("\n"))
+	k := len(pts) / 2
+	partial := bytes.Join(lines[:k], nil)
+	partial = append(partial, lines[k][:len(lines[k])/2]...)
+	killedPath := filepath.Join(dir, "killed.jsonl")
+	if err := os.WriteFile(killedPath, partial, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var reran int
+	resumed, err := RunFile(pts, killedPath, true, Options{
+		Workers:    2,
+		ComputeOpt: true,
+		Progress:   func(completed, scheduled int, rec Record) { reran = scheduled },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(pts) - k; reran != want {
+		t.Fatalf("resume scheduled %d points, want exactly the %d missing", reran, want)
+	}
+	if !reflect.DeepEqual(resumed, ref) {
+		t.Fatal("resumed truth-grid records differ from the uninterrupted run")
+	}
+}

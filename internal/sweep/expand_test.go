@@ -513,3 +513,103 @@ func TestExpandNeighborIndexAxis(t *testing.T) {
 		t.Fatal("Scenario accepted a garbage neighbor index")
 	}
 }
+
+// TestExpandTruthSourceAxis: the truth-representation axis applies to every
+// protocol, canonicalizes the dense default to "" (keys and seeds identical
+// to a spec without the axis), and pairs lazy points with their dense twins
+// on the same seed — the representation is never instance-defining.
+func TestExpandTruthSourceAxis(t *testing.T) {
+	sp := Spec{
+		Seed:         13,
+		Players:      []int{64},
+		ClusterSizes: []int{16},
+		Diameters:    []int{4},
+		Protocols:    []string{"run", "byzantine", "budgets", "baseline", "ratings"},
+		TruthSources: []string{"dense", "lazy", "lazy:16"},
+	}
+	pts, err := Expand(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byProto := map[string][]Point{}
+	for _, pt := range pts {
+		byProto[pt.Protocol] = append(byProto[pt.Protocol], pt)
+		sc, err := pt.Scenario()
+		if err != nil {
+			t.Fatalf("point %s scenario: %v", pt.Key(), err)
+		}
+		if sc.Config.TruthSource != pt.TruthSource {
+			t.Fatalf("point %s: scenario truth source %q", pt.Key(), sc.Config.TruthSource)
+		}
+	}
+	for _, proto := range []string{"run", "byzantine", "budgets", "baseline", "ratings"} {
+		if got := len(byProto[proto]); got != 3 {
+			t.Fatalf("%s points: %d, want 3 (dense, lazy, lazy:16)", proto, got)
+		}
+		seeds := map[uint64]bool{}
+		srcs := map[string]bool{}
+		for _, pt := range byProto[proto] {
+			seeds[pt.Seed] = true
+			srcs[pt.TruthSource] = true
+		}
+		// Paired comparisons: one seed across the axis.
+		if len(seeds) != 1 {
+			t.Fatalf("%s: truth axis split seeds %v", proto, seeds)
+		}
+		if !srcs[""] || !srcs["lazy"] || !srcs["lazy:16"] {
+			t.Fatalf("%s: canonical truth values %v", proto, srcs)
+		}
+	}
+	// Dense points keep the exact historical key and seed of a spec with no
+	// axis at all.
+	noAxis := sp
+	noAxis.TruthSources = nil
+	ref, err := Expand(noAxis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refByKey := map[string]Point{}
+	for _, pt := range ref {
+		refByKey[pt.Key()] = pt
+	}
+	for _, pt := range pts {
+		if pt.TruthSource != "" {
+			if _, clash := refByKey[pt.Key()]; clash {
+				t.Fatalf("lazy point key %s collides with a default point", pt.Key())
+			}
+			continue
+		}
+		rp, ok := refByKey[pt.Key()]
+		if !ok {
+			t.Fatalf("dense point key %s missing from the no-axis grid", pt.Key())
+		}
+		if rp.Seed != pt.Seed {
+			t.Fatalf("dense point %s seed changed with the axis present", pt.Key())
+		}
+	}
+	// "dense" and "" collapse to one canonical value, not two grid slices.
+	collapsed := sp
+	collapsed.TruthSources = []string{"", "dense", "lazy", "lazy"}
+	cpts, err := Expand(collapsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(ref) * 2; len(cpts) != want {
+		t.Fatalf("duplicate-laden axis expanded to %d points, want %d", len(cpts), want)
+	}
+
+	// Invalid axis entries are rejected.
+	for _, bad := range []string{"lazy:0", "sparse", "lazy:", "lazy:-1", "LAZY"} {
+		sp := sp
+		sp.TruthSources = []string{bad}
+		if _, err := Expand(sp); err == nil {
+			t.Fatalf("Expand accepted truth source %q", bad)
+		}
+	}
+	// Invalid source on a JSONL-borne point is caught by Scenario.
+	pt := pts[0]
+	pt.TruthSource = "garbage"
+	if _, err := pt.Scenario(); err == nil {
+		t.Fatal("Scenario accepted a garbage truth source")
+	}
+}

@@ -121,9 +121,10 @@ func RunFile(points []Point, path string, resume bool, opt Options) ([]Record, e
 		wants[pt.Key()] = want{
 			seed: pt.Seed,
 			// Uniform plantings and rating points have no optimum to
-			// compute (OptError -1 either way); planted binary points
-			// carry one iff ComputeOpt is on.
-			withOpt: opt.ComputeOpt && pt.Plant.Kind != "uniform" && pt.Protocol != "ratings",
+			// compute (OptError -1 either way), and neither do lazy
+			// truth sources (the oracle scans the materialized matrix);
+			// planted dense binary points carry one iff ComputeOpt is on.
+			withOpt: opt.ComputeOpt && pt.Plant.Kind != "uniform" && pt.Protocol != "ratings" && pt.TruthSource == "",
 		}
 	}
 

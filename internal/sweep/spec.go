@@ -24,6 +24,7 @@ import (
 
 	"collabscore"
 	"collabscore/internal/cluster"
+	"collabscore/internal/prefgen"
 	"collabscore/internal/xrand"
 )
 
@@ -98,6 +99,14 @@ type Spec struct {
 	// (paired comparisons), and the exact default keeps every existing
 	// key, seed, and JSONL record unchanged.
 	NeighborIndexes []string `json:"neighbor_indexes,omitempty"`
+	// TruthSources is the truth-representation axis ("dense", "lazy", or
+	// "lazy:TILES" — prefgen.ParseSourceSpec forms; see DESIGN.md §14).
+	// The representation is observationally invisible — every source yields
+	// byte-identical reports — so like NeighborIndexes it is not
+	// instance-defining: points differing only in the source share a seed
+	// and a planted world (paired comparisons), and the dense default keeps
+	// every existing key, seed, and JSONL record unchanged.
+	TruthSources []string `json:"truth_sources,omitempty"`
 }
 
 // CapTier is one capacity-tier axis value: the §8 heterogeneous-budget
@@ -192,6 +201,11 @@ type Point struct {
 	// points ("" means the exact default, so pre-axis records round-trip
 	// unchanged; otherwise a cluster.ParseIndexSpec form such as "lsh").
 	NeighborIndex string `json:"neighbor_index,omitempty"`
+	// TruthSource is the canonical truth-representation spec ("" means the
+	// dense default, keeping pre-axis records round-tripping unchanged;
+	// otherwise a prefgen.ParseSourceSpec form such as "lazy" or
+	// "lazy:4096").
+	TruthSource string `json:"truth,omitempty"`
 
 	FixDiameter    bool `json:"fix_diameter,omitempty"`
 	PaperConstants bool `json:"paper_constants,omitempty"`
@@ -218,6 +232,9 @@ func (pt Point) Key() string {
 	}
 	if pt.NeighborIndex != "" {
 		fmt.Fprintf(&sb, ",nidx=%s", pt.NeighborIndex)
+	}
+	if pt.TruthSource != "" {
+		fmt.Fprintf(&sb, ",truth=%s", pt.TruthSource)
 	}
 	fmt.Fprintf(&sb, ",proto=%s,trial=%d", pt.Protocol, pt.Trial)
 	if pt.FixDiameter {
@@ -278,6 +295,10 @@ func (pt Point) Scenario() (collabscore.Scenario, error) {
 		return sc, fmt.Errorf("sweep: %v", err)
 	}
 	sc.Config.NeighborIndex = pt.NeighborIndex
+	if _, err := prefgen.ParseSourceSpec(pt.TruthSource); err != nil {
+		return sc, fmt.Errorf("sweep: %v", err)
+	}
+	sc.Config.TruthSource = pt.TruthSource
 	// Substrate checks for points that did not come from Expand (JSONL
 	// files can hold anything): rating points need a cluster planting and a
 	// rating-capable strategy; binary points a binary-capable one.
@@ -481,6 +502,25 @@ func Expand(sp Spec) ([]Point, error) {
 		}
 		nidxes = uniq(nidxes)
 	}
+	// Same treatment for the truth-representation axis: every entry must
+	// parse, and the dense default becomes "" so default points keep their
+	// historical keys.
+	truths := []string{""}
+	if len(sp.TruthSources) > 0 {
+		truths = truths[:0]
+		for _, s := range sp.TruthSources {
+			spec, err := prefgen.ParseSourceSpec(s)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: %v", err)
+			}
+			if spec.IsDense() {
+				truths = append(truths, "")
+			} else {
+				truths = append(truths, spec.String())
+			}
+		}
+		truths = uniq(truths)
+	}
 	strategies := defStrs(sp.Strategies, collabscore.RandomLiar.String())
 	for _, s := range strategies {
 		if _, err := collabscore.ParseStrategy(s); err != nil {
@@ -559,6 +599,9 @@ func Expand(sp Spec) ([]Point, error) {
 									// each collapses to its zero value
 									// elsewhere, as does the neighbor-index
 									// axis on the non-clustering protocols.
+									// The truth-source axis applies to every
+									// protocol: all substrates carry both
+									// representations.
 									protoScales := []int{0}
 									protoTiers := []CapTier{{}}
 									protoNidx := []string{""}
@@ -584,29 +627,32 @@ func Expand(sp Spec) ([]Point, error) {
 									for _, scale := range protoScales {
 										for _, tier := range protoTiers {
 											for _, nidx := range protoNidx {
-												for trial := 0; trial < trials; trial++ {
-													pt := Point{
-														Index:          len(out),
-														Players:        n,
-														Objects:        m,
-														Budget:         b,
-														Plant:          plant,
-														Diameter:       d,
-														Dishonest:      f,
-														Strategy:       strat,
-														Protocol:       proto,
-														Scale:          scale,
-														Cap:            tier,
-														Trial:          trial,
-														NeighborIndex:  nidx,
-														FixDiameter:    sp.FixDiameter,
-														PaperConstants: sp.PaperConstants,
+												for _, truth := range truths {
+													for trial := 0; trial < trials; trial++ {
+														pt := Point{
+															Index:          len(out),
+															Players:        n,
+															Objects:        m,
+															Budget:         b,
+															Plant:          plant,
+															Diameter:       d,
+															Dishonest:      f,
+															Strategy:       strat,
+															Protocol:       proto,
+															Scale:          scale,
+															Cap:            tier,
+															Trial:          trial,
+															NeighborIndex:  nidx,
+															TruthSource:    truth,
+															FixDiameter:    sp.FixDiameter,
+															PaperConstants: sp.PaperConstants,
+														}
+														if f == 0 {
+															pt.Strategy = ""
+														}
+														pt.Seed = pointSeed(root, &pt)
+														out = append(out, pt)
 													}
-													if f == 0 {
-														pt.Strategy = ""
-													}
-													pt.Seed = pointSeed(root, &pt)
-													out = append(out, pt)
 												}
 											}
 										}

@@ -1,0 +1,165 @@
+package world
+
+import (
+	"fmt"
+	"testing"
+
+	"collabscore/internal/bitvec"
+	"collabscore/internal/par"
+	"collabscore/internal/prefgen"
+	"collabscore/internal/xrand"
+)
+
+// lazyDensePair builds two worlds over the SAME generation stream: the
+// dense reference and its lazy twin. Everything observable about them must
+// agree; only memory layout differs.
+func lazyDensePair(seed uint64, n, m, clusterSize, diameter, tiles int) (dense, lazy *World) {
+	d := prefgen.DiameterClusters(xrand.New(seed), n, m, clusterSize, diameter)
+	l := prefgen.LazyDiameterClusters(xrand.New(seed), n, m, clusterSize, diameter, tiles)
+	return New(d.Truth), NewFrom(l.Source())
+}
+
+// TestLazyWorldMatchesDense pins the probe-path oracle at the world layer:
+// Probe, ProbeWord, ProbeVector, PeekTruth, TruthVector, and HonestError
+// must be byte-identical between a dense world and a lazy world built from
+// the same stream, with identical probe charging.
+func TestLazyWorldMatchesDense(t *testing.T) {
+	for _, tiles := range []int{0, 3} {
+		dw, lw := lazyDensePair(42, 20, 300, 4, 10, tiles)
+		if lw.N() != dw.N() || lw.M() != dw.M() {
+			t.Fatalf("dims (%d,%d), want (%d,%d)", lw.N(), lw.M(), dw.N(), dw.M())
+		}
+		order := xrand.New(7)
+		for i := 0; i < 2000; i++ {
+			p, o := order.Intn(dw.N()), order.Intn(dw.M())
+			if lw.Probe(p, o) != dw.Probe(p, o) {
+				t.Fatalf("tiles=%d: Probe(%d,%d) mismatch", tiles, p, o)
+			}
+			if lw.PeekTruth(p, o) != dw.PeekTruth(p, o) {
+				t.Fatalf("tiles=%d: PeekTruth(%d,%d) mismatch", tiles, p, o)
+			}
+		}
+		for wi := 0; wi < dw.ProbeWords(); wi++ {
+			if got, want := lw.ProbeWord(3, wi, ^uint64(0)), dw.ProbeWord(3, wi, ^uint64(0)); got != want {
+				t.Fatalf("tiles=%d: ProbeWord(3,%d) = %#x, want %#x", tiles, wi, got, want)
+			}
+		}
+		objs := []int{5, 64, 65, 2, 299, 131, 64}
+		if !lw.ProbeVector(6, objs).Equal(dw.ProbeVector(6, objs)) {
+			t.Fatalf("tiles=%d: ProbeVector mismatch", tiles)
+		}
+		for p := 0; p < dw.N(); p++ {
+			if lw.Probes(p) != dw.Probes(p) {
+				t.Fatalf("tiles=%d: player %d charged %d (lazy) vs %d (dense)", tiles, p, lw.Probes(p), dw.Probes(p))
+			}
+			tv := lw.TruthVector(p)
+			if !tv.Equal(dw.TruthVector(p)) {
+				t.Fatalf("tiles=%d: TruthVector(%d) mismatch", tiles, p)
+			}
+			if lw.HonestError(p, bitvec.New(dw.M())) != dw.HonestError(p, bitvec.New(dw.M())) {
+				t.Fatalf("tiles=%d: HonestError(%d) mismatch", tiles, p)
+			}
+		}
+		if lw.MaxHonestProbes() != dw.MaxHonestProbes() || lw.TotalProbes() != dw.TotalProbes() {
+			t.Fatalf("tiles=%d: probe totals diverge", tiles)
+		}
+	}
+}
+
+// TestLazyWorldConcurrentFirstProbe races many goroutines into the very
+// first probes of each player, where the memo install CAS happens: per-pair
+// charging must stay exact under the race detector, and every read must
+// match the dense oracle.
+func TestLazyWorldConcurrentFirstProbe(t *testing.T) {
+	const n, m = 8, 1024
+	dw, lw := lazyDensePair(9, n, m, 2, 8, 4)
+	par.Fixed(8).For(n*lw.ProbeWords(), func(i int) {
+		wi := i % lw.ProbeWords()
+		p := i / lw.ProbeWords()
+		if lw.ProbeWord(p, wi, ^uint64(0)) != dw.ProbeWord(p, wi, ^uint64(0)) {
+			t.Errorf("ProbeWord(%d,%d) diverged from dense truth", p, wi)
+		}
+		for b := 0; b < 64 && wi*64+b < m; b += 9 {
+			if lw.Probe(p, wi*64+b) != dw.PeekTruth(p, wi*64+b) {
+				t.Errorf("Probe(%d,%d) diverged from dense truth", p, wi*64+b)
+			}
+		}
+	})
+	for p := 0; p < n; p++ {
+		if got := lw.Probes(p); got != int64(m) {
+			t.Fatalf("player %d charged %d probes, want exactly %d", p, got, m)
+		}
+	}
+}
+
+// TestLazyWorldRenewFromReusesMemos pins the pooling contract: renewing a
+// lazy world onto a new same-shape source resets counters and memos but
+// behaves observationally like a fresh NewFrom.
+func TestLazyWorldRenewFromReusesMemos(t *testing.T) {
+	mk := func(seed uint64) prefgen.TruthSource {
+		return prefgen.LazyDiameterClusters(xrand.New(seed), 10, 200, 2, 6, 0).Source()
+	}
+	w := NewFrom(mk(1))
+	w.Probe(3, 7)
+	w.SetBehavior(4, flipBehavior{})
+	w = RenewFrom(w, mk(2))
+	fresh := NewFrom(mk(2))
+	if w.Probes(3) != 0 || !w.IsHonest(4) {
+		t.Fatal("RenewFrom did not reset probe counters and roles")
+	}
+	for p := 0; p < 10; p++ {
+		for o := 0; o < 200; o += 7 {
+			if w.Probe(p, o) != fresh.Probe(p, o) {
+				t.Fatalf("renewed world diverges from fresh at (%d,%d)", p, o)
+			}
+		}
+		if w.Probes(p) != fresh.Probes(p) {
+			t.Fatalf("renewed world charges %d, fresh %d", w.Probes(p), fresh.Probes(p))
+		}
+	}
+	// Shape change falls back to a fresh world.
+	small := RenewFrom(w, prefgen.LazyUniform(xrand.New(3), 4, 50, 0).Source())
+	if small.N() != 4 || small.M() != 50 {
+		t.Fatalf("shape-change RenewFrom dims (%d,%d)", small.N(), small.M())
+	}
+}
+
+// TestLazyProbeWordAllocFree guards the lazy probe hot path: once a
+// player's memo is installed, cacheless word probes must not allocate
+// (warm-up run installs the memo).
+func TestLazyProbeWordAllocFree(t *testing.T) {
+	in := prefgen.LazyDiameterClusters(xrand.New(3), 2, 4096, 2, 8, 0)
+	w := NewFrom(in.Source())
+	var sink uint64
+	wi := 0
+	if n := testing.AllocsPerRun(200, func() {
+		sink += w.ProbeWord(0, wi%w.ProbeWords(), ^uint64(0))
+		wi++
+	}); n != 0 {
+		t.Fatalf("lazy ProbeWord allocates %v times per run", n)
+	}
+	_ = sink
+}
+
+// TestLazyWorldWordMaskPanics pins that lazy worlds reject out-of-range
+// word probes exactly like dense ones.
+func TestLazyWorldWordMaskPanics(t *testing.T) {
+	dw, lw := lazyDensePair(1, 4, 100, 2, 0, 0)
+	for _, w := range []*World{dw, lw} {
+		for _, wi := range []int{-1, w.ProbeWords()} {
+			func() {
+				defer func() {
+					msg, ok := recover().(string)
+					if !ok {
+						t.Fatalf("ProbeWord(0,%d) did not panic with a string", wi)
+					}
+					want := fmt.Sprintf("bitvec: word %d out of range [0,%d)", wi, w.ProbeWords())
+					if msg != want {
+						t.Fatalf("panic %q, want %q", msg, want)
+					}
+				}()
+				w.ProbeWord(0, wi, 1)
+			}()
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"collabscore/internal/bitvec"
 	"collabscore/internal/par"
+	"collabscore/internal/prefgen"
 )
 
 // Behavior decides what a player reports when the protocol asks it to probe
@@ -183,8 +184,14 @@ func (rc *Run) ReportWord(p, wi int, mask uint64) uint64 {
 // World is read-only during protocol execution: all mutable published state
 // lives in the per-execution Run.
 type World struct {
-	n, m      int
-	truth     []bitvec.Vector // truth[p] has length m
+	n, m, words int
+	// src is the pluggable truth representation (DESIGN.md §14); truth is
+	// the dense fast path, aliasing src's rows when src is *prefgen.Dense
+	// and nil for lazy sources.
+	src   prefgen.TruthSource
+	truth []bitvec.Vector
+	// tailMask masks the valid bits of the last object word.
+	tailMask  uint64
 	honest    []bool
 	behaviors []Behavior
 	probes    []atomic.Int64
@@ -193,37 +200,70 @@ type World struct {
 	// pair charge exactly once under any schedule. Once a player has
 	// probed an object it knows the answer forever, so re-probing is
 	// free: the paper's probe complexity counts distinct objects examined.
-	known []bitvec.Atomic
+	//
+	// Memos are installed on a player's FIRST probe (memo), not at
+	// construction: eagerly allocating n bitsets of m bits is itself the
+	// O(n·m) wall the lazy truth sources remove, and protocols only ever
+	// probe a vanishing fraction of players at the scales where that wall
+	// matters.
+	known []atomic.Pointer[bitvec.Atomic]
 }
 
 // New creates a world from a truth matrix. All players start honest; use
 // SetBehavior/SetDishonest to corrupt some of them. It panics if truth is
 // empty or rows have unequal lengths.
-func New(truth []bitvec.Vector) *World {
-	if len(truth) == 0 {
+func New(truth []bitvec.Vector) *World { return NewFrom(prefgen.NewDense(truth)) }
+
+// NewFrom creates a world over any truth source — the materialized Dense
+// wrapper (New) or a lazy on-demand source. It panics if the source is
+// empty or (for dense sources) rows have unequal lengths.
+func NewFrom(src prefgen.TruthSource) *World {
+	n := src.Players()
+	if n == 0 {
 		panic("world: no players")
 	}
-	m := truth[0].Len()
-	for p, v := range truth {
-		if v.Len() != m {
-			panic(fmt.Sprintf("world: truth row %d has length %d, want %d", p, v.Len(), m))
-		}
-	}
+	m := src.Objects()
 	w := &World{
-		n:         len(truth),
+		n:         n,
 		m:         m,
-		truth:     truth,
-		honest:    make([]bool, len(truth)),
-		behaviors: make([]Behavior, len(truth)),
-		probes:    make([]atomic.Int64, len(truth)),
-		known:     make([]bitvec.Atomic, len(truth)),
+		words:     (m + 63) / 64,
+		src:       src,
+		truth:     denseRows(src, m),
+		tailMask:  tailMask(m),
+		honest:    make([]bool, n),
+		behaviors: make([]Behavior, n),
+		probes:    make([]atomic.Int64, n),
+		known:     make([]atomic.Pointer[bitvec.Atomic], n),
 	}
 	for p := range w.honest {
 		w.honest[p] = true
 		w.behaviors[p] = Honest{}
-		w.known[p] = bitvec.NewAtomic(m)
 	}
 	return w
+}
+
+// denseRows returns the fast-path row slice for a dense source (validating
+// row lengths exactly as New always has), nil for any other source.
+func denseRows(src prefgen.TruthSource, m int) []bitvec.Vector {
+	d, ok := src.(*prefgen.Dense)
+	if !ok {
+		return nil
+	}
+	rows := d.Rows()
+	for p, v := range rows {
+		if v.Len() != m {
+			panic(fmt.Sprintf("world: truth row %d has length %d, want %d", p, v.Len(), m))
+		}
+	}
+	return rows
+}
+
+// tailMask returns the valid-bit mask of the last word of an m-bit row.
+func tailMask(m int) uint64 {
+	if r := m % 64; r != 0 {
+		return (1 << uint(r)) - 1
+	}
+	return ^uint64(0)
 }
 
 // Renew re-initializes a world for a new truth matrix, reusing w's
@@ -238,16 +278,16 @@ func New(truth []bitvec.Vector) *World {
 // O(n·m/64) memo storage on every grid point. The previous truth matrix and
 // any outstanding Runs over the old world must no longer be in use.
 func Renew(w *World, truth []bitvec.Vector) *World {
-	if w == nil || len(truth) != w.n || len(truth) == 0 || truth[0].Len() != w.m {
-		return New(truth)
+	return RenewFrom(w, prefgen.NewDense(truth))
+}
+
+// RenewFrom is Renew over any truth source; see Renew and NewFrom.
+func RenewFrom(w *World, src prefgen.TruthSource) *World {
+	if w == nil || src.Players() != w.n || src.Players() == 0 || src.Objects() != w.m {
+		return NewFrom(src)
 	}
-	m := w.m
-	for p, v := range truth {
-		if v.Len() != m {
-			panic(fmt.Sprintf("world: truth row %d has length %d, want %d", p, v.Len(), m))
-		}
-	}
-	w.truth = truth
+	w.src = src
+	w.truth = denseRows(src, w.m)
 	for p := range w.honest {
 		w.honest[p] = true
 		w.behaviors[p] = Honest{}
@@ -262,16 +302,34 @@ func (w *World) N() int { return w.n }
 // M returns the number of objects.
 func (w *World) M() int { return w.m }
 
+// memo returns player p's probe memo, installing it on first use. The
+// install is a CAS race any number of concurrent probers may enter; losers
+// adopt the winner's bitset, so exactly one memo ever serves a player and
+// the charge-once guarantee below is unaffected.
+func (w *World) memo(p int) *bitvec.Atomic {
+	if k := w.known[p].Load(); k != nil {
+		return k
+	}
+	fresh := bitvec.NewAtomic(w.m)
+	if w.known[p].CompareAndSwap(nil, &fresh) {
+		return &fresh
+	}
+	return w.known[p].Load()
+}
+
 // Probe returns the true preference v(p)_o and charges one probe to player
 // p unless p has probed o before (probing teaches the answer permanently,
 // so only distinct objects count). It is safe and lock-free under
 // concurrent use: the memo's CAS ensures exactly one caller charges each
 // (player, object) pair, so probe counters are schedule-independent.
 func (w *World) Probe(p, o int) bool {
-	if !w.known[p].TestAndSet(o) {
+	if !w.memo(p).TestAndSet(o) {
 		w.probes[p].Add(1)
 	}
-	return w.truth[p].Get(o)
+	if w.truth != nil {
+		return w.truth[p].Get(o)
+	}
+	return w.src.TruthBit(p, o)
 }
 
 // ProbeWords returns the number of 64-bit words spanning the object set:
@@ -289,11 +347,27 @@ func (w *World) ProbeWords() int { return (w.m + 63) / 64 }
 // under every schedule (each (player, object) pair is charged exactly
 // once, by whichever caller's CAS learns it first).
 func (w *World) ProbeWord(p, wi int, mask uint64) uint64 {
-	mask &= w.truth[p].WordMask(wi)
-	if nb := w.known[p].OrWord(wi, mask); nb != 0 {
+	mask &= w.wordMask(wi)
+	if nb := w.memo(p).OrWord(wi, mask); nb != 0 {
 		w.probes[p].Add(int64(bits.OnesCount64(nb)))
 	}
-	return w.truth[p].Word(wi) & mask
+	if w.truth != nil {
+		return w.truth[p].Word(wi) & mask
+	}
+	return w.src.TruthWord(p, wi) & mask
+}
+
+// wordMask returns the valid-bit mask for object word wi, panicking on an
+// out-of-range index like bitvec.Vector.WordMask does — representation-
+// independent, so dense and lazy worlds fail identically.
+func (w *World) wordMask(wi int) uint64 {
+	if wi < 0 || wi >= w.words {
+		panic(fmt.Sprintf("bitvec: word %d out of range [0,%d)", wi, w.words))
+	}
+	if wi == w.words-1 {
+		return w.tailMask
+	}
+	return ^uint64(0)
 }
 
 // ProbeVector probes, as player p, every object in objs and returns the
@@ -322,9 +396,17 @@ func (w *World) ProbeVector(p int, objs []int) bitvec.Vector {
 	if curMask != 0 {
 		w.ProbeWord(p, curW, curMask)
 	}
-	truth := w.truth[p]
+	if w.truth != nil {
+		truth := w.truth[p]
+		for j, o := range objs {
+			if truth.Get(o) {
+				out.Set(j, true)
+			}
+		}
+		return out
+	}
 	for j, o := range objs {
-		if truth.Get(o) {
+		if w.src.TruthBit(p, o) {
 			out.Set(j, true)
 		}
 	}
@@ -334,11 +416,19 @@ func (w *World) ProbeVector(p int, objs []int) bitvec.Vector {
 // PeekTruth returns v(p)_o without charging a probe. It exists for the
 // full-information adversary and for measurement code; protocol logic must
 // use Probe.
-func (w *World) PeekTruth(p, o int) bool { return w.truth[p].Get(o) }
+func (w *World) PeekTruth(p, o int) bool {
+	if w.truth != nil {
+		return w.truth[p].Get(o)
+	}
+	return w.src.TruthBit(p, o)
+}
 
 // TruthVector returns a copy of player p's full truth vector (measurement
-// use only).
-func (w *World) TruthVector(p int) bitvec.Vector { return w.truth[p].Clone() }
+// use only). For lazy sources this materializes the row.
+func (w *World) TruthVector(p int) bitvec.Vector { return prefgen.Materialize(w.src, p) }
+
+// Source returns the world's truth source.
+func (w *World) Source() prefgen.TruthSource { return w.src }
 
 // SetBehavior installs a behavior for player p and marks it dishonest
 // unless the behavior is Honest.
@@ -416,7 +506,9 @@ func (w *World) TotalProbes() int64 {
 func (w *World) ResetProbes() {
 	for p := range w.probes {
 		w.probes[p].Store(0)
-		w.known[p].Reset()
+		if k := w.known[p].Load(); k != nil {
+			k.Reset() // keep the allocation for pooled reuse
+		}
 	}
 }
 
@@ -424,5 +516,15 @@ func (w *World) ResetProbes() {
 // the supplied output vector (over all m objects) and p's truth. It panics
 // if the lengths differ.
 func (w *World) HonestError(p int, out bitvec.Vector) int {
-	return w.truth[p].Hamming(out)
+	if w.truth != nil {
+		return w.truth[p].Hamming(out)
+	}
+	if out.Len() != w.m {
+		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", w.m, out.Len()))
+	}
+	d := 0
+	for wi := 0; wi < w.words; wi++ {
+		d += bits.OnesCount64(w.src.TruthWord(p, wi) ^ out.Word(wi))
+	}
+	return d
 }

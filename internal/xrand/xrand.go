@@ -23,11 +23,8 @@ import (
 // splitmix64 advances the state and returns the next output. It is the
 // standard SplitMix64 generator, used both directly and to seed splits.
 func splitmix64(state *uint64) uint64 {
-	*state += 0x9e3779b97f4a7c15
-	z := *state
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
+	*state += golden
+	return finalize(*state)
 }
 
 // Stream is a deterministic pseudo-random stream. It is NOT safe for
@@ -77,6 +74,46 @@ func mix(a, b uint64) uint64 {
 
 // Uint64 returns the next 64 uniformly random bits.
 func (s *Stream) Uint64() uint64 { return splitmix64(&s.state) }
+
+// golden is the SplitMix64 state increment (the odd fractional part of the
+// golden ratio, 2⁶⁴/φ). Each Uint64 call advances the state by exactly this
+// constant before hashing it, which makes the stream counter-based: the
+// value of draw i is a pure function of state + (i+1)·golden. At and Skip
+// exploit this for O(1) random access into a stream's future draws — the
+// substrate the lazy truth sources are built on (DESIGN.md §14).
+const golden = 0x9e3779b97f4a7c15
+
+// finalize is the SplitMix64 output hash applied to an already-advanced
+// state. splitmix64 = advance by golden, then finalize.
+func finalize(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// At returns the value the (i+1)-th future Uint64 call would produce —
+// At(0) is the next draw, At(1) the one after — without advancing the
+// stream. It is O(1) for any i: SplitMix64 is counter-based, so random
+// access costs the same as sequential access. Property-pinned against
+// sequential Uint64 draws by the package tests.
+func (s *Stream) At(i uint64) uint64 {
+	return finalize(s.state + (i+1)*golden)
+}
+
+// Skip advances the stream past k draws in O(1): after Skip(k) the next
+// Uint64 equals what At(k) returned before the call. Skip(a) followed by
+// Skip(b) is Skip(a+b); Skip(0) is a no-op.
+func (s *Stream) Skip(k uint64) {
+	s.state += k * golden
+}
+
+// Clone returns an independent copy of the stream at its current position:
+// the clone and the original produce the same future draws but advance
+// separately.
+func (s *Stream) Clone() *Stream {
+	c := *s
+	return &c
+}
 
 // Intn returns a uniform int in [0,n). It panics if n <= 0.
 func (s *Stream) Intn(n int) int {

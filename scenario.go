@@ -149,6 +149,7 @@ func (sc Scenario) ratingSimulation(pl *Pool) *RatingSimulation {
 		Budget:        cfg.Budget,
 		Seed:          cfg.Seed,
 		FixedDiameter: cfg.FixedDiameter,
+		TruthSource:   cfg.TruthSource,
 	}, sc.ClusterSize, sc.Diameter, pl)
 	if sc.Dishonest > 0 {
 		rs.Corrupt(sc.Dishonest, sc.Strategy)
@@ -209,14 +210,30 @@ func (sc Scenario) simulation(pl *Pool) *Simulation {
 	if cfg.Budget == 0 {
 		cfg.Budget = 8
 	}
-	s := &Simulation{cfg: cfg, rng: xrand.New(cfg.Seed), pool: pl}
+	spec, err := prefgen.ParseSourceSpec(cfg.TruthSource)
+	if err != nil {
+		panic(fmt.Sprintf("collabscore: %v", err))
+	}
+	s := &Simulation{cfg: cfg, rng: xrand.New(cfg.Seed), truth: spec, pool: pl}
 	switch {
 	case sc.ClusterSize > 0:
-		s.instance = s.pg().DiameterClusters(s.rng.Split(2), cfg.Players, cfg.Objects, sc.ClusterSize, sc.Diameter)
+		if spec.IsDense() {
+			s.instance = s.pg().DiameterClusters(s.rng.Split(2), cfg.Players, cfg.Objects, sc.ClusterSize, sc.Diameter)
+		} else {
+			s.instance = s.pg().LazyDiameterClusters(s.rng.Split(2), cfg.Players, cfg.Objects, sc.ClusterSize, sc.Diameter, spec.Tiles)
+		}
 	case sc.ZipfClusters > 0:
-		s.instance = s.pg().ZipfClusters(s.rng.Split(3), cfg.Players, cfg.Objects, sc.ZipfClusters, sc.ZipfAlpha, sc.Diameter)
+		if spec.IsDense() {
+			s.instance = s.pg().ZipfClusters(s.rng.Split(3), cfg.Players, cfg.Objects, sc.ZipfClusters, sc.ZipfAlpha, sc.Diameter)
+		} else {
+			s.instance = s.pg().LazyZipfClusters(s.rng.Split(3), cfg.Players, cfg.Objects, sc.ZipfClusters, sc.ZipfAlpha, sc.Diameter, spec.Tiles)
+		}
 	default:
-		s.instance = s.pg().Uniform(s.rng.Split(1), cfg.Players, cfg.Objects)
+		if spec.IsDense() {
+			s.instance = s.pg().Uniform(s.rng.Split(1), cfg.Players, cfg.Objects)
+		} else {
+			s.instance = s.pg().LazyUniform(s.rng.Split(1), cfg.Players, cfg.Objects, spec.Tiles)
+		}
 	}
 	s.rebuild()
 	if sc.Dishonest > 0 {

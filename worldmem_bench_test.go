@@ -1,0 +1,53 @@
+package collabscore
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkWorldMemory is the truth-source memory matrix (DESIGN.md §14):
+// construction cost and retained heap of a planted simulation, dense vs
+// lazy, at two world sizes. B/op and allocs/op show the transient cost of
+// construction; the retained_B metric is the live heap a built simulation
+// pins — the number that scales O(n·m) dense and O(n) lazy, and the one
+// that decides how large a world fits on a machine.
+func BenchmarkWorldMemory(b *testing.B) {
+	for _, n := range []int{4096, 65536} {
+		for _, src := range []string{"dense", "lazy"} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, src), func(b *testing.B) {
+				cfg := Config{Players: n, Objects: n, Seed: 7, FixedDiameter: 8, TruthSource: src}
+				clusterSize := n / 64
+				build := func() *Simulation {
+					sim := NewSimulation(cfg)
+					sim.PlantClusters(clusterSize, 8)
+					return sim
+				}
+
+				// Retained live heap of one built simulation, measured
+				// across full collections.
+				runtime.GC()
+				var before, after runtime.MemStats
+				runtime.ReadMemStats(&before)
+				held := build()
+				runtime.GC()
+				runtime.ReadMemStats(&after)
+				retained := float64(0)
+				if after.HeapAlloc > before.HeapAlloc {
+					retained = float64(after.HeapAlloc - before.HeapAlloc)
+				}
+				runtime.KeepAlive(held)
+
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					held = build()
+				}
+				runtime.KeepAlive(held)
+				// ResetTimer clears ReportMetric values, so record the
+				// retained-heap number after the timed loop.
+				b.ReportMetric(retained, "retained_B")
+			})
+		}
+	}
+}
