@@ -1,0 +1,249 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"collabscore/internal/sweep"
+)
+
+// smokeSpec is the grid the CLI smoke tests sweep — identical flags and
+// in-process spec, so the binary's output can be pinned against a direct
+// sweep.Run.
+var smokeSpec = sweep.Spec{
+	Seed:         23,
+	Trials:       3,
+	Players:      []int{48, 64, 96},
+	ClusterSizes: []int{16},
+	Diameters:    []int{4},
+	Dishonest:    []int{0, 2},
+	Strategies:   []string{"colluders"},
+	Protocols:    []string{"run", "byzantine"},
+	FixDiameter:  true,
+}
+
+var smokeFlags = []string{
+	"-n", "48,64,96", "-cluster", "16", "-d", "4", "-fixd",
+	"-f", "0,2", "-strategies", "colluders", "-protocols", "run,byzantine",
+	"-trials", "3", "-seed", "23",
+}
+
+func smokeReference(t *testing.T) []sweep.Record {
+	t.Helper()
+	pts, err := sweep.Expand(smokeSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := sweep.Run(pts, sweep.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// buildSweep compiles the sweep binary into a temp dir.
+func buildSweep(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "sweep")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// readRecords loads a JSONL file's intact records keyed for comparison.
+func recordsByKey(t *testing.T, path string) map[string]sweep.Record {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, _, err := sweep.ReadRecords(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := make(map[string]sweep.Record, len(recs))
+	for _, rec := range recs {
+		m[rec.Key] = rec
+	}
+	return m
+}
+
+func assertFileMatchesReference(t *testing.T, path string, ref []sweep.Record) {
+	t.Helper()
+	got := recordsByKey(t, path)
+	if len(got) != len(ref) {
+		t.Fatalf("%s holds %d records, reference has %d", path, len(got), len(ref))
+	}
+	for _, want := range ref {
+		rec, ok := got[want.Key]
+		if !ok {
+			t.Fatalf("record %s lost", want.Key)
+		}
+		rec.Index = want.Index // not serialized
+		if !reflect.DeepEqual(rec, want) {
+			t.Fatalf("record %s differs from single-process reference\n got %+v\nwant %+v", want.Key, rec, want)
+		}
+	}
+}
+
+// TestFleetCLISmoke is the end-to-end drill from README "Distributed
+// sweeps": a real coordinator process, two real worker processes, one of
+// them SIGKILLed mid-sweep — the checkpoint must still end byte-identical
+// to a single-process run.
+func TestFleetCLISmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	ref := smokeReference(t)
+	bin := buildSweep(t)
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "fleet.jsonl")
+
+	args := append(append([]string{}, smokeFlags...),
+		"-coordinator", "127.0.0.1:0", "-out", ckpt,
+		"-leasettl", "500ms", "-localgrace", "5s", "-q")
+	coord := exec.Command(bin, args...)
+	stderr, err := coord.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Process.Kill()
+
+	// The bound-address line is the CLI's contract for :0 listeners.
+	addrRE := regexp.MustCompile(`coordinator serving \d+ grid points on ([^ ]+) `)
+	var addr string
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		if m := addrRE.FindStringSubmatch(sc.Text()); m != nil {
+			addr = m[1]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("coordinator never announced its address")
+	}
+	go func() { // keep draining so the coordinator never blocks on stderr
+		for sc.Scan() {
+		}
+	}()
+	url := "http://" + addr
+
+	startWorker := func(name string) *exec.Cmd {
+		w := exec.Command(bin, "-worker", url, "-batch", "2", "-workers", "1", "-q")
+		w.Stderr = os.Stderr
+		if err := w.Start(); err != nil {
+			t.Fatalf("starting worker %s: %v", name, err)
+		}
+		return w
+	}
+	victim := startWorker("victim")
+	survivor := startWorker("survivor")
+	defer survivor.Process.Kill()
+
+	// SIGKILL the victim once records are flowing (mid-sweep if the grid is
+	// still going; the final pin holds either way).
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if st, err := os.Stat(ckpt); err == nil && st.Size() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no records checkpointed before the kill")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := victim.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	victim.Wait()
+
+	if err := coord.Wait(); err != nil {
+		t.Fatalf("coordinator exited with %v", err)
+	}
+	survivor.Wait() // coordinator is gone; the worker exits 0 on its own
+
+	assertFileMatchesReference(t, ckpt, ref)
+}
+
+// TestShardCLISmoke: three coordinator-free shards plus -merge reproduce
+// the single-process records, and a SIGTERM mid-shard leaves a resumable
+// file that finishes under -resume.
+func TestShardCLISmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	ref := smokeReference(t)
+	bin := buildSweep(t)
+	dir := t.TempDir()
+
+	var shardFiles []string
+	for i := 0; i < 3; i++ {
+		out := filepath.Join(dir, "s"+string(rune('0'+i))+".jsonl")
+		shardFiles = append(shardFiles, out)
+		args := append(append([]string{}, smokeFlags...),
+			"-shard", string(rune('0'+i))+"/3", "-out", out, "-q")
+		if outb, err := exec.Command(bin, args...).CombinedOutput(); err != nil {
+			t.Fatalf("shard %d: %v\n%s", i, err, outb)
+		}
+	}
+	merged := filepath.Join(dir, "all.jsonl")
+	margs := []string{"-merge", strings.Join(shardFiles, ","), "-out", merged}
+	if outb, err := exec.Command(bin, margs...).CombinedOutput(); err != nil {
+		t.Fatalf("merge: %v\n%s", err, outb)
+	}
+	assertFileMatchesReference(t, merged, ref)
+}
+
+// TestSigtermResume: SIGTERM a plain sweep mid-run; it must exit 0 with an
+// intact (possibly partial) JSONL file, and -resume must finish it to the
+// exact reference.
+func TestSigtermResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	ref := smokeReference(t)
+	bin := buildSweep(t)
+	out := filepath.Join(t.TempDir(), "run.jsonl")
+
+	args := append(append([]string{}, smokeFlags...), "-out", out, "-workers", "1", "-q")
+	cmd := exec.Command(bin, args...)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if st, err := os.Stat(out); err == nil && st.Size() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no records written before the signal")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("signaled sweep exited with %v, want 0", err)
+	}
+
+	resume := append(append([]string{}, smokeFlags...), "-out", out, "-resume", "-q")
+	if outb, err := exec.Command(bin, resume...).CombinedOutput(); err != nil {
+		t.Fatalf("resume: %v\n%s", err, outb)
+	}
+	assertFileMatchesReference(t, out, ref)
+}

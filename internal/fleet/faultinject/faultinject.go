@@ -1,0 +1,165 @@
+// Package faultinject is the chaos harness the fleet protocol is tested
+// under: a deterministic error-injecting http.RoundTripper that drops
+// requests, delays responses past client timeouts, loses responses after
+// the server has already processed the request (forcing client retries and
+// therefore duplicate deliveries), and duplicates requests outright. Every
+// fault fires on a deterministic schedule (match counts, not timers or
+// randomness), so a chaos run is reproducible.
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Fault is one injection rule. A request matches when its URL path has the
+// Path suffix ("" matches everything); among matching requests, the rule
+// skips the first After, then fires on every one until it has fired Times
+// times (0 = unlimited). Exactly the actions set on the fault apply, in
+// the order Delay → Drop → Duplicate/DropResponse.
+type Fault struct {
+	// Path is a URL-path suffix filter; "" matches every request.
+	Path string
+	// After skips the first After matching requests (fire from the
+	// (After+1)-th on). A worker whose every call starts failing After k
+	// requests is the harness's SIGKILL analogue: it stops heartbeating and
+	// completing mid-lease.
+	After int
+	// Times caps how many requests the fault fires on; 0 = unlimited.
+	Times int
+
+	// Delay sleeps before delivering the request — longer than the
+	// client's timeout, it turns into a timeout failure on a request the
+	// server may still process.
+	Delay time.Duration
+	// Drop fails the request without delivering it (network black hole).
+	Drop bool
+	// DropResponse delivers the request, then discards the response and
+	// returns a transport error — the client retries what the server
+	// already processed, the duplicate-completion path.
+	DropResponse bool
+	// Duplicate delivers the request twice back-to-back and returns the
+	// second response — a duplicate the client doesn't even know it sent.
+	Duplicate bool
+}
+
+func (f *Fault) matches(req *http.Request) bool {
+	return f.Path == "" || strings.HasSuffix(req.URL.Path, f.Path)
+}
+
+// Transport wraps an inner http.RoundTripper with fault rules. It buffers
+// request bodies (the fleet protocol's messages are small JSON documents)
+// so a request can be re-sent for Duplicate and DropResponse faults. Safe
+// for concurrent use.
+type Transport struct {
+	// Inner is the real transport; nil means http.DefaultTransport.
+	Inner http.RoundTripper
+	// Faults are evaluated in order; every matching, armed fault's actions
+	// apply to the request.
+	Faults []*Fault
+
+	mu      sync.Mutex
+	matched map[*Fault]int
+	fired   map[*Fault]int
+}
+
+// Fired returns how many requests the fault has fired on.
+func (t *Transport) Fired(f *Fault) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.fired[f]
+}
+
+// arm atomically decides which faults fire on this request and records the
+// counts.
+func (t *Transport) arm(req *http.Request) []*Fault {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.matched == nil {
+		t.matched = make(map[*Fault]int)
+		t.fired = make(map[*Fault]int)
+	}
+	var firing []*Fault
+	for _, f := range t.Faults {
+		if !f.matches(req) {
+			continue
+		}
+		t.matched[f]++
+		if t.matched[f] <= f.After {
+			continue
+		}
+		if f.Times > 0 && t.fired[f] >= f.Times {
+			continue
+		}
+		t.fired[f]++
+		firing = append(firing, f)
+	}
+	return firing
+}
+
+// RoundTrip applies the armed faults to the request.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	inner := t.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	send := func() (*http.Response, error) {
+		r := req.Clone(req.Context())
+		if body != nil {
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			r.ContentLength = int64(len(body))
+		}
+		return inner.RoundTrip(r)
+	}
+
+	firing := t.arm(req)
+	var delay time.Duration
+	drop, dropResp, dup := false, false, false
+	for _, f := range firing {
+		delay = max(delay, f.Delay)
+		drop = drop || f.Drop
+		dropResp = dropResp || f.DropResponse
+		dup = dup || f.Duplicate
+	}
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if drop {
+		return nil, fmt.Errorf("faultinject: dropped %s %s", req.Method, req.URL.Path)
+	}
+	resp, err := send()
+	if err != nil {
+		return nil, err
+	}
+	if dup {
+		// Deliver again; the first response is discarded unread.
+		resp.Body.Close()
+		resp, err = send()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if dropResp {
+		resp.Body.Close()
+		return nil, fmt.Errorf("faultinject: lost response to %s %s", req.Method, req.URL.Path)
+	}
+	return resp, nil
+}

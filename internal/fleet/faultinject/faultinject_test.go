@@ -1,0 +1,140 @@
+package faultinject
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newServer counts requests per path and echoes the request body.
+func newServer(t *testing.T, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		body, _ := io.ReadAll(r.Body)
+		w.Write(body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func post(t *testing.T, client *http.Client, url, body string) (string, error) {
+	t.Helper()
+	resp, err := client.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+func TestDropAfterTimes(t *testing.T) {
+	var hits atomic.Int64
+	srv := newServer(t, &hits)
+	f := &Fault{After: 1, Times: 2, Drop: true}
+	client := &http.Client{Transport: &Transport{Faults: []*Fault{f}}}
+
+	// Request 1 passes (After skips it), 2 and 3 drop (Times), 4 passes.
+	for i, wantErr := range []bool{false, true, true, false} {
+		_, err := post(t, client, srv.URL+"/x", "hi")
+		if (err != nil) != wantErr {
+			t.Fatalf("request %d: err=%v, want error=%v", i+1, err, wantErr)
+		}
+	}
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2", got)
+	}
+	tr := client.Transport.(*Transport)
+	if tr.Fired(f) != 2 {
+		t.Fatalf("Fired = %d, want 2", tr.Fired(f))
+	}
+}
+
+func TestPathFilter(t *testing.T) {
+	var hits atomic.Int64
+	srv := newServer(t, &hits)
+	f := &Fault{Path: "/heartbeat", Drop: true}
+	client := &http.Client{Transport: &Transport{Faults: []*Fault{f}}}
+
+	if _, err := post(t, client, srv.URL+"/complete", "a"); err != nil {
+		t.Fatalf("unmatched path dropped: %v", err)
+	}
+	if _, err := post(t, client, srv.URL+"/heartbeat", "b"); err == nil {
+		t.Fatal("matched path delivered")
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1", got)
+	}
+}
+
+func TestDropResponseDeliversFirst(t *testing.T) {
+	var hits atomic.Int64
+	srv := newServer(t, &hits)
+	f := &Fault{DropResponse: true, Times: 1}
+	client := &http.Client{Transport: &Transport{Faults: []*Fault{f}}}
+
+	// The server processes the request, but the client sees a failure —
+	// the duplicate-delivery trap distributed completions must survive.
+	if _, err := post(t, client, srv.URL+"/x", "a"); err == nil {
+		t.Fatal("dropped response reported success")
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (request must be delivered)", got)
+	}
+	if body, err := post(t, client, srv.URL+"/x", "retry"); err != nil || body != "retry" {
+		t.Fatalf("retry after fault exhausted: body=%q err=%v", body, err)
+	}
+}
+
+func TestDuplicateSendsTwice(t *testing.T) {
+	var hits atomic.Int64
+	srv := newServer(t, &hits)
+	f := &Fault{Duplicate: true, Times: 1}
+	client := &http.Client{Transport: &Transport{Faults: []*Fault{f}}}
+
+	body, err := post(t, client, srv.URL+"/x", "dup")
+	if err != nil || body != "dup" {
+		t.Fatalf("duplicated request failed: body=%q err=%v", body, err)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2", got)
+	}
+}
+
+func TestDelayHonorsContext(t *testing.T) {
+	var hits atomic.Int64
+	srv := newServer(t, &hits)
+	f := &Fault{Delay: time.Minute}
+	client := &http.Client{
+		Timeout:   20 * time.Millisecond,
+		Transport: &Transport{Faults: []*Fault{f}},
+	}
+	start := time.Now()
+	if _, err := post(t, client, srv.URL+"/x", "slow"); err == nil {
+		t.Fatal("delayed request beat the client timeout")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("delay ignored the canceled context (took %s)", elapsed)
+	}
+	if got := hits.Load(); got != 0 {
+		t.Fatalf("server saw %d requests, want 0", got)
+	}
+}
+
+func TestShortDelayDelivers(t *testing.T) {
+	var hits atomic.Int64
+	srv := newServer(t, &hits)
+	f := &Fault{Delay: 5 * time.Millisecond}
+	client := &http.Client{Transport: &Transport{Faults: []*Fault{f}}}
+	if body, err := post(t, client, srv.URL+"/x", "ok"); err != nil || body != "ok" {
+		t.Fatalf("delayed-but-delivered request: body=%q err=%v", body, err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1", got)
+	}
+}

@@ -1,0 +1,479 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"collabscore/internal/fleet/faultinject"
+	"collabscore/internal/sweep"
+)
+
+// fleetGrid is the chaos matrix's grid: small enough that a full fleet run
+// takes well under a second, diverse enough to cross protocols, corruption,
+// and trials.
+func fleetGrid(t *testing.T) []sweep.Point {
+	t.Helper()
+	pts, err := sweep.Expand(sweep.Spec{
+		Seed:         23,
+		Trials:       2,
+		Players:      []int{48, 64},
+		ClusterSizes: []int{16},
+		Diameters:    []int{4},
+		Dishonest:    []int{0, 2},
+		Strategies:   []string{"colluders"},
+		Protocols:    []string{"run", "byzantine"},
+		FixDiameter:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pts
+}
+
+// reference is the uninterrupted single-process run every chaos case is
+// pinned against.
+func reference(t *testing.T, pts []sweep.Point) []sweep.Record {
+	t.Helper()
+	recs, err := sweep.Run(pts, sweep.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// harness runs a coordinator over an httptest server plus the given workers
+// and returns the coordinator's final records.
+type harness struct {
+	coord  *Coordinator
+	server *httptest.Server
+	cancel context.CancelFunc
+	runErr chan error
+	recs   []sweep.Record
+}
+
+func startHarness(t *testing.T, pts []sweep.Point, opt CoordinatorOptions) *harness {
+	t.Helper()
+	if opt.LeaseTTL == 0 {
+		opt.LeaseTTL = 50 * time.Millisecond
+	}
+	if opt.LocalGrace == 0 {
+		// Backstop: if every worker dies, the coordinator finishes the grid
+		// itself rather than hanging the test.
+		opt.LocalGrace = 400 * time.Millisecond
+	}
+	c, err := NewCoordinator(pts, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	h := &harness{coord: c, server: srv, cancel: cancel, runErr: make(chan error, 1)}
+	go func() {
+		recs, err := c.Run(ctx)
+		h.recs = recs
+		h.runErr <- err
+	}()
+	t.Cleanup(func() { cancel(); srv.Close() })
+	return h
+}
+
+// wait blocks until the coordinator loop exits and returns its records.
+func (h *harness) wait(t *testing.T) []sweep.Record {
+	t.Helper()
+	if err := <-h.runErr; err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	return h.recs
+}
+
+// workerOpts builds fast-retry worker options against the harness with the
+// given fault rules.
+func (h *harness) workerOpts(name string, seed uint64, faults ...*faultinject.Fault) WorkerOptions {
+	client := &http.Client{
+		Timeout:   2 * time.Second,
+		Transport: &faultinject.Transport{Faults: faults},
+	}
+	return WorkerOptions{
+		URL:         h.server.URL,
+		Name:        name,
+		PoolWorkers: 1,
+		Batch:       3,
+		Client:      client,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  20 * time.Millisecond,
+		MaxRetries:  3,
+		Seed:        seed,
+	}
+}
+
+// runWorkers runs each options set as a worker goroutine and waits for all
+// of them; a worker error other than ErrCoordinatorGone fails the test.
+func runWorkers(t *testing.T, opts ...WorkerOptions) []WorkerStats {
+	t.Helper()
+	stats := make([]WorkerStats, len(opts))
+	errs := make([]error, len(opts))
+	done := make(chan int, len(opts))
+	for i, o := range opts {
+		go func(i int, o WorkerOptions) {
+			stats[i], errs[i] = RunWorker(o)
+			done <- i
+		}(i, o)
+	}
+	for range opts {
+		<-done
+	}
+	for i, err := range errs {
+		if err != nil && !errors.Is(err, ErrCoordinatorGone) {
+			t.Fatalf("worker %s: %v", opts[i].Name, err)
+		}
+	}
+	return stats
+}
+
+func assertPinned(t *testing.T, got, ref []sweep.Record) {
+	t.Helper()
+	if len(got) != len(ref) {
+		t.Fatalf("fleet produced %d records, reference has %d", len(got), len(ref))
+	}
+	if !reflect.DeepEqual(got, ref) {
+		for i := range ref {
+			if !reflect.DeepEqual(got[i], ref[i]) {
+				t.Fatalf("record %d (%s) differs from single-process reference\n got %+v\nwant %+v",
+					i, ref[i].Key, got[i], ref[i])
+			}
+		}
+		t.Fatal("records differ from single-process reference")
+	}
+}
+
+// TestFleetCleanTwoWorkers: the no-fault baseline — two workers drain the
+// grid and the merged output is byte-identical to a single-process run.
+func TestFleetCleanTwoWorkers(t *testing.T) {
+	pts := fleetGrid(t)
+	ref := reference(t, pts)
+	h := startHarness(t, pts, CoordinatorOptions{LocalGrace: -1})
+	stats := runWorkers(t, h.workerOpts("w1", 1), h.workerOpts("w2", 2))
+	assertPinned(t, h.wait(t), ref)
+	if total := stats[0].Completed + stats[1].Completed; total != len(pts) {
+		t.Fatalf("workers completed %d fresh records for %d points", total, len(pts))
+	}
+}
+
+// TestFleetWorkerKilled: one worker goes dark mid-lease (every call fails
+// after its first few — the in-process analogue of SIGKILL: no heartbeats,
+// no completions, no goodbye). Its lease lapses, the survivor picks the
+// points up, and the output still pins to the reference.
+func TestFleetWorkerKilled(t *testing.T) {
+	pts := fleetGrid(t)
+	ref := reference(t, pts)
+	h := startHarness(t, pts, CoordinatorOptions{LocalGrace: -1, LeaseTTL: 40 * time.Millisecond})
+	killed := &faultinject.Fault{After: 2, Drop: true}
+	stats := runWorkers(t, h.workerOpts("victim", 1, killed), h.workerOpts("survivor", 2))
+	assertPinned(t, h.wait(t), ref)
+	if stats[1].Completed == 0 {
+		t.Fatal("survivor completed nothing — the kill never handed work over")
+	}
+}
+
+// TestFleetDroppedHeartbeats: a worker whose heartbeats all vanish keeps
+// running its batch; the lease lapses and its points may be re-dispatched
+// to the other worker, but the duplicate completions deduplicate and the
+// output is exactly-once.
+func TestFleetDroppedHeartbeats(t *testing.T) {
+	pts := fleetGrid(t)
+	ref := reference(t, pts)
+	h := startHarness(t, pts, CoordinatorOptions{LocalGrace: -1, LeaseTTL: 10 * time.Millisecond})
+	deaf := &faultinject.Fault{Path: "/heartbeat", Drop: true}
+	runWorkers(t, h.workerOpts("deaf", 1, deaf), h.workerOpts("loud", 2))
+	assertPinned(t, h.wait(t), ref)
+}
+
+// TestFleetDelayedResponses: completions delayed past the client timeout
+// fail on the worker side and are retried; the retries succeed and nothing
+// is lost or doubled.
+func TestFleetDelayedResponses(t *testing.T) {
+	pts := fleetGrid(t)
+	ref := reference(t, pts)
+	h := startHarness(t, pts, CoordinatorOptions{LocalGrace: -1})
+	slow := &faultinject.Fault{Path: "/complete", Delay: 300 * time.Millisecond, Times: 2}
+	opts := h.workerOpts("slowpoke", 1, slow)
+	opts.Client.Timeout = 30 * time.Millisecond
+	stats := runWorkers(t, opts, h.workerOpts("peer", 2))
+	assertPinned(t, h.wait(t), ref)
+	if stats[0].Retries == 0 {
+		t.Fatal("delayed responses never forced a retry")
+	}
+}
+
+// TestFleetDuplicateCompletions: lost responses (the server processed the
+// completion, the worker never heard back) force re-sends of records the
+// coordinator already has, and outright duplicated requests deliver twice —
+// the queue absorbs every copy.
+func TestFleetDuplicateCompletions(t *testing.T) {
+	pts := fleetGrid(t)
+	ref := reference(t, pts)
+	h := startHarness(t, pts, CoordinatorOptions{LocalGrace: -1})
+	lost := &faultinject.Fault{Path: "/complete", DropResponse: true, After: 1, Times: 3}
+	doubled := &faultinject.Fault{Path: "/complete", Duplicate: true, After: 6, Times: 3}
+	stats := runWorkers(t, h.workerOpts("echo", 1, lost, doubled), h.workerOpts("peer", 2))
+	assertPinned(t, h.wait(t), ref)
+	if stats[0].Duplicates == 0 {
+		t.Fatal("lost responses never produced a deduplicated re-send")
+	}
+}
+
+// TestFleetTornCheckpointResume: the coordinator is stopped mid-sweep, its
+// checkpoint's tail torn mid-record, and a fresh coordinator resumes from
+// the wreckage with no workers at all (local fallback) — the final records
+// and the rewritten checkpoint both pin to the reference.
+func TestFleetTornCheckpointResume(t *testing.T) {
+	pts := fleetGrid(t)
+	ref := reference(t, pts)
+	ckpt := filepath.Join(t.TempDir(), "fleet.jsonl")
+
+	h := startHarness(t, pts, CoordinatorOptions{Checkpoint: ckpt, LocalGrace: -1})
+	workerDone := make(chan error, 1)
+	go func() {
+		_, err := RunWorker(h.workerOpts("w1", 1))
+		workerDone <- err
+	}()
+	// Let a few records land, then yank the coordinator mid-sweep.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, _, done, _ := h.coord.Queue().Counts(); done >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no records completed before the kill")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	h.cancel()
+	if err := <-h.runErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled coordinator returned %v", err)
+	}
+	h.server.Close()
+	if err := <-workerDone; err != nil && !errors.Is(err, ErrCoordinatorGone) {
+		t.Fatalf("worker: %v", err)
+	}
+
+	// Tear the checkpoint tail mid-line (the crash the format is built for).
+	raw, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 20 {
+		t.Fatalf("checkpoint only holds %d bytes", len(raw))
+	}
+	if err := os.WriteFile(ckpt, raw[:len(raw)-17], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume with zero workers: the local fallback finishes the grid.
+	c2, err := NewCoordinator(pts, CoordinatorOptions{
+		Checkpoint: ckpt, Resume: true,
+		LeaseTTL: 50 * time.Millisecond, LocalGrace: time.Millisecond, LocalWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	recs, err := c2.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPinned(t, recs, ref)
+
+	// The checkpoint itself now replays to the full reference. The file is
+	// in completion order, not grid order, so compare by key.
+	f, err := os.Open(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	onDisk, _, err := sweep.ReadRecords(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := make(map[string]sweep.Record, len(onDisk))
+	for _, rec := range onDisk {
+		byKey[rec.Key] = rec
+	}
+	if len(byKey) != len(ref) {
+		t.Fatalf("checkpoint holds %d distinct records, reference has %d", len(byKey), len(ref))
+	}
+	for _, want := range ref {
+		got, ok := byKey[want.Key]
+		if !ok {
+			t.Fatalf("checkpoint lost record %s", want.Key)
+		}
+		got.Index = want.Index // not serialized
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("checkpoint record %s differs from reference\n got %+v\nwant %+v", want.Key, got, want)
+		}
+	}
+}
+
+// TestFleetLocalFallbackOnly: a coordinator that never hears from any
+// worker runs the whole grid itself through the same lease path.
+func TestFleetLocalFallbackOnly(t *testing.T) {
+	pts := fleetGrid(t)
+	ref := reference(t, pts)
+	c, err := NewCoordinator(pts, CoordinatorOptions{
+		LeaseTTL: 50 * time.Millisecond, LocalGrace: time.Millisecond, LocalWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	recs, err := c.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPinned(t, recs, ref)
+}
+
+// TestFleetFailedPointReporting: a grid containing a point whose runner
+// panics deterministically still completes every healthy point; the bad
+// point is reported by workers, abandoned after FailReports, and listed in
+// Failed() — never silently dropped, never fatal to the fleet.
+func TestFleetFailedPointReporting(t *testing.T) {
+	pts := fleetGrid(t)
+	ref := reference(t, pts)
+	bad := sweep.Point{
+		Players: 8, Objects: 8, Budget: 8,
+		Plant:    sweep.Plant{Kind: "cluster", ClusterSize: 64},
+		Protocol: "run", Seed: 99,
+	}
+	grid := append(append([]sweep.Point{}, pts...), bad)
+	for i := range grid {
+		grid[i].Index = i
+	}
+	h := startHarness(t, grid, CoordinatorOptions{LocalGrace: -1, FailReports: 2})
+	runWorkers(t, h.workerOpts("w1", 1), h.workerOpts("w2", 2))
+	recs := h.wait(t)
+	for i := range recs {
+		recs[i].Index = ref[i].Index
+	}
+	assertPinned(t, recs, ref)
+	failed := h.coord.Failed()
+	if len(failed) != 1 || failed[0] != bad.Key() {
+		t.Fatalf("failed points %v, want exactly %s", failed, bad.Key())
+	}
+}
+
+// TestFleetChaosProperty: randomized kill/lapse/duplicate schedules — for
+// every seed, two workers under a random fault cocktail (with the local
+// fallback as backstop) must still produce exactly the reference records.
+func TestFleetChaosProperty(t *testing.T) {
+	pts := fleetGrid(t)
+	ref := reference(t, pts)
+	iters := 4
+	if testing.Short() {
+		iters = 2
+	}
+	for seed := 0; seed < iters; seed++ {
+		t.Run("", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(seed) + 7))
+			mkFaults := func() []*faultinject.Fault {
+				var fs []*faultinject.Fault
+				if rng.Intn(2) == 0 { // SIGKILL analogue
+					fs = append(fs, &faultinject.Fault{After: 1 + rng.Intn(8), Drop: true})
+				}
+				if rng.Intn(2) == 0 { // deaf heartbeats
+					fs = append(fs, &faultinject.Fault{Path: "/heartbeat", Drop: true})
+				}
+				if rng.Intn(2) == 0 { // lost completion responses
+					fs = append(fs, &faultinject.Fault{Path: "/complete", DropResponse: true, After: rng.Intn(4), Times: 1 + rng.Intn(3)})
+				}
+				if rng.Intn(2) == 0 { // duplicated completions
+					fs = append(fs, &faultinject.Fault{Path: "/complete", Duplicate: true, After: rng.Intn(4), Times: 1 + rng.Intn(3)})
+				}
+				return fs
+			}
+			h := startHarness(t, pts, CoordinatorOptions{
+				LeaseTTL:   time.Duration(10+rng.Intn(40)) * time.Millisecond,
+				LocalGrace: 300 * time.Millisecond,
+			})
+			runWorkers(t,
+				h.workerOpts("a", uint64(seed)*2+1, mkFaults()...),
+				h.workerOpts("b", uint64(seed)*2+2, mkFaults()...))
+			assertPinned(t, h.wait(t), ref)
+		})
+	}
+}
+
+// TestFleetServe: the Serve entry point binds :0, announces the bound
+// address, serves a worker, and shuts down when the grid completes.
+func TestFleetServe(t *testing.T) {
+	pts := fleetGrid(t)[:6]
+	ref, err := sweep.Run(pts, sweep.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCoordinator(pts, CoordinatorOptions{LeaseTTL: time.Second, LocalGrace: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	bound := make(chan string, 1)
+	serveDone := make(chan error, 1)
+	var recs []sweep.Record
+	go func() {
+		var err error
+		recs, err = c.Serve(ctx, "127.0.0.1:0", func(addr string) { bound <- addr })
+		serveDone <- err
+	}()
+	addr := <-bound
+	if _, err := RunWorker(WorkerOptions{
+		URL: "http://" + addr, Name: "w", PoolWorkers: 1,
+		BackoffBase: time.Millisecond, BackoffCap: 20 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatal(err)
+	}
+	assertPinned(t, recs, ref)
+}
+
+// TestFleetStatusEndpoint: /status reflects queue state and completes.
+func TestFleetStatusEndpoint(t *testing.T) {
+	pts := fleetGrid(t)
+	h := startHarness(t, pts, CoordinatorOptions{LocalGrace: -1})
+	resp, err := http.Get(h.server.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status returned HTTP %d", resp.StatusCode)
+	}
+	runWorkers(t, h.workerOpts("w", 1))
+	h.wait(t)
+	resp2, err := http.Get(h.server.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `"complete":true`) {
+		t.Fatalf("status after completion: %s", body)
+	}
+}

@@ -1,0 +1,86 @@
+package fleet
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"collabscore/internal/sweep"
+)
+
+// FuzzLeaseProtocol pins the coordinator's robustness contract: arbitrary
+// worker input — any method, any path, any body — may be rejected (4xx/405)
+// but must never panic the handler or corrupt the queue.
+func FuzzLeaseProtocol(f *testing.F) {
+	f.Add("POST", "/lease", []byte(`{"worker":"w","max":4}`))
+	f.Add("POST", "/lease", []byte(`{"worker":"w","max":-1}`))
+	f.Add("POST", "/complete", []byte(`{"worker":"w","lease_id":1,"failed":"nope"}`))
+	f.Add("POST", "/complete", []byte(`{"record":{"key":"bogus","seed":0}}`))
+	f.Add("POST", "/complete", []byte(`{"record":{`))
+	f.Add("POST", "/heartbeat", []byte(`{"lease_id":18446744073709551615}`))
+	f.Add("GET", "/status", []byte(nil))
+	f.Add("PUT", "/lease", []byte(`{}`))
+	f.Add("POST", "/nonsense", []byte{0xff, 0xfe, 0x00})
+	f.Add("POST", "/complete", []byte(`{"record":{"key":"n=48,m=768,b=768,plant=cluster/16,d=4,proto=run,trial=0","seed":1,"opt_error":7}}`))
+
+	pts, err := sweep.Expand(sweep.Spec{
+		Seed: 3, Trials: 1,
+		Players: []int{48}, ClusterSizes: []int{16}, Diameters: []int{4},
+		Protocols: []string{"run"}, FixDiameter: true,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, method, path string, body []byte) {
+		c, err := NewCoordinator(pts, CoordinatorOptions{LocalGrace: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := c.Handler()
+		// httptest.NewRequest panics on syntactically invalid methods and
+		// targets — that is the request library's contract, not the
+		// handler's; normalize instead of losing the fuzz case.
+		if !validMethod(method) {
+			method = "POST"
+		}
+		target := "/" + strings.TrimLeft(path, "/")
+		if _, err := url.ParseRequestURI(target); err != nil || !printableASCII(target) {
+			target = "/lease"
+		}
+		req := httptest.NewRequest(method, target, bytes.NewReader(body))
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, req) // must not panic
+		if rw.Code == 0 {
+			t.Fatal("handler wrote no status")
+		}
+		// Whatever the input did, the queue must still be coherent.
+		pending, leased, done, failed := c.Queue().Counts()
+		if pending+leased+done+failed != len(pts) {
+			t.Fatalf("queue lost points: %d+%d+%d+%d != %d", pending, leased, done, failed, len(pts))
+		}
+	})
+}
+
+func printableASCII(s string) bool {
+	for _, r := range s {
+		if r <= ' ' || r > '~' {
+			return false
+		}
+	}
+	return true
+}
+
+func validMethod(m string) bool {
+	if m == "" {
+		return false
+	}
+	for _, r := range m {
+		if r < 'A' || r > 'Z' {
+			return false
+		}
+	}
+	return true
+}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"fmt"
 	"io"
 	"sync"
 
@@ -32,14 +33,57 @@ type Options struct {
 	// number of points completed so far this run, the number scheduled, and
 	// the point's record. Calls are serialized.
 	Progress func(completed, scheduled int, rec Record)
+	// Stop, when non-nil, makes the engine stop claiming new points once the
+	// channel is closed: in-flight points finish and their records flush to
+	// the sink, then Run returns the completed subset with no error. Together
+	// with the JSONL sink this is what makes an interrupted sweep always
+	// resumable — the tail is flushed, never torn mid-batch.
+	Stop <-chan struct{}
+	// OnFailure, when non-nil, receives each point that persistently failed:
+	// a panic in protocol code is recovered per point (it no longer takes
+	// down the worker pool), the point is retried once on fresh allocations
+	// (pool state that a panic unwound through is suspect), and only a second
+	// panic reports here. Failed points produce no record and are excluded
+	// from Run's results. When OnFailure is nil the sweep still completes
+	// every other point — the failures are returned as one error at the end
+	// instead of silently dropped. Calls are serialized.
+	OnFailure func(pt Point, err error)
+}
+
+// PointError is the persistent per-point failure OnFailure receives: the
+// point's key and the recovered panic value of the second (retried) attempt.
+type PointError struct {
+	Key string
+	// Panic is the recovered panic value.
+	Panic any
+}
+
+func (e *PointError) Error() string {
+	return fmt.Sprintf("sweep: point %s panicked twice: %v", e.Key, e.Panic)
+}
+
+// stopRequested reports whether the options' stop channel is closed.
+func stopRequested(stop <-chan struct{}) bool {
+	if stop == nil {
+		return false
+	}
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
 }
 
 // Run executes every point not in opt.Done across the worker pool and
 // returns the fresh records in point order. Results are deterministic per
 // point (see the package comment); only completion order varies with the
-// schedule. Panics from protocol code propagate; the only error paths are
-// malformed points (unknown strategy/protocol names on points that did not
-// come from Expand) and sink write failures.
+// schedule. Malformed points (unknown strategy/protocol names on points
+// that did not come from Expand) and sink write failures abort the run;
+// panics in protocol code are recovered per point, retried once, and
+// surfaced through Options.OnFailure (or one aggregate error when it is
+// nil) — never by crashing the pool. When Options.Stop closes mid-run the
+// completed subset is returned with no error.
 func Run(points []Point, opt Options) ([]Record, error) {
 	pending := make([]int, 0, len(points))
 	for i, pt := range points {
@@ -63,29 +107,43 @@ func Run(points []Point, opt Options) ([]Record, error) {
 	}
 
 	recs := make([]Record, len(pending))
+	ran := make([]bool, len(pending))
 	errs := make([]error, len(pending))
 	var mu sync.Mutex
 	var sinkErr error
+	var failures []*PointError
 	completed := 0
 	runner.ForWorker(len(pending), func(wk, i int) {
 		// A failed sink (disk full, closed file) makes every further
 		// record unrecordable — stop burning CPU on points whose results
 		// would be discarded and let the caller resume after fixing it.
+		// A closed stop channel likewise stops new points from starting;
+		// in-flight ones flush normally, keeping the output resumable.
 		mu.Lock()
 		abort := sinkErr != nil
 		mu.Unlock()
-		if abort {
+		if abort || stopRequested(opt.Stop) {
 			return
 		}
-		rec, err := runPoint(pools[wk], points[pending[i]], opt.ComputeOpt)
-		recs[i], errs[i] = rec, err
+		pt := points[pending[i]]
+		rec, err := runPointRetry(pools[wk], pt, opt.ComputeOpt)
+		if perr, ok := err.(*PointError); ok {
+			mu.Lock()
+			failures = append(failures, perr)
+			if opt.OnFailure != nil {
+				opt.OnFailure(pt, perr)
+			}
+			mu.Unlock()
+			return
+		}
+		recs[i], ran[i], errs[i] = rec, err == nil, err
 		if err != nil {
 			return
 		}
 		mu.Lock()
 		defer mu.Unlock()
 		if opt.Sink != nil && sinkErr == nil {
-			sinkErr = writeRecord(opt.Sink, rec)
+			sinkErr = WriteRecord(opt.Sink, rec)
 		}
 		completed++
 		if opt.Progress != nil {
@@ -97,7 +155,44 @@ func Run(points []Point, opt Options) ([]Record, error) {
 			return nil, err
 		}
 	}
-	return recs, sinkErr
+	out := recs[:0]
+	for i, rec := range recs {
+		if ran[i] {
+			out = append(out, rec)
+		}
+	}
+	if len(failures) > 0 && opt.OnFailure == nil && sinkErr == nil {
+		// No failure hook: every other point has completed and flushed, so
+		// surface the failures without discarding that work — the caller
+		// still has a resumable file and the full error list.
+		errFail := fmt.Errorf("sweep: %d point(s) failed persistently", len(failures))
+		for _, f := range failures {
+			errFail = fmt.Errorf("%w; %v", errFail, f)
+		}
+		return out, errFail
+	}
+	return out, sinkErr
+}
+
+// runPointRetry runs one point with per-point panic containment: a panic in
+// protocol code is recovered and the point retried once on fresh
+// allocations (nil pool — reused arenas a panic unwound through may hold
+// torn state). A second panic returns a *PointError.
+func runPointRetry(pl *collabscore.Pool, pt Point, computeOpt bool) (Record, error) {
+	rec, err := runPointRecover(pl, pt, computeOpt)
+	if _, panicked := err.(*PointError); panicked {
+		rec, err = runPointRecover(nil, pt, computeOpt)
+	}
+	return rec, err
+}
+
+func runPointRecover(pl *collabscore.Pool, pt Point, computeOpt bool) (rec Record, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PointError{Key: pt.Key(), Panic: r}
+		}
+	}()
+	return runPoint(pl, pt, computeOpt)
 }
 
 // runPoint executes one grid point on the worker's pool. Rating points

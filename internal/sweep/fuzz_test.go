@@ -184,7 +184,7 @@ func FuzzResume(f *testing.F) {
 		var buf bytes.Buffer
 		for i, pt := range pts {
 			rec := Record{Point: pt, Key: pt.Key(), MaxError: i, MaxProbes: int64(i)}
-			if err := writeRecord(&buf, rec); err != nil {
+			if err := WriteRecord(&buf, rec); err != nil {
 				t.Fatal(err)
 			}
 		}

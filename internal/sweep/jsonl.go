@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"reflect"
 )
 
 // Record is one completed grid point: the point's coordinates plus the
@@ -43,10 +44,11 @@ type Record struct {
 	Rounds int64 `json:"rounds"`
 }
 
-// writeRecord appends one JSONL line to w. The line is marshaled first and
+// WriteRecord appends one JSONL line to w. The line is marshaled first and
 // written with a single Write call, so concurrent writers serialized by the
-// engine's mutex produce whole lines (a crash can truncate only the tail).
-func writeRecord(w io.Writer, rec Record) error {
+// engine's mutex (or the fleet coordinator's) produce whole lines — a crash
+// can truncate only the tail, which ReadRecords tolerates.
+func WriteRecord(w io.Writer, rec Record) error {
 	b, err := json.Marshal(rec)
 	if err != nil {
 		return err
@@ -96,91 +98,141 @@ func CompletedKeys(recs []Record) map[string]struct{} {
 	return out
 }
 
-// RunFile executes the grid with results streamed to the JSONL file at
-// path. With resume set, points already recorded intact in the file are
-// skipped and exactly the missing ones run; without it the file is
-// truncated and the whole grid runs. A previous record only counts as
-// completing a point when it matches what this run would produce: its key
-// AND seed equal the expanded point's (a record from a different root
-// seed, or from a grid the file no longer describes, is another sweep's
-// number), and its opt_error presence matches this run's
-// Options.ComputeOpt (resuming a no-opt file with -opt, or vice versa,
-// must recompute rather than mix). Stale records are dropped by rewriting
-// the file with the valid ones before appending; a torn final line from a
-// mid-write kill is discarded the same way. RunFile returns one record
-// per grid point in point order — previously recorded points contribute
-// their stored records, so the result is record-equal to an uninterrupted
-// sweep with the same options.
-func RunFile(points []Point, path string, resume bool, opt Options) ([]Record, error) {
+// wantsOpt reports whether a run with the given ComputeOpt setting records
+// a planted optimum for pt: uniform plantings and rating points have no
+// optimum to compute (OptError -1 either way), and neither do lazy truth
+// sources (the oracle scans the materialized matrix); planted dense binary
+// points carry one iff ComputeOpt is on. This single predicate is the
+// opt-consistency rule every resume and merge path applies — a record's
+// opt_error presence must match what the current run would produce.
+func wantsOpt(pt Point, computeOpt bool) bool {
+	return computeOpt && pt.Plant.Kind != "uniform" && pt.Protocol != "ratings" && pt.TruthSource == ""
+}
+
+// FilePlan is the resume plan for a JSONL results file against a grid: the
+// prior records that satisfy grid points under this run's options, and how
+// the file must be opened to continue it. PlanFile is the single
+// stale-record gate shared by RunFile and the fleet coordinator's
+// checkpoint, so both apply identical rejection rules.
+type FilePlan struct {
+	// Valid holds the prior records that count as completing grid points:
+	// key AND seed equal the expanded point's (a record from a different
+	// root seed, or from a grid the file no longer describes, is another
+	// sweep's number), and opt_error presence matches this run's ComputeOpt
+	// (resuming a no-opt file with -opt, or vice versa, must recompute
+	// rather than mix).
+	Valid []Record
+
+	path    string
+	rewrite bool
+}
+
+// PlanFile reads the results file at path (when resume is set) and plans
+// how a run over points continues it: stale records are scheduled to be
+// dropped by rewriting the file with the valid ones, and a torn final line
+// from a mid-write kill is truncated away. Without resume the plan is a
+// fresh file. The file not existing is a valid plan (full grid runs).
+func PlanFile(points []Point, path string, resume, computeOpt bool) (*FilePlan, error) {
 	type want struct {
 		seed    uint64
 		withOpt bool
 	}
 	wants := make(map[string]want, len(points))
 	for _, pt := range points {
-		wants[pt.Key()] = want{
-			seed: pt.Seed,
-			// Uniform plantings and rating points have no optimum to
-			// compute (OptError -1 either way), and neither do lazy
-			// truth sources (the oracle scans the materialized matrix);
-			// planted dense binary points carry one iff ComputeOpt is on.
-			withOpt: opt.ComputeOpt && pt.Plant.Kind != "uniform" && pt.Protocol != "ratings" && pt.TruthSource == "",
-		}
+		wants[pt.Key()] = want{seed: pt.Seed, withOpt: wantsOpt(pt, computeOpt)}
 	}
 
-	var valid []Record
-	rewrite := !resume
-	if resume {
-		f, err := os.Open(path)
-		switch {
-		case err == nil:
-			prev, intact, rerr := ReadRecords(f)
-			size, _ := f.Seek(0, 2)
-			f.Close()
-			if rerr != nil {
-				return nil, fmt.Errorf("sweep: reading %s: %w", path, rerr)
-			}
-			for _, rec := range prev {
-				w, ok := wants[rec.Key]
-				if ok && w.seed == rec.Seed && w.withOpt == (rec.OptError >= 0) {
-					valid = append(valid, rec)
-				}
-			}
-			switch {
-			case len(valid) != len(prev):
-				rewrite = true // stale records: rebuild the file from the valid ones
-			case intact < size:
-				if err := os.Truncate(path, intact); err != nil {
-					return nil, fmt.Errorf("sweep: truncating %s to last intact record: %w", path, err)
-				}
-			}
-		case os.IsNotExist(err):
-			// Nothing to resume from; run the full grid.
-		default:
-			return nil, err
-		}
+	plan := &FilePlan{path: path, rewrite: !resume}
+	if !resume {
+		return plan, nil
 	}
+	f, err := os.Open(path)
+	switch {
+	case err == nil:
+		prev, intact, rerr := ReadRecords(f)
+		size, _ := f.Seek(0, 2)
+		f.Close()
+		if rerr != nil {
+			return nil, fmt.Errorf("sweep: reading %s: %w", path, rerr)
+		}
+		for _, rec := range prev {
+			w, ok := wants[rec.Key]
+			if ok && w.seed == rec.Seed && w.withOpt == (rec.OptError >= 0) {
+				plan.Valid = append(plan.Valid, rec)
+			}
+		}
+		switch {
+		case len(plan.Valid) != len(prev):
+			plan.rewrite = true // stale records: rebuild the file from the valid ones
+		case intact < size:
+			if err := os.Truncate(path, intact); err != nil {
+				return nil, fmt.Errorf("sweep: truncating %s to last intact record: %w", path, err)
+			}
+		}
+	case os.IsNotExist(err):
+		// Nothing to resume from; run the full grid.
+	default:
+		return nil, err
+	}
+	return plan, nil
+}
+
+// Open opens the planned file for appending fresh records: truncated and
+// re-seeded with the valid records when the plan calls for a rewrite,
+// append-at-tail otherwise. The caller owns closing the file.
+func (p *FilePlan) Open() (*os.File, error) {
 	flags := os.O_CREATE | os.O_WRONLY
-	if rewrite {
+	if p.rewrite {
 		flags |= os.O_TRUNC
 	} else {
 		flags |= os.O_APPEND
 	}
-	f, err := os.OpenFile(path, flags, 0o644)
+	f, err := os.OpenFile(p.path, flags, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	if rewrite {
-		for _, rec := range valid {
-			if err := writeRecord(f, rec); err != nil {
+	if p.rewrite {
+		for _, rec := range p.Valid {
+			if err := WriteRecord(f, rec); err != nil {
+				f.Close()
 				return nil, err
 			}
 		}
 	}
+	return f, nil
+}
 
+// RunFile executes the grid with results streamed to the JSONL file at
+// path. With resume set, points already recorded intact in the file are
+// skipped and exactly the missing ones run, under PlanFile's stale-seed and
+// opt-change rejection rules; without it the file is truncated and the
+// whole grid runs. RunFile returns one record per grid point in point order
+// — previously recorded points contribute their stored records, so the
+// result is record-equal to an uninterrupted sweep with the same options.
+// Two documented exceptions return fewer records without error: points a
+// closed Options.Stop kept from running (the file stays resumable), and
+// points reported through Options.OnFailure (persistent panics).
+func RunFile(points []Point, path string, resume bool, opt Options) ([]Record, error) {
+	plan, err := PlanFile(points, path, resume, opt.ComputeOpt)
+	if err != nil {
+		return nil, err
+	}
+	f, err := plan.Open()
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	failed := make(map[string]struct{})
+	userFail := opt.OnFailure
+	opt.OnFailure = func(pt Point, err error) {
+		failed[pt.Key()] = struct{}{}
+		if userFail != nil {
+			userFail(pt, err)
+		}
+	}
 	opt.Sink = f
-	opt.Done = CompletedKeys(valid)
+	opt.Done = CompletedKeys(plan.Valid)
 	fresh, err := Run(points, opt)
 	if err != nil {
 		return nil, err
@@ -189,21 +241,61 @@ func RunFile(points []Point, path string, resume bool, opt Options) ([]Record, e
 		return nil, err
 	}
 
-	byKey := make(map[string]Record, len(valid)+len(fresh))
-	for _, rec := range valid {
+	byKey := make(map[string]Record, len(plan.Valid)+len(fresh))
+	for _, rec := range plan.Valid {
 		byKey[rec.Key] = rec
 	}
 	for _, rec := range fresh {
 		byKey[rec.Key] = rec
 	}
+	stopped := stopRequested(opt.Stop)
 	out := make([]Record, 0, len(points))
 	for _, pt := range points {
 		rec, ok := byKey[pt.Key()]
 		if !ok {
+			if _, f := failed[pt.Key()]; f || stopped {
+				continue
+			}
 			return nil, fmt.Errorf("sweep: point %s has no record after run", pt.Key())
 		}
 		rec.Index = pt.Index
 		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// MergeFiles reads several JSONL results files — shard or fleet worker
+// outputs — and merges their records into one key-deduplicated list in
+// first-seen order. Duplicate keys are legal only when the records are
+// identical (the at-least-once dispatch case: the same deterministic point
+// run twice); conflicting records for the same key mean the files came from
+// different sweeps and merging them would corrupt both, so that is an
+// error, as is an unreadable file. Torn tails are tolerated per file (the
+// torn point is simply absent, exactly as in a single-file resume).
+func MergeFiles(paths ...string) ([]Record, error) {
+	byKey := make(map[string]Record)
+	var out []Record
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		recs, _, err := ReadRecords(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("sweep: reading %s: %w", path, err)
+		}
+		for _, rec := range recs {
+			prev, dup := byKey[rec.Key]
+			if !dup {
+				byKey[rec.Key] = rec
+				out = append(out, rec)
+				continue
+			}
+			if !reflect.DeepEqual(prev, rec) {
+				return nil, fmt.Errorf("sweep: conflicting records for point %s (merged files are from different sweeps?)", rec.Key)
+			}
+		}
 	}
 	return out, nil
 }
