@@ -66,9 +66,13 @@ type Config struct {
 	// pairs: "" or "exact" (the default all-pairs sweep, the reference
 	// oracle and the historical behavior bit for bit), "lsh" (the
 	// sub-quadratic banding index with default shape), or
-	// "lsh:BANDS:ROWS". Applies to the clustering protocols (Run,
-	// RunByzantine, RunWithCapacities); the baselines never build a
-	// neighbor graph. See DESIGN.md §13.
+	// "lsh:BANDS:ROWS". An optional "+dense"/"+sparse"/"+auto" suffix
+	// picks the neighbor-graph representation (DESIGN.md §16): dense
+	// bitset rows, sparse CSR edge lists, or the default size rule (dense
+	// below cluster.AutoSparseCutoff players). The representation never
+	// changes the clustering, only its memory. Applies to the clustering
+	// protocols (Run, RunByzantine, RunWithCapacities); the baselines
+	// never build a neighbor graph. See DESIGN.md §13.
 	NeighborIndex string
 	// TruthSource selects how the hidden truth matrix is represented: "" or
 	// "dense" (the materialized O(n·m) matrix, the default and the reference

@@ -222,6 +222,38 @@ func (v Vector) And(w Vector) Vector {
 	return out
 }
 
+// AndCount returns the number of positions set in both v and w — the
+// population count of v ∧ w without materializing it. It is the
+// allocation-free form of v.And(w).Count(), which the cluster peel calls
+// once per scanned candidate per round (a fresh n-bit vector each time
+// before this existed). It panics if lengths differ.
+func (v Vector) AndCount(w Vector) int {
+	if v.n != w.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", v.n, w.n))
+	}
+	c := 0
+	for i := range v.words {
+		c += bits.OnesCount64(v.words[i] & w.words[i])
+	}
+	return c
+}
+
+// AndOnesInto appends the sorted positions set in both v and w to dst and
+// returns the extended slice — the allocation-free form of
+// v.And(w).OnesIndices() for callers that reuse dst across calls. It
+// panics if lengths differ.
+func (v Vector) AndOnesInto(w Vector, dst []int) []int {
+	if v.n != w.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", v.n, w.n))
+	}
+	for wi := range v.words {
+		for x := v.words[wi] & w.words[wi]; x != 0; x &= x - 1 {
+			dst = append(dst, wi*wordBits+bits.TrailingZeros64(x))
+		}
+	}
+	return dst
+}
+
 // Or returns a new vector v ∨ w. It panics if lengths differ.
 func (v Vector) Or(w Vector) Vector {
 	if v.n != w.n {

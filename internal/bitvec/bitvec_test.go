@@ -418,6 +418,65 @@ func TestFirstDiff(t *testing.T) {
 	}
 }
 
+// TestAndCountAndOnesInto pins the allocation-free AND reductions against
+// their materializing equivalents on random vectors, including partial
+// final words and length-0 vectors.
+func TestAndCountAndOnesInto(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		n := r.Intn(200)
+		a, b := randVec(r, n), randVec(r, n)
+		and := a.And(b)
+		if got, want := a.AndCount(b), and.Count(); got != want {
+			t.Fatalf("n=%d: AndCount = %d, want %d", n, got, want)
+		}
+		want := and.OnesIndices()
+		got := a.AndOnesInto(b, nil)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: AndOnesInto found %d positions, want %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: AndOnesInto[%d] = %d, want %d", n, i, got[i], want[i])
+			}
+		}
+		// Appending semantics: existing dst entries are preserved.
+		dst := []int{-7}
+		dst = a.AndOnesInto(b, dst)
+		if dst[0] != -7 || len(dst) != 1+len(want) {
+			t.Fatalf("n=%d: AndOnesInto did not append (len %d)", n, len(dst))
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AndCount length mismatch did not panic")
+		}
+	}()
+	New(10).AndCount(New(11))
+}
+
+// TestAndReductionsAllocFree: the live-degree scan of the cluster peel
+// calls these once per candidate per round; they must never allocate
+// (AndOnesInto with sufficient dst capacity included).
+func TestAndReductionsAllocFree(t *testing.T) {
+	a, b := New(1024), New(1024)
+	for i := 0; i < 1024; i += 3 {
+		a.Set(i, true)
+	}
+	for i := 0; i < 1024; i += 5 {
+		b.Set(i, true)
+	}
+	dst := make([]int, 0, 1024)
+	var sink int
+	if n := testing.AllocsPerRun(100, func() {
+		sink = a.AndCount(b)
+		dst = a.AndOnesInto(b, dst[:0])
+	}); n != 0 {
+		t.Fatalf("AND reductions allocate %v times per run", n)
+	}
+	_ = sink
+}
+
 // TestSameStorage: clones never share storage, assignments always do, and
 // empty vectors never report sharing.
 func TestSameStorage(t *testing.T) {

@@ -299,7 +299,7 @@ func weightedPick(rng *xrand.Stream, cumWeights []int, total int) int {
 
 // buildByCapacity peels clusters like §6.5 but admits a seed's neighborhood
 // as a cluster only when its total capacity reaches needed.
-func buildByCapacity(g *cluster.Graph, capacity []int, needed int) *cluster.Clustering {
+func buildByCapacity(g cluster.Graph, capacity []int, needed int) *cluster.Clustering {
 	n := g.N()
 	alive := make([]bool, n)
 	for i := range alive {
@@ -353,6 +353,9 @@ func buildByCapacity(g *cluster.Graph, capacity []int, needed int) *cluster.Clus
 		clusters = append(clusters, members)
 	}
 	// Attach leftovers to a neighbor's cluster (they add capacity for free).
+	// Attachment only writes of[p] — nothing reads alive after the peel,
+	// and attachment eligibility is of[q] < 0, so attached players need no
+	// alive update (mirrors cluster.Build's attachment phase).
 	for p := 0; p < n; p++ {
 		if !alive[p] {
 			continue
@@ -363,7 +366,6 @@ func buildByCapacity(g *cluster.Graph, capacity []int, needed int) *cluster.Clus
 			}
 			of[p] = of[q]
 			clusters[of[q]] = append(clusters[of[q]], p)
-			alive[p] = false
 			return false
 		})
 	}

@@ -300,6 +300,51 @@ func TestNeighborIndexLSHMatchesExact(t *testing.T) {
 	}
 }
 
+// TestNeighborIndexSparseMatchesDense pins the graph representation on the
+// budgets path (DESIGN.md §16): the capacity-aware peel fed a sparse CSR
+// graph yields the identical outputs, cluster counts and capacities, and
+// probe charges as the dense bitset, for both exact and LSH discovery.
+func TestNeighborIndexSparseMatchesDense(t *testing.T) {
+	const n, d = 512, 16
+	rng := xrand.New(6)
+	in := prefgen.DiameterClusters(rng.Split(1), n, n, 64, d)
+	caps := TwoTier(rng.Split(2), n, 32, 512, 0.25)
+
+	run := func(spec cluster.IndexSpec) (*Result, *world.World) {
+		w := world.New(in.Truth)
+		pr := Scaled(n, caps)
+		pr.MinD, pr.MaxD = d, d
+		pr.NeighborIndex = spec
+		return Run(w, xrand.New(6).Split(3), pr), w
+	}
+	for _, kind := range []string{"", "lsh"} {
+		ref, refW := run(cluster.IndexSpec{Kind: kind, Graph: "dense"})
+		got, gotW := run(cluster.IndexSpec{Kind: kind, Graph: "sparse"})
+
+		if got.NumClusters != ref.NumClusters {
+			t.Fatalf("kind=%q: sparse formed %d clusters, dense %d", kind, got.NumClusters, ref.NumClusters)
+		}
+		if len(got.ClusterCapacity) != len(ref.ClusterCapacity) {
+			t.Fatalf("kind=%q: cluster capacity lists differ in length", kind)
+		}
+		for j := range ref.ClusterCapacity {
+			if got.ClusterCapacity[j] != ref.ClusterCapacity[j] {
+				t.Fatalf("kind=%q: cluster %d capacity %d (sparse) vs %d (dense)",
+					kind, j, got.ClusterCapacity[j], ref.ClusterCapacity[j])
+			}
+		}
+		for p := 0; p < n; p++ {
+			if got.Output[p].Hamming(ref.Output[p]) != 0 {
+				t.Fatalf("kind=%q: player %d output differs between representations", kind, p)
+			}
+			if gotW.Probes(p) != refW.Probes(p) {
+				t.Fatalf("kind=%q: player %d probes %d (sparse) vs %d (dense)",
+					kind, p, gotW.Probes(p), refW.Probes(p))
+			}
+		}
+	}
+}
+
 // TestLSHScheduleMatrix: the budgets protocol with the banding index is
 // byte-identical across phase schedules, like every other configuration.
 func TestLSHScheduleMatrix(t *testing.T) {

@@ -16,9 +16,12 @@
 // §9), and neighbor discovery as a whole is pluggable through the
 // NeighborIndex seam (index.go, DESIGN.md §13) — the exact sweep is the
 // default and reference oracle, the LSH banding index the sub-quadratic
-// alternative. The peeling in Build stays sequential because each peel
-// depends on which players the previous peel removed, and it is a cheap
-// bitset scan over the precomputed adjacency.
+// alternative. HOW the discovered edges are stored is a second, orthogonal
+// seam (DESIGN.md §16): Graph is an interface, BitGraph the dense bitset
+// reference implementation, CSRGraph the sparse one that holds only the
+// Θ(n·size) edges the index actually emits. The peeling in Build stays
+// sequential because each peel depends on which players the previous peel
+// removed, and it is a cheap scan over the precomputed adjacency.
 package cluster
 
 import (
@@ -40,9 +43,43 @@ type Clustering struct {
 	Of []int
 }
 
-// Graph is the neighbor graph: adjacency encoded as one bit vector of
-// players per player, enabling word-parallel degree counting.
-type Graph struct {
+// Graph is the neighbor-graph abstraction the clustering consumers use —
+// exactly the queries Build's peeling/attachment and the budgets capacity
+// iteration need, so any representation that answers them yields
+// byte-identical clusterings. BitGraph (dense n-bit adjacency rows, the
+// small-n default and reference oracle) and CSRGraph (per-vertex sorted
+// edge lists, the at-scale representation) both implement it; the
+// representation is chosen through IndexSpec (DESIGN.md §16).
+//
+// All implementations present neighbors in strictly increasing id order —
+// Build's member ordering, and hence the whole downstream protocol,
+// depends on it.
+type Graph interface {
+	// N returns the number of players in the graph.
+	N() int
+	// Degree returns the degree of player p.
+	Degree(p int) int
+	// Adjacent reports whether p and q share an edge.
+	Adjacent(p, q int) bool
+	// VisitNeighbors calls fn on p's neighbors in increasing id order,
+	// stopping early when fn returns false — the attachment phases here
+	// and in budgets scan until the first assigned neighbor.
+	VisitNeighbors(p int, fn func(q int) bool)
+	// LiveDegree returns the number of p's neighbors q with alive.Get(q)
+	// set — the peel's per-candidate qualification test. Implementations
+	// must not allocate (the scan runs once per candidate per round).
+	LiveDegree(p int, alive bitvec.Vector) int
+	// AppendLiveNeighbors appends p's neighbors q with alive.Get(q) set to
+	// dst in increasing id order and returns the extended slice, so the
+	// peel can reuse one scratch slice across rounds.
+	AppendLiveNeighbors(dst []int, p int, alive bitvec.Vector) []int
+}
+
+// BitGraph is the dense neighbor-graph representation: adjacency encoded
+// as one bit vector of players per player, enabling word-parallel degree
+// counting. Its n² bits make it the reference oracle and the small-n
+// default; at large n the CSRGraph holds the same edges in Θ(edges) words.
+type BitGraph struct {
 	n   int
 	adj []bitvec.Vector
 }
@@ -54,11 +91,12 @@ type Graph struct {
 // both directions of each edge without locks or merge buffers.
 const blockRows = 64
 
-// BuildGraph constructs the neighbor graph from sample-set vectors: players
-// p and q are adjacent iff |z(p) − z(q)| ≤ threshold. z must contain a
-// vector of a common length for every player id in [0,n). It runs on the
-// default parallel executor; BuildGraphOn accepts an explicit one.
-func BuildGraph(z []bitvec.Vector, threshold int) *Graph {
+// BuildGraph constructs the dense neighbor graph from sample-set vectors:
+// players p and q are adjacent iff |z(p) − z(q)| ≤ threshold. z must
+// contain a vector of a common length for every player id in [0,n). It
+// runs on the default parallel executor; BuildGraphOn accepts an explicit
+// one.
+func BuildGraph(z []bitvec.Vector, threshold int) *BitGraph {
 	return BuildGraphOn(nil, z, threshold)
 }
 
@@ -73,12 +111,22 @@ func BuildGraph(z []bitvec.Vector, threshold int) *Graph {
 // distinct tasks land in disjoint words (see blockRows), so the schedule
 // cannot affect the result: the graph is a pure function of z and
 // threshold under any executor.
-func BuildGraphOn(exec *par.Runner, z []bitvec.Vector, threshold int) *Graph {
+func BuildGraphOn(exec *par.Runner, z []bitvec.Vector, threshold int) *BitGraph {
 	n := len(z)
-	g := &Graph{n: n, adj: make([]bitvec.Vector, n)}
-	for p := range g.adj {
-		g.adj[p] = bitvec.New(n)
-	}
+	g := newBitGraph(n)
+	sweepPairs(exec, z, threshold, func(p, q int) {
+		g.adj[p].Set(q, true)
+		g.adj[q].Set(p, true)
+	})
+	return g
+}
+
+// sweepPairs runs the block-partitioned all-pairs sweep and calls emit for
+// every pair p < q within threshold. Tasks write through emit concurrently;
+// the two callers make that safe in different ways (word-disjoint bitset
+// writes here, per-worker buffers in the sparse builder).
+func sweepPairs(exec *par.Runner, z []bitvec.Vector, threshold int, emit func(p, q int)) {
+	n := len(z)
 	nb := (n + blockRows - 1) / blockRows
 	type blockPair struct{ bi, bj int }
 	tasks := make([]blockPair, 0, nb*(nb+1)/2)
@@ -98,32 +146,38 @@ func BuildGraphOn(exec *par.Runner, z []bitvec.Vector, threshold int) *Graph {
 			}
 			for q := qLo; q < qHi; q++ {
 				if z[p].Hamming(z[q]) <= threshold {
-					g.adj[p].Set(q, true)
-					g.adj[q].Set(p, true)
+					emit(p, q)
 				}
 			}
 		}
 	})
+}
+
+func newBitGraph(n int) *BitGraph {
+	g := &BitGraph{n: n, adj: make([]bitvec.Vector, n)}
+	for p := range g.adj {
+		g.adj[p] = bitvec.New(n)
+	}
 	return g
 }
 
 // N returns the number of players in the graph.
-func (g *Graph) N() int { return g.n }
+func (g *BitGraph) N() int { return g.n }
 
 // Degree returns the degree of player p.
-func (g *Graph) Degree(p int) int { return g.adj[p].Count() }
+func (g *BitGraph) Degree(p int) int { return g.adj[p].Count() }
 
 // Adjacent reports whether p and q share an edge.
-func (g *Graph) Adjacent(p, q int) bool { return g.adj[p].Get(q) }
+func (g *BitGraph) Adjacent(p, q int) bool { return g.adj[p].Get(q) }
 
 // Neighbors returns the neighbor ids of player p.
-func (g *Graph) Neighbors(p int) []int { return g.adj[p].OnesIndices() }
+func (g *BitGraph) Neighbors(p int) []int { return g.adj[p].OnesIndices() }
 
 // VisitNeighbors calls fn on p's neighbors in increasing id order, stopping
 // early when fn returns false. It walks the adjacency bitset words directly
 // — the allocation-free counterpart of Neighbors for callers that only scan
 // until a match (the attachment phases here and in budgets).
-func (g *Graph) VisitNeighbors(p int, fn func(q int) bool) {
+func (g *BitGraph) VisitNeighbors(p int, fn func(q int) bool) {
 	row := g.adj[p]
 	for wi, nw := 0, row.Words(); wi < nw; wi++ {
 		for x := row.Word(wi); x != 0; x &= x - 1 {
@@ -134,15 +188,32 @@ func (g *Graph) VisitNeighbors(p int, fn func(q int) bool) {
 	}
 }
 
+// LiveDegree counts p's surviving neighbors by a word-parallel AND
+// popcount against the alive set — allocation-free (bitvec.AndCount),
+// where the pre-seam peel materialized a fresh n-bit AND vector per
+// scanned candidate per round.
+func (g *BitGraph) LiveDegree(p int, alive bitvec.Vector) int {
+	return g.adj[p].AndCount(alive)
+}
+
+// AppendLiveNeighbors appends p's surviving neighbors in increasing id
+// order, walking the AND words in place (bitvec.AndOnesInto).
+func (g *BitGraph) AppendLiveNeighbors(dst []int, p int, alive bitvec.Vector) []int {
+	return g.adj[p].AndOnesInto(alive, dst)
+}
+
 // Build peels clusters from the graph per §6.5: repeatedly pick a player
 // with at least minSize−1 surviving neighbors, make a cluster of it and its
 // surviving neighbors, and remove them; then attach each leftover player to
-// a cluster containing one of its original neighbors.
-func Build(g *Graph, minSize int) *Clustering {
+// a cluster containing one of its original neighbors. It consumes the
+// graph purely through the Graph interface, so dense and sparse
+// representations of the same edge set produce byte-identical clusterings
+// (TestBuildMatchesAcrossRepresentations).
+func Build(g Graph, minSize int) *Clustering {
 	if minSize < 1 {
 		minSize = 1
 	}
-	n := g.n
+	n := g.N()
 	alive := bitvec.New(n)
 	for p := 0; p < n; p++ {
 		alive.Set(p, true)
@@ -159,15 +230,17 @@ func Build(g *Graph, minSize int) *Clustering {
 	// degree, so a player rejected in an earlier pass can never later
 	// qualify — the first qualifying player is always past the previous one
 	// (output byte-identical to the full rescan; TestPeelCursorMatchesRescan
-	// pins it).
+	// pins it). The live-neighbor scratch is reused across peels; each
+	// cluster still gets its own freshly allocated member slice.
 	cursor := 0
+	var live []int
 	for {
 		found := -1
 		for p := cursor; p < n; p++ {
 			if !alive.Get(p) {
 				continue
 			}
-			if g.adj[p].And(alive).Count() >= minSize-1 {
+			if g.LiveDegree(p, alive) >= minSize-1 {
 				found = p
 				break
 			}
@@ -176,7 +249,10 @@ func Build(g *Graph, minSize int) *Clustering {
 			break
 		}
 		cursor = found + 1
-		members := append([]int{found}, g.adj[found].And(alive).OnesIndices()...)
+		live = g.AppendLiveNeighbors(live[:0], found, alive)
+		members := make([]int, 0, 1+len(live))
+		members = append(members, found)
+		members = append(members, live...)
 		j := len(clusters)
 		for _, q := range members {
 			alive.Set(q, false)
@@ -187,10 +263,13 @@ func Build(g *Graph, minSize int) *Clustering {
 
 	// Attachment phase: leftover players join the cluster of their first
 	// (lowest-id) assigned original neighbor (V'_j in the paper), scanning
-	// the adjacency words in place instead of materializing a neighbor
-	// slice per leftover player.
+	// the adjacency in place instead of materializing a neighbor slice per
+	// leftover player. Attachment marks of[p] only — nothing reads alive
+	// after the peel (a historical alive.Set(p, false) here was a dead
+	// write; later iterations test of[q] < 0, and an attached player is a
+	// valid attachment target either way).
 	for p := 0; p < n; p++ {
-		if !alive.Get(p) {
+		if of[p] >= 0 {
 			continue
 		}
 		g.VisitNeighbors(p, func(q int) bool {
@@ -199,7 +278,6 @@ func Build(g *Graph, minSize int) *Clustering {
 			}
 			of[p] = of[q]
 			clusters[of[q]] = append(clusters[of[q]], p)
-			alive.Set(p, false)
 			return false
 		})
 	}

@@ -282,7 +282,7 @@ func TestPeeledClusterDiameterBounded(t *testing.T) {
 // oracle for TestPeelCursorMatchesRescan: restart the candidate scan at
 // p=0 after every peel and attach leftovers via materialized neighbor
 // slices. The production Build must match it byte for byte.
-func buildReference(g *Graph, minSize int) *Clustering {
+func buildReference(g *BitGraph, minSize int) *Clustering {
 	if minSize < 1 {
 		minSize = 1
 	}

@@ -7,6 +7,11 @@
 // buckets, replacing the O(n²) wall with near-linear work on clustered
 // inputs. Both are deterministic given their inputs and produce identical
 // graphs under every par.Runner schedule.
+//
+// Orthogonally, WHERE the discovered edges are stored is the graph
+// representation choice (DESIGN.md §16): dense bitset rows (BitGraph) or
+// compressed sparse rows (CSRGraph), selected by GraphRep and threaded
+// through the same IndexSpec seam.
 package cluster
 
 import (
@@ -14,12 +19,47 @@ import (
 	"math/bits"
 	"strconv"
 	"strings"
-	"sync"
 
 	"collabscore/internal/bitvec"
 	"collabscore/internal/par"
 	"collabscore/internal/xrand"
 )
+
+// GraphRep selects the neighbor-graph representation an index builds into.
+// The zero value RepAuto defers to the size rule: dense below
+// AutoSparseCutoff players, sparse at or above it. Either representation
+// yields byte-identical clusterings over the same edge set; the choice
+// trades the BitGraph's n² bits (word-parallel live-degree counting)
+// against the CSRGraph's Θ(n + edges) words (the only option at 10⁶
+// players, where dense is 125 GB).
+type GraphRep int
+
+const (
+	// RepAuto picks dense below AutoSparseCutoff, sparse at or above.
+	RepAuto GraphRep = iota
+	// RepDense forces the bitset BitGraph.
+	RepDense
+	// RepSparse forces the CSRGraph.
+	RepSparse
+)
+
+// AutoSparseCutoff is the player count at which RepAuto switches from the
+// dense bitset to CSR. At the cutoff the dense adjacency is 128 MB
+// (n²/8 bytes) and growing quadratically, while the sparse graph tracks
+// the actual edge count — below it, dense is cheap enough that its
+// word-parallel peeling wins.
+const AutoSparseCutoff = 1 << 15
+
+// pick resolves RepAuto against the player count.
+func (r GraphRep) pick(n int) GraphRep {
+	if r != RepAuto {
+		return r
+	}
+	if n >= AutoSparseCutoff {
+		return RepSparse
+	}
+	return RepDense
+}
 
 // NeighborIndex is the neighbor-discovery seam: an implementation builds
 // the neighbor graph over the players' vectors for a Hamming threshold.
@@ -27,13 +67,14 @@ import (
 // implementations like LSH may miss a vanishing fraction of edges but must
 // never invent one (candidates are always verified by exact distance), and
 // must be pure functions of (z, threshold, rng) under every executor
-// schedule — the determinism contract of DESIGN.md §9.
+// schedule — the determinism contract of DESIGN.md §9. rep selects the
+// representation the edges land in and must not change the edge set.
 type NeighborIndex interface {
 	// BuildGraph returns the graph with an edge for (a subset of) the pairs
 	// p < q with z[p].Hamming(z[q]) ≤ threshold. rng carries the shared
 	// coins the index may consume (ignored by Exact); exec nil means the
-	// default parallel executor.
-	BuildGraph(exec *par.Runner, z []bitvec.Vector, threshold int, rng *xrand.Stream) *Graph
+	// default parallel executor; rep picks the graph representation.
+	BuildGraph(exec *par.Runner, z []bitvec.Vector, threshold int, rng *xrand.Stream, rep GraphRep) Graph
 }
 
 // Exact is the all-pairs reference oracle: the block-partitioned pairwise
@@ -41,7 +82,10 @@ type NeighborIndex interface {
 type Exact struct{}
 
 // BuildGraph implements NeighborIndex by the exact sweep.
-func (Exact) BuildGraph(exec *par.Runner, z []bitvec.Vector, threshold int, _ *xrand.Stream) *Graph {
+func (Exact) BuildGraph(exec *par.Runner, z []bitvec.Vector, threshold int, _ *xrand.Stream, rep GraphRep) Graph {
+	if rep.pick(len(z)) == RepSparse {
+		return buildCSROn(exec, z, threshold)
+	}
 	return BuildGraphOn(exec, z, threshold)
 }
 
@@ -89,8 +133,10 @@ type LSH struct {
 	Rows int
 }
 
-// BuildGraph implements NeighborIndex by banding.
-func (ix LSH) BuildGraph(exec *par.Runner, z []bitvec.Vector, threshold int, rng *xrand.Stream) *Graph {
+// BuildGraph implements NeighborIndex by banding. Verified edges flow
+// through the graphSink seam, so the same discovery pass fills either the
+// dense or the sparse representation.
+func (ix LSH) BuildGraph(exec *par.Runner, z []bitvec.Vector, threshold int, rng *xrand.Stream, rep GraphRep) Graph {
 	b, r := ix.Bands, ix.Rows
 	if b < 1 {
 		b = DefaultBands
@@ -99,12 +145,9 @@ func (ix LSH) BuildGraph(exec *par.Runner, z []bitvec.Vector, threshold int, rng
 		r = DefaultRows
 	}
 	n := len(z)
-	g := &Graph{n: n, adj: make([]bitvec.Vector, n)}
-	for p := range g.adj {
-		g.adj[p] = bitvec.New(n)
-	}
+	sink := newGraphSink(n, rep)
 	if n < 2 {
-		return g
+		return sink.finish()
 	}
 
 	// Informative positions: bits where some pair of players disagrees
@@ -200,20 +243,10 @@ func (ix LSH) BuildGraph(exec *par.Runner, z []bitvec.Vector, threshold int, rng
 	// several bands is verified exactly once — in the first band where its
 	// hashes collide; later bands detect the earlier collision with a cheap
 	// hash-prefix comparison and skip. Verified edges accumulate in
-	// per-worker buffers and flush into the adjacency rows under a mutex:
-	// the graph is the set union of the verified pairs, and set bits are
-	// idempotent, so neither the flush order nor the worker assignment can
-	// affect the result.
-	var mu sync.Mutex
-	flush := func(edges [][2]int32) {
-		mu.Lock()
-		for _, e := range edges {
-			g.adj[e[0]].Set(int(e[1]), true)
-			g.adj[e[1]].Set(int(e[0]), true)
-		}
-		mu.Unlock()
-	}
-	const flushAt = 1 << 14
+	// per-worker buffers and flush into the sink in batches: the graph is
+	// the set union of the verified pairs and both sinks ingest edges as an
+	// unordered set, so neither the flush order nor the worker assignment
+	// can affect the result.
 	bufs := make([][][2]int32, exec.Workers(len(tasks)))
 	exec.ForWorker(len(tasks), func(wk, t int) {
 		bk := tasks[t]
@@ -233,8 +266,8 @@ func (ix LSH) BuildGraph(exec *par.Runner, z []bitvec.Vector, threshold int, rng
 				}
 				if z[p].Hamming(z[q]) <= threshold {
 					buf = append(buf, [2]int32{int32(p), int32(q)})
-					if len(buf) >= flushAt {
-						flush(buf)
+					if len(buf) >= sinkFlushAt {
+						sink.flush(buf)
 						buf = buf[:0]
 					}
 				}
@@ -243,55 +276,95 @@ func (ix LSH) BuildGraph(exec *par.Runner, z []bitvec.Vector, threshold int, rng
 		bufs[wk] = buf
 	})
 	for _, buf := range bufs {
-		flush(buf)
+		sink.flush(buf)
 	}
-	return g
+	return sink.finish()
 }
 
 // IndexSpec is the serializable neighbor-index knob carried by protocol
 // parameters, scenario configs, and sweep grids. The zero value selects
-// Exact — the default, so unset knobs keep the historical behavior bit for
-// bit. Kind "lsh" selects the banding index with the given shape (zero
-// Bands/Rows mean the defaults).
+// Exact with the auto representation rule — the default, so unset knobs
+// keep the historical behavior bit for bit below AutoSparseCutoff (and the
+// historical clustering, via a sparse graph, above it). Kind "lsh" selects
+// the banding index with the given shape (zero Bands/Rows mean the
+// defaults); Graph forces a representation.
 type IndexSpec struct {
 	// Kind is "" or "exact" for the all-pairs oracle, "lsh" for banding.
 	Kind string
 	// Bands/Rows shape the LSH index (ignored for exact).
 	Bands int
 	Rows  int
+	// Graph selects the representation: "" or "auto" for the size rule
+	// (dense below AutoSparseCutoff), "dense" or "sparse" to force one.
+	Graph string
 }
 
-// IsExact reports whether the spec selects the exact reference sweep.
+// IsExact reports whether the spec selects the exact reference sweep
+// (regardless of representation).
 func (sp IndexSpec) IsExact() bool { return sp.Kind == "" || sp.Kind == "exact" }
 
+// Rep returns the spec's representation choice.
+func (sp IndexSpec) Rep() GraphRep {
+	switch sp.Graph {
+	case "dense":
+		return RepDense
+	case "sparse":
+		return RepSparse
+	}
+	return RepAuto
+}
+
 // String returns the canonical flag/axis form: "exact", "lsh", or
-// "lsh:BANDS:ROWS". ParseIndexSpec inverts it.
+// "lsh:BANDS:ROWS", with a "+dense"/"+sparse" suffix when a representation
+// is forced (auto, the default, has no suffix). ParseIndexSpec inverts it.
 func (sp IndexSpec) String() string {
-	if sp.IsExact() {
-		return "exact"
+	base := "exact"
+	if !sp.IsExact() {
+		if sp.Bands == 0 && sp.Rows == 0 {
+			base = sp.Kind
+		} else {
+			base = fmt.Sprintf("%s:%d:%d", sp.Kind, sp.Bands, sp.Rows)
+		}
 	}
-	if sp.Bands == 0 && sp.Rows == 0 {
-		return sp.Kind
+	switch sp.Graph {
+	case "dense", "sparse":
+		return base + "+" + sp.Graph
 	}
-	return fmt.Sprintf("%s:%d:%d", sp.Kind, sp.Bands, sp.Rows)
+	return base
 }
 
 // ParseIndexSpec parses the "exact" | "lsh" | "lsh:BANDS:ROWS" forms used
-// by Config.NeighborIndex, sweep specs, and cmd/sweep's -nidx flag ("" and
-// "exact" both yield the zero spec, so the default stays canonical).
-// Parsing is strict — wrong field counts and non-positive shapes are
-// rejected rather than silently running a wrong experiment.
+// by Config.NeighborIndex, sweep specs, and cmd/sweep's -nidx flag, each
+// optionally suffixed "+dense" | "+sparse" | "+auto" to pick the graph
+// representation ("" and "exact" both yield the zero spec, and "+auto"
+// normalizes to the empty Graph field, so defaults stay canonical).
+// Parsing is strict — wrong field counts, non-positive shapes, and unknown
+// representations are rejected rather than silently running a wrong
+// experiment.
 func ParseIndexSpec(s string) (IndexSpec, error) {
-	switch s {
-	case "", "exact":
-		return IndexSpec{}, nil
-	case "lsh":
-		return IndexSpec{Kind: "lsh"}, nil
-	}
 	bad := func() (IndexSpec, error) {
-		return IndexSpec{}, fmt.Errorf("cluster: bad neighbor index %q (want exact, lsh, or lsh:BANDS:ROWS with positive shape)", s)
+		return IndexSpec{}, fmt.Errorf("cluster: bad neighbor index %q (want exact, lsh, or lsh:BANDS:ROWS with positive shape, optionally +dense/+sparse/+auto)", s)
 	}
-	parts := strings.Split(s, ":")
+	base, rep := s, ""
+	if i := strings.IndexByte(s, '+'); i >= 0 {
+		base, rep = s[:i], s[i+1:]
+		switch rep {
+		case "auto":
+			rep = "" // canonical form of the default rule
+		case "dense", "sparse":
+		default:
+			return bad()
+		}
+	}
+	sp := IndexSpec{Graph: rep}
+	switch base {
+	case "", "exact":
+		return sp, nil
+	case "lsh":
+		sp.Kind = "lsh"
+		return sp, nil
+	}
+	parts := strings.Split(base, ":")
 	if len(parts) != 3 || parts[0] != "lsh" {
 		return bad()
 	}
@@ -300,7 +373,8 @@ func ParseIndexSpec(s string) (IndexSpec, error) {
 	if err1 != nil || err2 != nil || bands < 1 || rows < 1 {
 		return bad()
 	}
-	return IndexSpec{Kind: "lsh", Bands: bands, Rows: rows}, nil
+	sp.Kind, sp.Bands, sp.Rows = "lsh", bands, rows
+	return sp, nil
 }
 
 // Index resolves the spec to its implementation. It panics on an unknown
@@ -316,8 +390,8 @@ func (sp IndexSpec) Index() NeighborIndex {
 	return LSH{Bands: sp.Bands, Rows: sp.Rows}
 }
 
-// BuildGraph builds the neighbor graph through the spec'd implementation —
-// the one-line seam both protocol call sites use.
-func (sp IndexSpec) BuildGraph(exec *par.Runner, z []bitvec.Vector, threshold int, rng *xrand.Stream) *Graph {
-	return sp.Index().BuildGraph(exec, z, threshold, rng)
+// BuildGraph builds the neighbor graph through the spec'd implementation
+// and representation — the one-line seam both protocol call sites use.
+func (sp IndexSpec) BuildGraph(exec *par.Runner, z []bitvec.Vector, threshold int, rng *xrand.Stream) Graph {
+	return sp.Index().BuildGraph(exec, z, threshold, rng, sp.Rep())
 }

@@ -11,13 +11,20 @@ import (
 	"collabscore/internal/xrand"
 )
 
-func graphsEqual(a, b *Graph) bool {
+// graphsEqual compares through the Graph interface so dense and sparse
+// representations of the same edge set compare equal.
+func graphsEqual(a, b Graph) bool {
 	if a.N() != b.N() {
 		return false
 	}
 	for p := 0; p < a.N(); p++ {
-		if !a.adj[p].Equal(b.adj[p]) {
+		if a.Degree(p) != b.Degree(p) {
 			return false
+		}
+		for q := 0; q < a.N(); q++ {
+			if a.Adjacent(p, q) != b.Adjacent(p, q) {
+				return false
+			}
 		}
 	}
 	return true
@@ -33,6 +40,13 @@ func TestParseIndexSpec(t *testing.T) {
 		{"lsh", IndexSpec{Kind: "lsh"}},
 		{"lsh:8:6", IndexSpec{Kind: "lsh", Bands: 8, Rows: 6}},
 		{"lsh:32:16", IndexSpec{Kind: "lsh", Bands: 32, Rows: 16}},
+		{"exact+dense", IndexSpec{Graph: "dense"}},
+		{"exact+sparse", IndexSpec{Graph: "sparse"}},
+		{"+sparse", IndexSpec{Graph: "sparse"}},
+		{"exact+auto", IndexSpec{}},
+		{"lsh+sparse", IndexSpec{Kind: "lsh", Graph: "sparse"}},
+		{"lsh:8:6+dense", IndexSpec{Kind: "lsh", Bands: 8, Rows: 6, Graph: "dense"}},
+		{"lsh+auto", IndexSpec{Kind: "lsh"}},
 	} {
 		got, err := ParseIndexSpec(tc.in)
 		if err != nil {
@@ -50,6 +64,7 @@ func TestParseIndexSpec(t *testing.T) {
 	for _, bad := range []string{
 		"lsh:0:4", "lsh:4:0", "lsh:-1:4", "lsh:4", "lsh:4:4:4",
 		"lsh:a:4", "lsh:4:b", "banding", "exact:1:2", "LSH",
+		"exact+csr", "lsh+", "+", "lsh+sparse+dense", "auto",
 	} {
 		if _, err := ParseIndexSpec(bad); err == nil {
 			t.Fatalf("ParseIndexSpec(%q) accepted", bad)
@@ -89,7 +104,7 @@ func TestLSHSubsetOfExact(t *testing.T) {
 		in := prefgen.Uniform(rng, n, 96)
 		threshold := rng.Intn(50)
 		exact := BuildGraph(in.Truth, threshold)
-		lsh := LSH{}.BuildGraph(nil, in.Truth, threshold, xrand.New(seed^0x1D))
+		lsh := LSH{}.BuildGraph(nil, in.Truth, threshold, xrand.New(seed^0x1D), RepAuto)
 		for p := 0; p < n; p++ {
 			for q := 0; q < n; q++ {
 				if lsh.Adjacent(p, q) && !exact.Adjacent(p, q) {
@@ -115,7 +130,7 @@ func TestLSHRecallPlanted(t *testing.T) {
 		in := prefgen.DiameterClusters(rng, n, m, size, d)
 		threshold := 2 * d
 		exact := BuildGraph(in.Truth, threshold)
-		lsh := LSH{}.BuildGraph(nil, in.Truth, threshold, xrand.New(seed))
+		lsh := LSH{}.BuildGraph(nil, in.Truth, threshold, xrand.New(seed), RepAuto)
 		edges, found := 0, 0
 		for p := 0; p < n; p++ {
 			for q := p + 1; q < n; q++ {
@@ -153,13 +168,13 @@ func TestLSHSchedulesAgree(t *testing.T) {
 		rng := xrand.New(uint64(n) * 7)
 		in := prefgen.DiameterClusters(rng, n, 192, maxTestInt(2, n/4), 4)
 		threshold := 8
-		ref := LSH{}.BuildGraph(par.Serial(), in.Truth, threshold, xrand.New(uint64(n)))
+		ref := LSH{}.BuildGraph(par.Serial(), in.Truth, threshold, xrand.New(uint64(n)), RepAuto)
 		for name, exec := range map[string]*par.Runner{
 			"parallel": par.Parallel(),
 			"fixed3":   par.Fixed(3),
 			"nil":      nil,
 		} {
-			g := LSH{}.BuildGraph(exec, in.Truth, threshold, xrand.New(uint64(n)))
+			g := LSH{}.BuildGraph(exec, in.Truth, threshold, xrand.New(uint64(n)), RepAuto)
 			if !graphsEqual(g, ref) {
 				t.Fatalf("n=%d: %s schedule differs from serial", n, name)
 			}
@@ -173,8 +188,8 @@ func TestLSHDeterministicGivenSeed(t *testing.T) {
 	rng := xrand.New(77)
 	in := prefgen.DiameterClusters(rng, 128, 256, 16, 4)
 	for _, ix := range []LSH{{}, {Bands: 8, Rows: 6}, {Bands: 32, Rows: 4}} {
-		a := ix.BuildGraph(nil, in.Truth, 8, xrand.New(5))
-		b := ix.BuildGraph(nil, in.Truth, 8, xrand.New(5))
+		a := ix.BuildGraph(nil, in.Truth, 8, xrand.New(5), RepAuto)
+		b := ix.BuildGraph(nil, in.Truth, 8, xrand.New(5), RepAuto)
 		if !graphsEqual(a, b) {
 			t.Fatalf("LSH %+v not deterministic for fixed seed", ix)
 		}
@@ -194,7 +209,7 @@ func TestLSHAllIdentical(t *testing.T) {
 		z[p] = v
 	}
 	for _, threshold := range []int{0, 5} {
-		g := LSH{}.BuildGraph(nil, z, threshold, xrand.New(1))
+		g := LSH{}.BuildGraph(nil, z, threshold, xrand.New(1), RepAuto)
 		for p := 0; p < n; p++ {
 			for q := 0; q < n; q++ {
 				if (p != q) != g.Adjacent(p, q) {
@@ -208,16 +223,16 @@ func TestLSHAllIdentical(t *testing.T) {
 // TestLSHTiny: n ∈ {0, 1} and empty vectors must not panic and must have
 // no edges.
 func TestLSHTiny(t *testing.T) {
-	if g := (LSH{}).BuildGraph(nil, nil, 3, xrand.New(1)); g.N() != 0 {
+	if g := (LSH{}).BuildGraph(nil, nil, 3, xrand.New(1), RepAuto); g.N() != 0 {
 		t.Fatalf("empty input N = %d", g.N())
 	}
 	one := []bitvec.Vector{bitvec.FromBits([]int{1, 0, 1})}
-	if g := (LSH{}).BuildGraph(nil, one, 3, xrand.New(1)); g.N() != 1 || g.Degree(0) != 0 {
+	if g := (LSH{}).BuildGraph(nil, one, 3, xrand.New(1), RepAuto); g.N() != 1 || g.Degree(0) != 0 {
 		t.Fatal("single player grew an edge")
 	}
 	// Zero-length vectors: all identical at distance 0.
 	zl := []bitvec.Vector{bitvec.New(0), bitvec.New(0), bitvec.New(0)}
-	g := LSH{}.BuildGraph(nil, zl, 0, xrand.New(1))
+	g := LSH{}.BuildGraph(nil, zl, 0, xrand.New(1), RepAuto)
 	if !g.Adjacent(0, 1) || !g.Adjacent(1, 2) {
 		t.Fatal("zero-length vectors are at distance 0 and must be adjacent at threshold 0")
 	}
@@ -231,7 +246,7 @@ func TestLSHThresholdZero(t *testing.T) {
 		bitvec.FromBits([]int{0, 0, 1}),
 		bitvec.FromBits([]int{0, 1, 1}),
 	}
-	g := LSH{}.BuildGraph(nil, z, 0, xrand.New(3))
+	g := LSH{}.BuildGraph(nil, z, 0, xrand.New(3), RepAuto)
 	exact := BuildGraph(z, 0)
 	if !graphsEqual(g, exact) {
 		t.Fatal("threshold-0 LSH graph differs from exact")

@@ -63,6 +63,52 @@ func TestNeighborIndexLSHMatchesExact(t *testing.T) {
 	}
 }
 
+// TestNeighborIndexSparseMatchesDense is the graph-representation pin at
+// the protocol layer (DESIGN.md §16): running step 1.d with the neighbor
+// graph forced dense and forced sparse — under both exact and LSH
+// discovery — produces identical outputs, probe counts, and per-iteration
+// clustering stats. The representation is observationally invisible; only
+// its memory differs.
+func TestNeighborIndexSparseMatchesDense(t *testing.T) {
+	const n, b = 256, 8
+	for _, kind := range []string{"", "lsh"} {
+		for _, corrupt := range []bool{false, true} {
+			seed := uint64(4000 + n)
+
+			dense := lshParams(n, b)
+			dense.NeighborIndex = cluster.IndexSpec{Kind: kind, Graph: "dense"}
+			refW := byzWorld(seed, n, b, corrupt)
+			ref := Run(refW, xrand.New(seed).Split(10), dense)
+
+			sparse := lshParams(n, b)
+			sparse.NeighborIndex = cluster.IndexSpec{Kind: kind, Graph: "sparse"}
+			gotW := byzWorld(seed, n, b, corrupt)
+			got := Run(gotW, xrand.New(seed).Split(10), sparse)
+
+			if !equalOutputs(ref.Output, got.Output) {
+				t.Fatalf("kind=%q corrupt=%v: sparse output differs from dense", kind, corrupt)
+			}
+			if len(ref.Iterations) != len(got.Iterations) {
+				t.Fatalf("kind=%q corrupt=%v: iteration count differs", kind, corrupt)
+			}
+			for gi := range ref.Iterations {
+				ri, si := &ref.Iterations[gi], &got.Iterations[gi]
+				if ri.NumClusters != si.NumClusters || ri.MinCluster != si.MinCluster ||
+					ri.Unassigned != si.Unassigned || ri.SampleSize != si.SampleSize {
+					t.Fatalf("kind=%q corrupt=%v: iteration %d clustering stats differ (dense %+v, sparse %+v)",
+						kind, corrupt, gi, ri, si)
+				}
+			}
+			for p := 0; p < n; p++ {
+				if refW.Probes(p) != gotW.Probes(p) {
+					t.Fatalf("kind=%q corrupt=%v: player %d probes %d (dense) vs %d (sparse)",
+						kind, corrupt, p, refW.Probes(p), gotW.Probes(p))
+				}
+			}
+		}
+	}
+}
+
 // TestLSHScheduleMatrixMatches gives the LSH path the same schedule-matrix
 // treatment as the default path: the full Byzantine wrapper under all four
 // repetition × phase schedule combinations must produce byte-identical

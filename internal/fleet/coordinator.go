@@ -298,13 +298,33 @@ func (c *Coordinator) Serve(ctx context.Context, addr string, ready func(addr st
 	if ready != nil {
 		ready(ln.Addr().String())
 	}
-	srv := &http.Server{Handler: c.Handler()}
-	go srv.Serve(ln)
+	// A coordinator is a long-lived listener on an open port, so cap how
+	// long a connection may dribble headers (slowloris) or sit idle; the
+	// protocol's requests are tiny (maxBody), so generous read/idle caps
+	// cost nothing legitimate.
+	srv := &http.Server{
+		Handler:           c.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
 	recs, err := c.Run(ctx)
 	shutCtx, cancel := context.WithTimeout(context.Background(), time.Second)
 	defer cancel()
 	if srv.Shutdown(shutCtx) != nil {
 		srv.Close()
+	}
+	// Serve always returns once the listener closes; surface a real serve
+	// failure (bad listener, accept loop death) instead of dropping it —
+	// without clobbering the run's own error.
+	if se := <-serveErr; se != nil && !errors.Is(se, http.ErrServerClosed) {
+		if err == nil {
+			err = fmt.Errorf("fleet: serve: %w", se)
+		} else {
+			c.logf("fleet: serve: %v", se)
+		}
 	}
 	return recs, err
 }

@@ -514,6 +514,46 @@ func TestExpandNeighborIndexAxis(t *testing.T) {
 	}
 }
 
+// TestExpandNeighborIndexRepForms: the graph-representation suffix rides
+// the same axis. Only the full default "exact+auto" collapses to the
+// historical "" key; a forced representation like "exact+sparse" is a
+// distinct point (canonicalizing on IsExact alone would wrongly erase it).
+func TestExpandNeighborIndexRepForms(t *testing.T) {
+	pts, err := Expand(Spec{
+		Seed:            3,
+		Players:         []int{64},
+		ClusterSizes:    []int{16},
+		Diameters:       []int{4},
+		Protocols:       []string{"run"},
+		NeighborIndexes: []string{"exact+auto", "exact+sparse", "lsh+sparse", "lsh+auto"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, pt := range pts {
+		got[pt.NeighborIndex] = true
+		if _, err := pt.Scenario(); err != nil {
+			t.Fatalf("point %s scenario: %v", pt.Key(), err)
+		}
+	}
+	want := map[string]bool{"": true, "exact+sparse": true, "lsh+sparse": true, "lsh": true}
+	if len(pts) != len(want) {
+		t.Fatalf("expanded %d points %v, want %d", len(pts), got, len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("canonical axis values %v missing %q", got, k)
+		}
+	}
+	if _, err := Expand(Spec{
+		Seed: 3, Players: []int{64}, ClusterSizes: []int{16}, Diameters: []int{4},
+		Protocols: []string{"run"}, NeighborIndexes: []string{"lsh+csr"},
+	}); err == nil {
+		t.Fatal("Expand accepted an unknown representation suffix")
+	}
+}
+
 // TestExpandTruthSourceAxis: the truth-representation axis applies to every
 // protocol, canonicalizes the dense default to "" (keys and seeds identical
 // to a spec without the axis), and pairs lazy points with their dense twins

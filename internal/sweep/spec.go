@@ -91,13 +91,16 @@ type Spec struct {
 	// tier; the zero tier means "scenario defaults" (m/32, m/2, 0.25).
 	CapacityTiers []CapTier `json:"capacity_tiers,omitempty"`
 	// NeighborIndexes is the neighbor-discovery axis ("exact", "lsh", or
-	// "lsh:BANDS:ROWS" — cluster.ParseIndexSpec forms), applied to the
-	// clustering protocols (run, byzantine, budgets) only; the baselines
-	// and ratings points never build a neighbor graph and collapse to the
-	// exact default. Like CapacityTiers it is not instance-defining:
-	// points differing only in the index share a seed and a planted world
-	// (paired comparisons), and the exact default keeps every existing
-	// key, seed, and JSONL record unchanged.
+	// "lsh:BANDS:ROWS", each optionally suffixed "+dense"/"+sparse"/
+	// "+auto" to pick the graph representation — cluster.ParseIndexSpec
+	// forms), applied to the clustering protocols (run, byzantine,
+	// budgets) only; the baselines and ratings points never build a
+	// neighbor graph and collapse to the exact default. Like CapacityTiers
+	// it is not instance-defining: points differing only in the index
+	// share a seed and a planted world (paired comparisons — the
+	// representation cannot even change the clustering, only its memory),
+	// and the exact+auto default keeps every existing key, seed, and JSONL
+	// record unchanged.
 	NeighborIndexes []string `json:"neighbor_indexes,omitempty"`
 	// TruthSources is the truth-representation axis ("dense", "lazy", or
 	// "lazy:TILES" — prefgen.ParseSourceSpec forms; see DESIGN.md §14).
@@ -494,7 +497,11 @@ func Expand(sp Spec) ([]Point, error) {
 			if err != nil {
 				return nil, fmt.Errorf("sweep: %v", err)
 			}
-			if spec.IsExact() {
+			// Only the full default (exact discovery AND auto
+			// representation — the zero spec) collapses to "": a forced
+			// representation like "exact+sparse" is a distinct point, and
+			// IsExact alone would wrongly erase it.
+			if spec == (cluster.IndexSpec{}) {
 				nidxes = append(nidxes, "")
 			} else {
 				nidxes = append(nidxes, spec.String())
