@@ -10,10 +10,17 @@
 // records: ns/op, B/op, allocs/op, and every custom b.ReportMetric column
 // (max_err, honest_leaders, …).
 //
+// With -profile, each top-level benchmark is re-run under the CPU and
+// allocation profilers (-profiletime iterations) and the report gains a
+// per-benchmark snapshot of the top-5 hot functions from
+// `go tool pprof -top`, so a perf PR's claim about *where* time goes is
+// pinned next to the numbers, not just the totals.
+//
 // Usage:
 //
 //	go run ./cmd/bench [-bench RunByzantine] [-benchtime 1x] [-count 1]
 //	                   [-pkg .] [-out BENCH_PR4.json] [-label pr4]
+//	                   [-profile] [-profiletime 50x]
 //
 // The -out/-label defaults name the current PR's committed snapshot;
 // a later PR recording a new trajectory point passes its own
@@ -28,6 +35,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -45,18 +53,35 @@ type Result struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
+// HotFunc is one row of `go tool pprof -top`: a function and its flat
+// share of the profiled samples.
+type HotFunc struct {
+	Func    string  `json:"func"`
+	Flat    string  `json:"flat"`
+	FlatPct float64 `json:"flat_pct"`
+}
+
+// Profile is one top-level benchmark's hot-function snapshot: the top-5
+// functions by flat CPU time and by allocated bytes.
+type Profile struct {
+	Bench    string    `json:"bench"`
+	CPUTop   []HotFunc `json:"cpu_top"`
+	AllocTop []HotFunc `json:"alloc_top"`
+}
+
 // Report is the JSON document bench writes.
 type Report struct {
-	Label     string   `json:"label"`
-	GoVersion string   `json:"go_version"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	NumCPU    int      `json:"num_cpu"`
-	CPU       string   `json:"cpu,omitempty"`
-	Bench     string   `json:"bench"`
-	Benchtime string   `json:"benchtime"`
-	Count     int      `json:"count"`
-	Results   []Result `json:"results"`
+	Label     string    `json:"label"`
+	GoVersion string    `json:"go_version"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	NumCPU    int       `json:"num_cpu"`
+	CPU       string    `json:"cpu,omitempty"`
+	Bench     string    `json:"bench"`
+	Benchtime string    `json:"benchtime"`
+	Count     int       `json:"count"`
+	Results   []Result  `json:"results"`
+	Profiles  []Profile `json:"profiles,omitempty"`
 }
 
 func main() {
@@ -66,6 +91,8 @@ func main() {
 	pkg := flag.String("pkg", ".", "package to benchmark")
 	out := flag.String("out", "BENCH_PR4.json", "output JSON path")
 	label := flag.String("label", "pr4", "label recorded in the report")
+	profile := flag.Bool("profile", false, "re-run each top-level benchmark under the CPU and alloc profilers and record the top-5 hot functions")
+	profiletime := flag.String("profiletime", "50x", "go test -benchtime value for the -profile re-runs")
 	flag.Parse()
 
 	args := []string{
@@ -98,19 +125,47 @@ func main() {
 		Benchtime: *benchtime,
 		Count:     *count,
 	}
+	// benchPkg maps each top-level benchmark to the import path it ran
+	// in (from the runner's pkg: headers), so -profile can re-run it
+	// alone — the profiler flags reject multi-package patterns.
+	benchPkg := map[string]string{}
+	curPkg := *pkg
 	for _, line := range strings.Split(buf.String(), "\n") {
 		line = strings.TrimSpace(line)
 		if cpu, ok := strings.CutPrefix(line, "cpu:"); ok {
 			rep.CPU = strings.TrimSpace(cpu)
 			continue
 		}
+		if p, ok := strings.CutPrefix(line, "pkg:"); ok {
+			curPkg = strings.TrimSpace(p)
+			continue
+		}
 		if r, ok := parseLine(line); ok {
 			rep.Results = append(rep.Results, r)
+			top, _, _ := strings.Cut(r.Name, "/")
+			benchPkg[top] = curPkg
 		}
 	}
 	if len(rep.Results) == 0 {
 		fmt.Fprintln(os.Stderr, "bench: no benchmark lines parsed")
 		os.Exit(1)
+	}
+	if *profile {
+		seen := map[string]bool{}
+		for _, r := range rep.Results {
+			top, _, _ := strings.Cut(r.Name, "/")
+			if seen[top] {
+				continue
+			}
+			seen[top] = true
+			fmt.Fprintf(os.Stderr, "bench: profiling %s in %s (%s)\n", top, benchPkg[top], *profiletime)
+			p, err := profileBench(benchPkg[top], top, *profiletime)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench: profile %s: %v\n", top, err)
+				os.Exit(1)
+			}
+			rep.Profiles = append(rep.Profiles, p)
+		}
 	}
 	js, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -123,6 +178,74 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "bench: wrote %d results to %s\n", len(rep.Results), *out)
+}
+
+// profileBench re-runs one top-level benchmark (and all its
+// sub-benchmarks) with -cpuprofile and -memprofile into a temp dir, then
+// summarizes each profile to its top-5 hot functions.
+func profileBench(pkg, name, benchtime string) (Profile, error) {
+	dir, err := os.MkdirTemp("", "benchprof")
+	if err != nil {
+		return Profile{}, err
+	}
+	defer os.RemoveAll(dir)
+	bin := filepath.Join(dir, "bench.test")
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", "^"+name+"$",
+		"-benchtime", benchtime,
+		"-cpuprofile", cpu,
+		"-memprofile", mem,
+		"-o", bin,
+		pkg)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return Profile{}, fmt.Errorf("go test: %w", err)
+	}
+	cpuTop, err := pprofTop(bin, cpu, nil)
+	if err != nil {
+		return Profile{}, fmt.Errorf("cpu pprof: %w", err)
+	}
+	allocTop, err := pprofTop(bin, mem, []string{"-sample_index=alloc_space"})
+	if err != nil {
+		return Profile{}, fmt.Errorf("alloc pprof: %w", err)
+	}
+	return Profile{Bench: name, CPUTop: cpuTop, AllocTop: allocTop}, nil
+}
+
+// pprofTop parses `go tool pprof -top -nodecount=5` output rows
+// (flat, flat%, sum%, cum, cum%, name) into HotFunc records.
+func pprofTop(bin, prof string, extra []string) ([]HotFunc, error) {
+	args := []string{"tool", "pprof", "-top", "-nodecount=5"}
+	args = append(args, extra...)
+	args = append(args, bin, prof)
+	out, err := exec.Command("go", args...).Output()
+	if err != nil {
+		return nil, err
+	}
+	var top []HotFunc
+	body := false
+	for _, line := range strings.Split(string(out), "\n") {
+		fields := strings.Fields(line)
+		if !body {
+			body = len(fields) >= 2 && fields[0] == "flat" && fields[1] == "flat%"
+			continue
+		}
+		if len(fields) < 6 {
+			continue
+		}
+		pct, err := strconv.ParseFloat(strings.TrimSuffix(fields[1], "%"), 64)
+		if err != nil {
+			continue
+		}
+		top = append(top, HotFunc{
+			Func:    strings.Join(fields[5:], " "),
+			Flat:    fields[0],
+			FlatPct: pct,
+		})
+	}
+	return top, nil
 }
 
 // parseLine parses one `go test -bench` result line, e.g.

@@ -1,0 +1,93 @@
+package budgets
+
+import (
+	"reflect"
+	"testing"
+
+	"collabscore/internal/cluster"
+	"collabscore/internal/par"
+	"collabscore/internal/prefgen"
+	"collabscore/internal/world"
+	"collabscore/internal/xrand"
+)
+
+// peelSchedules is the executor matrix for the capacity-peel pins.
+var peelSchedules = map[string]*par.Runner{
+	"serial":   par.Serial(),
+	"fixed3":   par.Fixed(3),
+	"parallel": par.Parallel(),
+}
+
+// TestBatchedCapacityPeelMatchesSerial: cluster.BuildByWeightOn is
+// byte-identical to the verbatim capacity greedy (buildByCapacity) on
+// random graphs and capacity mixes, under every schedule (DESIGN.md §17).
+func TestBatchedCapacityPeelMatchesSerial(t *testing.T) {
+	rng := xrand.New(63)
+	for _, n := range []int{1, 40, 256} {
+		in := prefgen.DiameterClusters(rng.Split(uint64(n)), n, 200, maxInt(n/8, 1), 8)
+		g := cluster.BuildGraph(in.Truth, 12)
+		caps := TwoTier(rng.Split(uint64(n)+1), n, 8, 64, 0.4)
+		for _, needed := range []int{1, 50, 400, 1 << 20} {
+			want := buildByCapacity(g, caps, needed)
+			for ename, exec := range peelSchedules {
+				got := cluster.BuildByWeightOn(exec, g, caps, needed)
+				if !reflect.DeepEqual(got.Clusters, want.Clusters) || !reflect.DeepEqual(got.Of, want.Of) {
+					t.Fatalf("n=%d needed=%d %s: batched capacity peel differs from serial", n, needed, ename)
+				}
+			}
+		}
+	}
+}
+
+// TestBudgetsPeelKnobMatrixMatches: the full capacity protocol produces
+// byte-identical output, cluster stats, and probe charges with the batched
+// and the serial peel, under every phase schedule.
+func TestBudgetsPeelKnobMatrixMatches(t *testing.T) {
+	const n, d = 256, 16
+	rng := xrand.New(29)
+	in := prefgen.DiameterClusters(rng.Split(1), n, n, 32, d)
+	caps := TwoTier(rng.Split(5), n, 16, 128, 0.5)
+	type cfg struct {
+		name         string
+		peelSerial   bool
+		phaseSerial  bool
+		phaseWorkers int
+	}
+	var want *Result
+	var wantProbes []int64
+	for _, c := range []cfg{
+		{"serial+peelserial", true, true, 0},
+		{"serial+batched", false, true, 0},
+		{"fixed3+batched", false, false, 3},
+		{"parallel+batched", false, false, 0},
+		{"parallel+peelserial", true, false, 0},
+	} {
+		w := world.New(in.Truth)
+		pr := Scaled(n, caps)
+		pr.MinD, pr.MaxD = d, d
+		pr.PeelSerial = c.peelSerial
+		pr.PhaseSerial = c.phaseSerial
+		pr.PhaseWorkers = c.phaseWorkers
+		res := Run(w, rng.Split(2), pr)
+		probes := make([]int64, n)
+		for p := 0; p < n; p++ {
+			probes[p] = w.Probes(p)
+		}
+		if want == nil {
+			want, wantProbes = res, probes
+			continue
+		}
+		for p := 0; p < n; p++ {
+			if !res.Output[p].Equal(want.Output[p]) {
+				t.Fatalf("%s: output for player %d differs from serial reference", c.name, p)
+			}
+			if probes[p] != wantProbes[p] {
+				t.Fatalf("%s: probes for player %d differ: %d vs %d", c.name, p, probes[p], wantProbes[p])
+			}
+		}
+		if res.NumClusters != want.NumClusters ||
+			!reflect.DeepEqual(res.ClusterCapacity, want.ClusterCapacity) {
+			t.Fatalf("%s: cluster stats differ from serial reference", c.name)
+		}
+	}
+}

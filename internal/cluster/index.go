@@ -147,7 +147,7 @@ func (ix LSH) BuildGraph(exec *par.Runner, z []bitvec.Vector, threshold int, rng
 	n := len(z)
 	sink := newGraphSink(n, rep)
 	if n < 2 {
-		return sink.finish()
+		return sink.finish(exec)
 	}
 
 	// Informative positions: bits where some pair of players disagrees
@@ -278,7 +278,7 @@ func (ix LSH) BuildGraph(exec *par.Runner, z []bitvec.Vector, threshold int, rng
 	for _, buf := range bufs {
 		sink.flush(buf)
 	}
-	return sink.finish()
+	return sink.finish(exec)
 }
 
 // IndexSpec is the serializable neighbor-index knob carried by protocol

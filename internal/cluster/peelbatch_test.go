@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"collabscore/internal/bitvec"
+	"collabscore/internal/par"
+	"collabscore/internal/prefgen"
+	"collabscore/internal/xrand"
+)
+
+// peelWorlds returns the shared world matrix the batched-peel pins run
+// over: empty, planted-cluster, uniform, and sparse regimes at several
+// sizes (mirrors TestBuildMatchesAcrossRepresentations).
+func peelWorlds() []struct {
+	name      string
+	z         []bitvec.Vector
+	threshold int
+	minSize   int
+} {
+	type world = struct {
+		name      string
+		z         []bitvec.Vector
+		threshold int
+		minSize   int
+	}
+	var worlds []world
+	worlds = append(worlds, world{"empty", nil, 12, 1})
+	for _, n := range []int{1, 7, 64, 120, 257} {
+		rng := xrand.New(uint64(n)*31 + 5)
+		size := n / 4
+		if size < 1 {
+			size = 1
+		}
+		in := prefgen.DiameterClusters(rng, n, 300, size, 6)
+		worlds = append(worlds, world{"planted", in.Truth, 12, size})
+		u := prefgen.Uniform(rng, n, 96)
+		worlds = append(worlds, world{"uniform", u.Truth, 48, 3})
+		worlds = append(worlds, world{"sparse", u.Truth, 20, 2})
+	}
+	return worlds
+}
+
+// peelExecs is the schedule matrix for the batched peel: the serial
+// reference, a fixed width forcing real goroutine interleavings, and the
+// parallel default.
+func peelExecs() map[string]*par.Runner {
+	return map[string]*par.Runner{
+		"serial":   par.Serial(),
+		"fixed3":   par.Fixed(3),
+		"parallel": par.Parallel(),
+	}
+}
+
+// TestBuildOnMatchesBuild: the batched peel is byte-identical to the
+// serial greedy on every world, both graph representations, and every
+// schedule.
+func TestBuildOnMatchesBuild(t *testing.T) {
+	for _, w := range peelWorlds() {
+		dense := BuildGraph(w.z, w.threshold)
+		want := Build(dense, w.minSize)
+		graphs := map[string]Graph{
+			"dense":  dense,
+			"sparse": sparseExact(w.z, w.threshold),
+		}
+		for gname, g := range graphs {
+			for ename, exec := range peelExecs() {
+				got := BuildOn(exec, g, w.minSize)
+				if !reflect.DeepEqual(got.Clusters, want.Clusters) || !reflect.DeepEqual(got.Of, want.Of) {
+					t.Fatalf("%s n=%d %s/%s: batched peel differs from serial greedy",
+						w.name, len(w.z), gname, ename)
+				}
+			}
+		}
+	}
+}
+
+// TestBuildByWeightOnUnitMatchesBuild: unit weights reduce the weighted
+// batched peel to the plain one, so it must match the serial greedy with
+// needed = minSize.
+func TestBuildByWeightOnUnitMatchesBuild(t *testing.T) {
+	for _, w := range peelWorlds() {
+		g := BuildGraph(w.z, w.threshold)
+		want := Build(g, w.minSize)
+		unit := make([]int, len(w.z))
+		for i := range unit {
+			unit[i] = 1
+		}
+		got := BuildByWeightOn(par.Fixed(2), g, unit, w.minSize)
+		if !reflect.DeepEqual(got.Clusters, want.Clusters) || !reflect.DeepEqual(got.Of, want.Of) {
+			t.Fatalf("%s n=%d: unit-weight batched peel differs from serial greedy", w.name, len(w.z))
+		}
+	}
+}
+
+// TestCSRFinishMatchesSerial: the parallel CSR row compaction yields the
+// exact graph of the serial in-place finish for the same edge stream —
+// duplicate edges included — under every schedule.
+func TestCSRFinishMatchesSerial(t *testing.T) {
+	rng := xrand.New(97)
+	for _, n := range []int{1, 5, 63, 200} {
+		// A messy stream: random edges, many duplicates, both orientations.
+		var edges [][2]int32
+		for i := 0; i < 6*n; i++ {
+			p := int32(rng.Intn(n))
+			q := int32(rng.Intn(n))
+			if p == q {
+				continue
+			}
+			edges = append(edges, [2]int32{p, q})
+			if i%3 == 0 {
+				edges = append(edges, [2]int32{q, p}) // duplicate, flipped
+			}
+		}
+		serial := newCSRBuilder(n)
+		serial.flush(edges)
+		want := serial.build()
+		for ename, exec := range peelExecs() {
+			b := newCSRBuilder(n)
+			b.flush(edges)
+			got := b.buildOn(exec)
+			if !reflect.DeepEqual(got.off, want.off) || !reflect.DeepEqual(got.tgt, want.tgt) {
+				t.Fatalf("n=%d %s: parallel CSR finish differs from serial build", n, ename)
+			}
+		}
+	}
+}
+
+// TestBuildGraphL1Matches: the shared L1 block sweep discovers exactly the
+// brute-force edge set, across representations and schedules.
+func TestBuildGraphL1Matches(t *testing.T) {
+	rng := xrand.New(131)
+	for _, n := range []int{0, 1, 9, 70, 130} {
+		const m, scale = 40, 7
+		rows := make([]bitvec.Planes, n)
+		for p := range rows {
+			rows[p] = bitvec.PlanesForScale(m, scale)
+			for o := 0; o < m; o++ {
+				rows[p].Set(o, rng.Intn(scale+1))
+			}
+		}
+		threshold := m * scale / 8
+		for gname, rep := range map[string]GraphRep{"dense": RepDense, "sparse": RepSparse} {
+			for ename, exec := range peelExecs() {
+				g := BuildGraphL1On(exec, rows, threshold, rep)
+				if g.N() != n {
+					t.Fatalf("n=%d: got N=%d", n, g.N())
+				}
+				for p := 0; p < n; p++ {
+					for q := 0; q < n; q++ {
+						want := p != q && rows[p].L1(rows[q]) <= threshold
+						if got := g.Adjacent(p, q); got != want {
+							t.Fatalf("n=%d %s/%s: edge (%d,%d) = %v, want %v",
+								n, gname, ename, p, q, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -94,6 +94,21 @@ func (g *CSRGraph) AppendLiveNeighbors(dst []int, p int, alive bitvec.Vector) []
 	return dst
 }
 
+// markLive marks p's surviving neighbors with ids in [wLo·64, wHi·64) in
+// dst — the batched peel's dirty marking (see liveMarker), as a contiguous
+// row scan. Rows are sorted ascending, so the scan stops at the range end.
+func (g *CSRGraph) markLive(dst bitvec.Vector, p int, alive bitvec.Vector, wLo, wHi int) {
+	lo, hi := int32(wLo*64), int32(wHi*64)
+	for _, q := range g.row(p) {
+		if q >= hi {
+			return
+		}
+		if q >= lo && alive.Get(int(q)) {
+			dst.Set(int(q), true)
+		}
+	}
+}
+
 // graphSink is the construction seam between edge producers and graph
 // representations: producers discover pairs p < q within threshold (in
 // whatever order their schedule yields) and flush them in batches; finish
@@ -105,9 +120,11 @@ type graphSink interface {
 	// flush ingests a batch of undirected edges {e[0], e[1]}, e[0] ≠ e[1].
 	// Safe for concurrent callers; the batch is copied before returning.
 	flush(edges [][2]int32)
-	// finish completes construction and returns the graph. Call once,
-	// after every flush has returned.
-	finish() Graph
+	// finish completes construction on the given executor (nil means
+	// parallel) and returns the graph. Call once, after every flush has
+	// returned. The finished graph must be a pure function of the flushed
+	// edge multiset — never of the executor's schedule.
+	finish(exec *par.Runner) Graph
 }
 
 // newGraphSink picks the sink for the resolved representation: the dense
@@ -136,7 +153,7 @@ func (s *bitSink) flush(edges [][2]int32) {
 	s.mu.Unlock()
 }
 
-func (s *bitSink) finish() Graph { return s.g }
+func (s *bitSink) finish(*par.Runner) Graph { return s.g }
 
 // csrBuilder accumulates the raw edge stream and compacts it into a
 // CSRGraph at finish: count per-vertex degrees (duplicates included),
@@ -159,8 +176,70 @@ func (b *csrBuilder) flush(edges [][2]int32) {
 	b.mu.Unlock()
 }
 
-func (b *csrBuilder) finish() Graph { return b.build() }
+func (b *csrBuilder) finish(exec *par.Runner) Graph { return b.buildOn(exec) }
 
+// buildOn is the parallel finish: the scatter pass is unchanged, but the
+// per-row sort + dedup — each row is a disjoint slice of tgt, so rows are
+// embarrassingly parallel — fans out on the executor, followed by a serial
+// prefix sum of the compacted lengths and a parallel copy into a
+// fresh, exactly-sized targets slice (rows cannot be compacted left in
+// place concurrently: a row's destination overlaps its left neighbor's
+// source). Sorting and deduplication make each row a pure function of its
+// edge multiset, so the graph is byte-identical to the serial build()
+// under every schedule (TestCSRFinishMatchesSerial pins it).
+func (b *csrBuilder) buildOn(exec *par.Runner) *CSRGraph {
+	n := b.n
+	off := make([]int64, n+1)
+	for _, e := range b.edges {
+		off[e[0]+1]++
+		off[e[1]+1]++
+	}
+	for p := 0; p < n; p++ {
+		off[p+1] += off[p]
+	}
+	raw := make([]int32, off[n])
+	cur := make([]int64, n)
+	copy(cur, off[:n])
+	for _, e := range b.edges {
+		raw[cur[e[0]]] = e[1]
+		cur[e[0]]++
+		raw[cur[e[1]]] = e[0]
+		cur[e[1]]++
+	}
+	b.edges = nil // release the raw stream before the graph outlives us
+
+	// Parallel per-row sort + in-place dedup, recording compacted lengths.
+	newLen := make([]int64, n)
+	exec.For(n, func(p int) {
+		row := raw[off[p]:off[p+1]]
+		slices.Sort(row)
+		w := 0
+		prev := int32(-1)
+		for _, q := range row {
+			if q != prev {
+				row[w] = q
+				w++
+				prev = q
+			}
+		}
+		newLen[p] = int64(w)
+	})
+
+	// Serial prefix sum of the compacted lengths, then a parallel gather
+	// into the exactly-sized targets slice.
+	newOff := make([]int64, n+1)
+	for p := 0; p < n; p++ {
+		newOff[p+1] = newOff[p] + newLen[p]
+	}
+	tgt := make([]int32, newOff[n])
+	exec.For(n, func(p int) {
+		copy(tgt[newOff[p]:newOff[p+1]], raw[off[p]:off[p]+newLen[p]])
+	})
+	return &CSRGraph{n: n, off: newOff, tgt: tgt}
+}
+
+// build is the serial reference finish the parallel buildOn is pinned
+// against: one pass sorts, dedups, and compacts rows left in place.
 func (b *csrBuilder) build() *CSRGraph {
 	n := b.n
 	off := make([]int64, n+1)
@@ -262,5 +341,5 @@ func buildCSROn(exec *par.Runner, z []bitvec.Vector, threshold int) *CSRGraph {
 	for _, buf := range bufs {
 		b.flush(buf)
 	}
-	return b.build()
+	return b.buildOn(exec)
 }

@@ -204,7 +204,7 @@ func TestCSRBuilderDuplicateEdges(t *testing.T) {
 	// orientations, out of order, across multiple flushes.
 	b.flush([][2]int32{{0, 3}, {0, 1}, {0, 1}})
 	b.flush([][2]int32{{3, 2}, {1, 0}, {0, 3}, {2, 3}})
-	g := b.finish().(*CSRGraph)
+	g := b.finish(nil).(*CSRGraph)
 	wantRows := [][]int{{1, 3}, {0}, {3}, {0, 2}, {}}
 	for p, want := range wantRows {
 		got := g.Neighbors(p)
@@ -250,7 +250,7 @@ func TestCSRTiny(t *testing.T) {
 		t.Fatalf("minSize 2: clusters %v, Of %v", cl.Clusters, cl.Of)
 	}
 	// The builder with no edges at all still yields a well-formed graph.
-	if g := newCSRBuilder(3).finish(); g.N() != 3 || g.Degree(2) != 0 {
+	if g := newCSRBuilder(3).finish(nil); g.N() != 3 || g.Degree(2) != 0 {
 		t.Fatal("edge-free builder produced a malformed graph")
 	}
 }

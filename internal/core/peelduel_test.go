@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"collabscore/internal/xrand"
+)
+
+// TestPeelDuelMatrixMatches extends the schedule matrix to the PR 10 tails
+// (DESIGN.md §17): the batched peel (PeelSerial off) and the word-block
+// streaming duels (Sel.DuelSerial off) must produce byte-identical output,
+// iteration stats, and per-player probe charges to the verbatim serial
+// loops, under the serial, fixed-width, and parallel phase schedules.
+func TestPeelDuelMatrixMatches(t *testing.T) {
+	const n, b = 128, 8
+	const seed = 4242
+
+	ref := func() (*Result, []int64) {
+		pr := Scaled(n, b)
+		pr.PhaseSerial = true
+		pr.PeelSerial = true
+		pr.Sel.DuelSerial = true
+		w := byzWorld(seed, n, b, true)
+		res := Run(w, xrand.New(seed).Split(10), pr)
+		probes := make([]int64, n)
+		for p := 0; p < n; p++ {
+			probes[p] = w.Probes(p)
+		}
+		return res, probes
+	}
+	want, wantProbes := ref()
+
+	type knob struct{ peelSerial, duelSerial bool }
+	schedules := map[string]struct {
+		serial  bool
+		workers int
+	}{
+		"serial":   {true, 0},
+		"fixed3":   {false, 3},
+		"parallel": {false, 0},
+	}
+	for sname, sc := range schedules {
+		for _, k := range []knob{{true, true}, {true, false}, {false, true}, {false, false}} {
+			pr := Scaled(n, b)
+			pr.PhaseSerial = sc.serial
+			pr.PhaseWorkers = sc.workers
+			pr.PeelSerial = k.peelSerial
+			pr.Sel.DuelSerial = k.duelSerial
+			w := byzWorld(seed, n, b, true)
+			res := Run(w, xrand.New(seed).Split(10), pr)
+			if !equalOutputs(want.Output, res.Output) {
+				t.Fatalf("%s peelSerial=%v duelSerial=%v: output differs from serial reference",
+					sname, k.peelSerial, k.duelSerial)
+			}
+			if want.BoardWrites != res.BoardWrites || want.BoardReads != res.BoardReads {
+				t.Fatalf("%s %+v: board traffic differs", sname, k)
+			}
+			if len(want.Iterations) != len(res.Iterations) {
+				t.Fatalf("%s %+v: iteration count differs", sname, k)
+			}
+			for gi := range want.Iterations {
+				ri, gt := &want.Iterations[gi], &res.Iterations[gi]
+				if ri.SampleSize != gt.SampleSize || ri.NumClusters != gt.NumClusters ||
+					ri.MinCluster != gt.MinCluster || ri.Unassigned != gt.Unassigned {
+					t.Fatalf("%s %+v: iteration %d stats differ", sname, k, gi)
+				}
+			}
+			for p := 0; p < n; p++ {
+				if wantProbes[p] != w.Probes(p) {
+					t.Fatalf("%s %+v: player %d probes %d vs %d",
+						sname, k, p, w.Probes(p), wantProbes[p])
+				}
+			}
+		}
+	}
+}

@@ -523,6 +523,21 @@ type Params struct {
 	// ByzSerial forces the Byzantine wrapper's repetitions to execute one
 	// after another instead of concurrently, mirroring core.Params.
 	ByzSerial bool
+
+	// PeelSerial forces the clustering step's peel onto the verbatim
+	// greedy loop (cluster.Build) instead of the batched peel
+	// (cluster.BuildOn); the two are pinned byte-identical, mirroring
+	// core.Params.PeelSerial (DESIGN.md §17).
+	PeelSerial bool
+
+	// NeighborIndex selects the neighbor graph's representation
+	// ("+dense"/"+sparse"/"+auto"), mirroring core.Params.NeighborIndex.
+	// Only the representation half of the spec applies here: L1 neighbor
+	// discovery always runs the exact block-pair sweep
+	// (cluster.BuildGraphL1On) because the LSH banding index hashes
+	// Hamming lanes, not bit-sliced L1 rows; Run panics on Kind "lsh" to
+	// keep the knob honest.
+	NeighborIndex cluster.IndexSpec
 }
 
 // Scaled returns simulation-scale constants mirroring core.Scaled.
@@ -550,6 +565,10 @@ type Result struct {
 // given stream, so for a fixed seed the output is identical under every
 // schedule (PhaseSerial, fixed-width, parallel).
 func Run(w *World, shared *xrand.Stream, pr Params) *Result {
+	if !pr.NeighborIndex.IsExact() {
+		panic("multival: NeighborIndex kind " + pr.NeighborIndex.Kind +
+			" is Hamming-only; L1 discovery supports representation specs only")
+	}
 	n, m := w.N(), w.M()
 	exec := phaseExec(pr)
 	lnn := lnN(n)
@@ -648,24 +667,25 @@ func runIteration(w *World, exec *par.Runner, d, minSize int, lnn float64, share
 
 	// Neighbor graph on L1 sample distance: a pair at true L1 distance d
 	// lands at ≈ rate·d on the sample, so the edge threshold is a small
-	// multiple of that. The O(n²) pairwise sweep runs word-level
-	// (bit-sliced L1), row-partitioned across the executor.
+	// multiple of that. The sweep rides the cluster.Graph seam like the
+	// binary path — block-partitioned over the executor, each pair's
+	// bit-sliced L1 computed once (the engine's private [][]int adjacency
+	// build computed every distance twice), filling the representation the
+	// NeighborIndex spec picks — and the peel is the shared batched one,
+	// with PeelSerial selecting the verbatim greedy loop. The scalar
+	// slice-of-slices peel this replaced survives in the tests as the
+	// reference oracle (TestGraphSeamMatchesScalarPeel).
 	threshold := int(pr.EdgeFactor * rate * float64(d))
 	if threshold < 1 {
 		threshold = 1
 	}
-	adj := make([][]int, n)
-	exec.For(n, func(p int) {
-		var nb []int
-		mine := published[p]
-		for q := 0; q < n; q++ {
-			if q != p && mine.L1(published[q]) <= threshold {
-				nb = append(nb, q)
-			}
-		}
-		adj[p] = nb
-	})
-	cl := peel(adj, n, minSize)
+	g := cluster.BuildGraphL1On(exec, published, threshold, pr.NeighborIndex.Rep())
+	var cl *cluster.Clustering
+	if pr.PeelSerial {
+		cl = cluster.Build(g, minSize)
+	} else {
+		cl = cluster.BuildOn(exec, g, minSize)
+	}
 	res.NumClusters = append(res.NumClusters, len(cl.Clusters))
 
 	// Median work sharing over (cluster, word-block) cells — 64 objects per
@@ -826,7 +846,10 @@ func clampRating(r, scale int) int {
 	return r
 }
 
-// peel reuses the §6.5 peeling on a plain adjacency list.
+// peel is the scalar §6.5 peeling over a plain adjacency list — the
+// engine's pre-seam clustering, kept as the reference oracle the
+// graph-seam path (BuildGraphL1On + cluster.Build/BuildOn) is pinned
+// byte-identical to (TestGraphSeamMatchesScalarPeel).
 func peel(adj [][]int, n, minSize int) *cluster.Clustering {
 	alive := make([]bool, n)
 	for i := range alive {

@@ -1,0 +1,139 @@
+package multival
+
+import (
+	"reflect"
+	"testing"
+
+	"collabscore/internal/cluster"
+	"collabscore/internal/par"
+	"collabscore/internal/xrand"
+)
+
+// TestGraphSeamMatchesScalarPeel: the graph-seam clustering path the rating
+// engine now uses (cluster.BuildGraphL1On + cluster.Build / BuildOn) is
+// byte-identical to the scalar slice-of-slices adjacency build plus the
+// retained peel oracle, across representations and schedules (DESIGN.md §17).
+func TestGraphSeamMatchesScalarPeel(t *testing.T) {
+	execs := map[string]*par.Runner{
+		"serial":   par.Serial(),
+		"fixed3":   par.Fixed(3),
+		"parallel": par.Parallel(),
+	}
+	rng := xrand.New(171)
+	for _, n := range []int{1, 9, 64, 150} {
+		const m, scale = 48, 5
+		rows, _ := Generate(rng.Split(uint64(n)), n, m, maxInt(n/6, 1), 8, scale)
+		for _, threshold := range []int{1, m * scale / 10, m * scale / 3} {
+			// Scalar reference: the engine's pre-seam [][]int adjacency
+			// (every pair's L1 computed from both sides) feeding the scalar
+			// peel oracle.
+			adj := make([][]int, n)
+			for p := 0; p < n; p++ {
+				for q := 0; q < n; q++ {
+					if p != q && rows[p].L1(rows[q]) <= threshold {
+						adj[p] = append(adj[p], q)
+					}
+				}
+			}
+			for _, minSize := range []int{1, 3, n/4 + 1} {
+				want := peel(adj, n, minSize)
+				for gname, rep := range map[string]cluster.GraphRep{
+					"dense": cluster.RepDense, "sparse": cluster.RepSparse,
+				} {
+					for ename, exec := range execs {
+						g := cluster.BuildGraphL1On(exec, rows, threshold, rep)
+						serial := cluster.Build(g, minSize)
+						batched := cluster.BuildOn(exec, g, minSize)
+						for path, got := range map[string]*cluster.Clustering{
+							"Build": serial, "BuildOn": batched,
+						} {
+							if !reflect.DeepEqual(got.Clusters, want.Clusters) ||
+								!reflect.DeepEqual(got.Of, want.Of) {
+								t.Fatalf("n=%d thr=%d min=%d %s/%s/%s: graph-seam clustering differs from scalar peel",
+									n, threshold, minSize, gname, ename, path)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRatingPeelKnobMatrixMatches: the full rating protocol produces
+// byte-identical output and probe charges with the batched and the serial
+// peel, under every phase schedule and both graph representations.
+func TestRatingPeelKnobMatrixMatches(t *testing.T) {
+	const n, m, b, d, scale = 128, 128, 8, 16, 5
+	type cfg struct {
+		name         string
+		peelSerial   bool
+		phaseSerial  bool
+		phaseWorkers int
+		graph        string
+	}
+	var refOut []Ratings
+	var refProbes []int64
+	for _, c := range []cfg{
+		{"serial+peelserial", true, true, 0, ""},
+		{"serial+batched", false, true, 0, ""},
+		{"fixed3+batched", false, false, 3, ""},
+		{"parallel+batched", false, false, 0, ""},
+		{"parallel+batched+sparse", false, false, 0, "sparse"},
+		{"parallel+peelserial+sparse", true, false, 0, "sparse"},
+	} {
+		truth, _ := Generate(xrand.New(51), n, m, n/b, d, scale)
+		w := NewWorld(truth, scale)
+		corrupt(w, n/(3*b), xrand.New(52), func(p int) Behavior { return Exaggerator{} })
+		pr := Scaled(n, b)
+		pr.MinD, pr.MaxD = d, d
+		pr.PeelSerial = c.peelSerial
+		pr.PhaseSerial = c.phaseSerial
+		pr.PhaseWorkers = c.phaseWorkers
+		pr.NeighborIndex = cluster.IndexSpec{Graph: c.graph}
+		res := Run(w, xrand.New(53), pr)
+		out := make([]Ratings, n)
+		for p, row := range res.Output {
+			out[p] = Ratings(row.Ints())
+		}
+		probes := make([]int64, n)
+		for p := 0; p < n; p++ {
+			probes[p] = w.Probes(p)
+		}
+		if refOut == nil {
+			refOut, refProbes = out, probes
+			continue
+		}
+		for p := 0; p < n; p++ {
+			if out[p].L1(refOut[p]) != 0 {
+				t.Fatalf("%s: output for player %d differs from serial reference", c.name, p)
+			}
+			if probes[p] != refProbes[p] {
+				t.Fatalf("%s: probes for player %d differ: %d vs %d", c.name, p, probes[p], refProbes[p])
+			}
+		}
+	}
+}
+
+// TestRunPanicsOnLSHIndex: the rating protocol only honors representation
+// specs — the banding index hashes Hamming lanes, so Kind "lsh" must panic
+// rather than silently fall back.
+func TestRunPanicsOnLSHIndex(t *testing.T) {
+	truth, _ := Generate(xrand.New(1), 8, 8, 2, 2, 3)
+	w := NewWorld(truth, 3)
+	pr := Scaled(8, 2)
+	pr.NeighborIndex = cluster.IndexSpec{Kind: "lsh"}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for LSH NeighborIndex on the rating path")
+		}
+	}()
+	Run(w, xrand.New(2), pr)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -9,11 +9,14 @@
 // distance; Select additionally exploits a promised diameter bound D.
 //
 // Selection is deliberately the sequential tail of each player's work: a
-// tournament's next duel depends on who survived the previous one, so its
-// loops cannot fan out without changing which objects are probed. Callers
-// parallelize one level up instead — SmallRadius and the final
-// CalculatePreferences step run one independent Select/RSelect per player
-// on the run's executor (DESIGN.md §9). Both functions take the read-only
+// tournament's next duel depends on who survived the previous one (and on
+// the coins the previous duel consumed), so its loops cannot fan out
+// without changing which objects are probed. Callers parallelize one level
+// up instead — SmallRadius and the final CalculatePreferences step run one
+// independent Select/RSelect per player on the run's executor (DESIGN.md
+// §9) — while inside a duel the probes stream whole 64-object word-blocks
+// (duelProbesStream, DESIGN.md §17), with the bit-at-a-time loop kept as
+// the byte-identity oracle behind Params.DuelSerial. Both functions take the read-only
 // *world.World rather than a *world.Run because they only probe (a
 // player's private act) and never publish protocol state.
 package selection
@@ -45,6 +48,13 @@ type Params struct {
 	// current champion is skipped — either is acceptable under the
 	// diameter promise.
 	KeepWithin int
+	// DuelSerial selects the bit-at-a-time reference implementation of the
+	// duel probes instead of the word-block streaming one. The two are
+	// pinned byte-identical — same coins, same probed objects, same
+	// charges, same verdicts (TestDuelStreamMatchesSerial) — so this knob
+	// exists purely as the oracle for those pins and for benchmarking the
+	// streaming path against its predecessor.
+	DuelSerial bool
 }
 
 // Defaults returns the paper's constants.
@@ -86,6 +96,7 @@ func RSelect(w *world.World, p int, objs []int, candidates []bitvec.Vector, rng 
 		return 0
 	}
 	budget := pairBudget(pr.SampleFactor, w.N())
+	ctx := duelCtx{w: w, p: p, objs: objs, ident: identObjs(objs), serial: pr.DuelSerial}
 	alive := make([]bool, k)
 	for i := range alive {
 		alive[i] = true
@@ -98,7 +109,7 @@ func RSelect(w *world.World, p int, objs []int, candidates []bitvec.Vector, rng 
 			if !alive[j] || !alive[i] {
 				continue
 			}
-			winner := duel(w, p, objs, candidates[i], candidates[j], rng, budget, pr.EliminateFrac)
+			winner := duel(&ctx, candidates[i], candidates[j], rng, budget, pr.EliminateFrac)
 			switch winner {
 			case 0: // i wins, j eliminated
 				alive[j] = false
@@ -115,10 +126,43 @@ func RSelect(w *world.World, p int, objs []int, candidates []bitvec.Vector, rng 
 	return 0 // unreachable: a duel never eliminates both
 }
 
+// duelCtx carries one tournament's duel state: the prober's identity, the
+// object mapping (with its identity-ness precomputed once — an identity
+// mapping lets the streaming path probe whole aligned words), and the
+// serial-oracle knob.
+type duelCtx struct {
+	w      *world.World
+	p      int
+	objs   []int
+	ident  bool
+	serial bool
+}
+
+// identObjs reports whether objs is the identity mapping (objs[j] == j) —
+// the common case at the final selection, where candidates span the whole
+// object set in order.
+func identObjs(objs []int) bool {
+	for j, o := range objs {
+		if o != j {
+			return false
+		}
+	}
+	return true
+}
+
+// duelProbes dispatches between the word-block streaming implementation
+// and the bit-at-a-time reference it is pinned against (Params.DuelSerial).
+func duelProbes(ctx *duelCtx, a, b bitvec.Vector, rng *xrand.Stream, budget int) (agreeA, total int) {
+	if ctx.serial {
+		return duelProbesSerial(ctx.w, ctx.p, ctx.objs, a, b, rng, budget)
+	}
+	return duelProbesStream(ctx, a, b, rng, budget)
+}
+
 // duel probes up to budget objects where a and b differ and returns
 // 0 if b should be eliminated, 1 if a should be eliminated, -1 to keep both.
-func duel(w *world.World, p int, objs []int, a, b bitvec.Vector, rng *xrand.Stream, budget int, frac float64) int {
-	agreeA, total := duelProbes(w, p, objs, a, b, rng, budget)
+func duel(ctx *duelCtx, a, b bitvec.Vector, rng *xrand.Stream, budget int, frac float64) int {
+	agreeA, total := duelProbes(ctx, a, b, rng, budget)
 	if total == 0 {
 		return -1
 	}
@@ -137,19 +181,31 @@ func duel(w *world.World, p int, objs []int, a, b bitvec.Vector, rng *xrand.Stre
 // is honored in full via a heap buffer rather than silently truncated.
 const maxPairBudget = 128
 
-// duelProbes probes up to budget objects on which a and b differ — all of
-// them when there are at most budget, otherwise a uniform distinct sample —
-// and returns how many probed objects agreed with a, plus the number
-// probed. The differing positions stream directly from the XOR of the
-// candidates' words and the sample ranks live in a fixed stack buffer
-// (budgets beyond maxPairBudget spill to a heap buffer and are honored in
-// full), so a duel normally allocates nothing; materializing the full
-// difference list (often
-// a large fraction of the object set) to then probe Θ(log n) entries was
-// the selection tournaments' dominant allocation. The rank sample is
-// Floyd's algorithm with the same draws xrand.Stream.Sample makes, so the
-// probed set is bit-for-bit the one the list-based implementation chose.
-func duelProbes(w *world.World, p int, objs []int, a, b bitvec.Vector, rng *xrand.Stream, budget int) (agreeA, total int) {
+// maxRankBitmap bounds the stack bitmap the streaming path uses to track
+// Floyd's chosen ranks: when the pair distance fits, membership is a bit
+// test and the ascending rank order falls out of bit order for free,
+// replacing the serial oracle's O(budget²) rescan-and-sort bookkeeping.
+// Larger distances fall back to the oracle's exact bookkeeping, as do
+// budgets below minBitmapBudget, where the quadratic bookkeeping is
+// cheaper than zeroing the 512-byte bitmap every far duel.
+const (
+	maxRankBitmap   = 4096
+	minBitmapBudget = 24
+)
+
+// duelProbesSerial is the bit-at-a-time reference implementation of the
+// duel probes, kept verbatim as the byte-identity oracle for the streaming
+// path (Params.DuelSerial selects it). It probes up to budget objects on
+// which a and b differ — all of them when there are at most budget,
+// otherwise a uniform distinct sample — and returns how many probed
+// objects agreed with a, plus the number probed. The differing positions
+// stream directly from the XOR of the candidates' words and the sample
+// ranks live in a fixed stack buffer (budgets beyond maxPairBudget spill
+// to a heap buffer and are honored in full), so a duel normally allocates
+// nothing. The rank sample is Floyd's algorithm with the same draws
+// xrand.Stream.Sample makes, so the probed set is bit-for-bit the one the
+// list-based implementation chose.
+func duelProbesSerial(w *world.World, p int, objs []int, a, b bitvec.Vector, rng *xrand.Stream, budget int) (agreeA, total int) {
 	d := a.Hamming(b)
 	if d == 0 {
 		return 0, 0
@@ -215,6 +271,191 @@ func duelProbes(w *world.World, p int, objs []int, a, b bitvec.Vector, rng *xran
 	return agreeA, cnt
 }
 
+// duelProbesStream is the word-block streaming duel (DESIGN.md §17): the
+// same probed objects, coins, and charges as duelProbesSerial, restructured
+// so probes leave in 64-object blocks instead of one memo CAS per bit.
+//
+// The pass structure mirrors the serial oracle exactly — the word-parallel
+// Hamming count that sizes the rank sample, then one early-exiting walk of
+// the XOR words — but where the serial path fetches each selected position
+// with its own Probe (an atomic memo update and a truth read per bit), the
+// streaming walk accumulates every selected position of a word into a mask
+// and fetches it with a single bulk ProbeWord: one CAS, one truth-word
+// read, and one popcount compare for up to 64 objects. Identity object
+// mappings (the final selection) map candidate words straight onto world
+// words; general mappings batch runs of positions sharing a world word
+// (wordProber). Probe charging is identical bit for bit: ProbeWord charges
+// exactly the newly learned objects of its mask, and the mask is exactly
+// the serial path's probe set. Coins are identical because the Floyd
+// sample below is draw-for-draw the serial one and no other branch
+// consumes randomness.
+func duelProbesStream(ctx *duelCtx, a, b bitvec.Vector, rng *xrand.Stream, budget int) (agreeA, total int) {
+	d := a.Hamming(b)
+	if d == 0 {
+		return 0, 0
+	}
+	w, p := ctx.w, ctx.p
+	nw := a.Words()
+	if d <= budget {
+		// Probe every differing position, a word-block at a time.
+		if ctx.ident {
+			for wi := 0; wi < nw; wi++ {
+				aw := a.Word(wi)
+				x := aw ^ b.Word(wi)
+				if x == 0 {
+					continue
+				}
+				tw := w.ProbeWord(p, wi, x)
+				agreeA += bits.OnesCount64(^(tw ^ aw) & x)
+			}
+			return agreeA, d
+		}
+		bp := wordProber{w: w, p: p, objs: ctx.objs, a: a, curW: -1}
+		for wi := 0; wi < nw; wi++ {
+			for x := a.Word(wi) ^ b.Word(wi); x != 0; x &= x - 1 {
+				bp.add(wi*64 + bits.TrailingZeros64(x))
+			}
+		}
+		bp.flush()
+		return bp.agree, d
+	}
+	// Floyd's sample of budget distinct ranks in [0,d) — draw-for-draw the
+	// serial implementation's coins. The chosen set is identical; only the
+	// bookkeeping differs: when d fits the stack bitmap, membership is one
+	// bit test instead of the serial path's linear rescan, and the ascending
+	// order falls out of bit order with no sort. (Floyd's invariant makes
+	// the fallback value j always fresh: earlier draws were bounded by
+	// earlier, smaller j.)
+	var buf [maxPairBudget]int
+	ranks := buf[:]
+	if budget > maxPairBudget {
+		ranks = make([]int, budget)
+	}
+	cnt := 0
+	if budget >= minBitmapBudget && d <= maxRankBitmap {
+		var rb [maxRankBitmap / 64]uint64
+		rw := (d + 63) / 64
+		for j := d - budget; j < d; j++ {
+			t := rng.Intn(j + 1)
+			if rb[t>>6]>>(uint(t)&63)&1 == 1 {
+				t = j
+			}
+			rb[t>>6] |= 1 << (uint(t) & 63)
+			cnt++
+		}
+		cnt = 0
+		for i := 0; i < rw; i++ {
+			for x := rb[i]; x != 0; x &= x - 1 {
+				ranks[cnt] = i*64 + bits.TrailingZeros64(x)
+				cnt++
+			}
+		}
+	} else {
+		for j := d - budget; j < d; j++ {
+			t := rng.Intn(j + 1)
+			for i := 0; i < cnt; i++ {
+				if ranks[i] == t {
+					t = j
+					break
+				}
+			}
+			ranks[cnt] = t
+			cnt++
+		}
+		for i := 1; i < cnt; i++ {
+			for k := i; k > 0 && ranks[k] < ranks[k-1]; k-- {
+				ranks[k], ranks[k-1] = ranks[k-1], ranks[k]
+			}
+		}
+	}
+	// Walk the XOR words once like the serial path, but collapse all ranks
+	// landing in one word into a single bulk fetch.
+	ri, seen := 0, 0
+	if ctx.ident {
+		for wi := 0; wi < nw && ri < cnt; wi++ {
+			aw := a.Word(wi)
+			x := aw ^ b.Word(wi)
+			c := bits.OnesCount64(x)
+			if ri < cnt && ranks[ri]-seen < c {
+				var mask uint64
+				for ; ri < cnt && ranks[ri]-seen < c; ri++ {
+					y := x
+					for k := ranks[ri] - seen; k > 0; k-- {
+						y &= y - 1
+					}
+					mask |= y & -y
+				}
+				tw := w.ProbeWord(p, wi, mask)
+				agreeA += bits.OnesCount64(^(tw ^ aw) & mask)
+			}
+			seen += c
+		}
+		return agreeA, cnt
+	}
+	bp := wordProber{w: w, p: p, objs: ctx.objs, a: a, curW: -1}
+	for wi := 0; wi < nw && ri < cnt; wi++ {
+		x := a.Word(wi) ^ b.Word(wi)
+		c := bits.OnesCount64(x)
+		for ; ri < cnt && ranks[ri]-seen < c; ri++ {
+			y := x
+			for k := ranks[ri] - seen; k > 0; k-- {
+				y &= y - 1
+			}
+			bp.add(wi*64 + bits.TrailingZeros64(y))
+		}
+		seen += c
+	}
+	bp.flush()
+	return bp.agree, cnt
+}
+
+// wordProber batches probes of a general (non-identity) object mapping:
+// consecutive candidate positions whose objects share a 64-bit world word
+// accumulate into one mask and fetch with a single ProbeWord. Pending
+// positions live in a fixed array, so the prober stays on the caller's
+// stack and the duel inner loop allocates nothing
+// (TestDuelStreamAllocFree).
+type wordProber struct {
+	w     *world.World
+	p     int
+	objs  []int
+	a     bitvec.Vector
+	curW  int
+	mask  uint64
+	pn    int
+	pjs   [64]int32
+	agree int
+}
+
+// add stages candidate position j (ascending across calls) for probing.
+func (bp *wordProber) add(j int) {
+	o := bp.objs[j]
+	wi := o >> 6
+	if wi != bp.curW || bp.pn == len(bp.pjs) {
+		bp.flush()
+		bp.curW = wi
+	}
+	bp.mask |= 1 << (uint(o) & 63)
+	bp.pjs[bp.pn] = int32(j)
+	bp.pn++
+}
+
+// flush probes the staged word in bulk and tallies agreements with a.
+func (bp *wordProber) flush() {
+	if bp.curW < 0 {
+		return
+	}
+	tw := bp.w.ProbeWord(bp.p, bp.curW, bp.mask)
+	for i := 0; i < bp.pn; i++ {
+		j := int(bp.pjs[i])
+		bit := uint(bp.objs[j]) & 63
+		if ((tw>>bit)&1 != 0) == bp.a.Get(j) {
+			bp.agree++
+		}
+	}
+	bp.curW, bp.mask, bp.pn = -1, 0, 0
+}
+
 // Select is the diameter-bounded selection protocol used by SmallRadius:
 // given the promise that at least one candidate is within distance d of
 // v(p), it returns the index of a candidate within O(d) of v(p), whp.
@@ -242,13 +483,14 @@ func Select(w *world.World, p int, objs []int, candidates []bitvec.Vector, d int
 		d = 1
 	}
 	budget := pairBudget(pr.SelectSampleFactor, w.N())
+	ctx := duelCtx{w: w, p: p, objs: objs, ident: identObjs(objs), serial: pr.DuelSerial}
 	near := pr.KeepWithin * d
 	champ := 0
 	for i := 1; i < k; i++ {
 		if candidates[champ].Hamming(candidates[i]) <= near {
 			continue // equally acceptable; keep the incumbent
 		}
-		if duelMajority(w, p, objs, candidates[champ], candidates[i], rng, budget) == 1 {
+		if duelMajority(&ctx, candidates[champ], candidates[i], rng, budget) == 1 {
 			champ = i
 		}
 	}
@@ -257,8 +499,8 @@ func Select(w *world.World, p int, objs []int, candidates []bitvec.Vector, d int
 
 // duelMajority probes up to budget differing objects and returns 0 if a
 // wins the majority, 1 if b does (ties to the incumbent a).
-func duelMajority(w *world.World, p int, objs []int, a, b bitvec.Vector, rng *xrand.Stream, budget int) int {
-	agreeA, total := duelProbes(w, p, objs, a, b, rng, budget)
+func duelMajority(ctx *duelCtx, a, b bitvec.Vector, rng *xrand.Stream, budget int) int {
+	agreeA, total := duelProbes(ctx, a, b, rng, budget)
 	if total == 0 {
 		return 0
 	}

@@ -200,11 +200,12 @@ func TestDuelEliminatesFarCandidate(t *testing.T) {
 	truth := w.TruthVector(0)
 	far := truth.Clone().Not()
 	// truth vs its complement: truth must win every time.
+	ctx := duelCtx{w: w, p: 0, objs: objs, ident: true}
 	for i := 0; i < 10; i++ {
-		if duel(w, 0, objs, truth, far, rng.Split(uint64(i)), 20, 2.0/3.0) != 0 {
+		if duel(&ctx, truth, far, rng.Split(uint64(i)), 20, 2.0/3.0) != 0 {
 			t.Fatal("truth lost a duel against its complement")
 		}
-		if duel(w, 0, objs, far, truth, rng.Split(uint64(i+50)), 20, 2.0/3.0) != 1 {
+		if duel(&ctx, far, truth, rng.Split(uint64(i+50)), 20, 2.0/3.0) != 1 {
 			t.Fatal("complement won a duel against truth")
 		}
 	}
@@ -218,7 +219,8 @@ func TestDuelKeepsBothWhenAmbiguous(t *testing.T) {
 	w := buildWorld(17, 2, m)
 	objs := identityObjs(m)
 	truth := w.TruthVector(0)
-	if duel(w, 0, objs, truth, truth, xrand.New(18), 20, 2.0/3.0) != -1 {
+	ctx := duelCtx{w: w, p: 0, objs: objs, ident: true}
+	if duel(&ctx, truth, truth, xrand.New(18), 20, 2.0/3.0) != -1 {
 		t.Fatal("identical candidates should be kept")
 	}
 }
